@@ -1,0 +1,280 @@
+(* Command-line driver: run any workload of the suite under any paradigm
+   and print the full report (cycles, breakdown, traffic, energy, JIT
+   statistics, per-kernel timeline).
+
+     infs_run list
+     infs_run run --workload stencil2d --paradigm inf-s
+     infs_run run -w mm/out -p base --functional --scale test
+     infs_run compile -w conv2d          # show the optimized tDFG
+*)
+
+module E = Infinity_stream.Engine
+module R = Infinity_stream.Report
+module WL = Infinity_stream.Workload
+module Cat = Infs_workloads.Catalog
+
+let all_workloads scale =
+  let entries =
+    match scale with `Paper -> Cat.table3 () | `Test -> Cat.test_scale ()
+  in
+  Cat.all_variants entries
+  @ [
+      ("vec_add", Infs_workloads.Micro.vec_add
+         ~n:(match scale with `Paper -> 4_194_304 | `Test -> 16_384));
+      ("array_sum", Infs_workloads.Micro.array_sum
+         ~n:(match scale with `Paper -> 4_194_304 | `Test -> 16_384));
+      ("pointnet/ssg",
+        (match scale with
+        | `Paper -> Infs_workloads.Pointnet.ssg ()
+        | `Test -> Infs_workloads.Pointnet.tiny ()));
+      ("pointnet/msg",
+        (match scale with
+        | `Paper -> Infs_workloads.Pointnet.msg ()
+        | `Test -> Infs_workloads.Pointnet.tiny ()));
+    ]
+
+let find_workload scale name =
+  let wl = all_workloads scale in
+  match List.assoc_opt name wl with
+  | Some w -> Ok w
+  | None ->
+    Error
+      (Printf.sprintf "unknown workload %s; available: %s" name
+         (String.concat ", " (List.map fst wl)))
+
+let paradigm_of_string = function
+  | "base1" | "base-1" -> Ok E.Base_1
+  | "base" -> Ok E.Base
+  | "near" | "near-l3" -> Ok E.Near_l3
+  | "in-l3" | "inl3" -> Ok E.In_l3
+  | "inf-s" | "infs" -> Ok E.Inf_s
+  | "inf-s-nojit" | "nojit" -> Ok E.Inf_s_nojit
+  | s -> Error (Printf.sprintf "unknown paradigm %s" s)
+
+let print_report (r : R.t) =
+  Format.printf "%a@." R.pp r;
+  Format.printf "@[<v>breakdown:@,";
+  List.iter
+    (fun (k, v) ->
+      if v > 0.0 then
+        Format.printf "  %-14s %12.3e cycles (%5.1f%%)@," k v
+          (100.0 *. v /. Float.max 1.0 r.cycles))
+    (Breakdown.to_assoc r.breakdown);
+  Format.printf "@]@.";
+  Format.printf "@[<v>NoC byte-hops:@,";
+  List.iter
+    (fun (k, v) -> if v > 0.0 then Format.printf "  %-12s %12.3e@," k v)
+    r.noc_byte_hops;
+  List.iter
+    (fun (k, v) -> if v > 0.0 then Format.printf "  %-12s %12.3e bytes (local)@," k v)
+    r.local_bytes;
+  Format.printf "@]@.";
+  if r.jit.invocations > 0 then
+    Format.printf
+      "JIT: %d lowerings (%d memoized), %.1f us avg, %.2f%% of runtime@."
+      r.jit.invocations r.jit.memo_hits r.jit.avg_us
+      (100.0 *. r.jit.total_jit_cycles /. Float.max 1.0 r.cycles);
+  if List.length r.timeline > 1 then begin
+    Format.printf "@[<v>timeline:@,";
+    List.iter
+      (fun (t : R.timeline_entry) ->
+        Format.printf "  %-20s %-8s %12.3e cycles@," t.kernel
+          (R.where_to_string t.where)
+          t.cycles)
+      r.timeline;
+    Format.printf "@]@."
+  end
+
+open Cmdliner
+
+let scale_conv = Arg.enum [ ("paper", `Paper); ("test", `Test) ]
+
+let scale_arg =
+  Arg.(value & opt scale_conv `Paper & info [ "scale" ] ~doc:"paper or test sizes")
+
+let workload_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "w"; "workload" ] ~doc:"workload name (see `infs_run list`)")
+
+let paradigm_arg =
+  Arg.(
+    value & opt string "inf-s"
+    & info [ "p"; "paradigm" ] ~doc:"base1|base|near-l3|in-l3|inf-s|inf-s-nojit")
+
+let functional_arg =
+  Arg.(
+    value & flag
+    & info [ "functional" ]
+        ~doc:"also compute values and check against the golden model (use --scale test)")
+
+let list_cmd =
+  let run scale =
+    List.iter (fun (name, _) -> print_endline name) (all_workloads scale)
+  in
+  Cmd.v (Cmd.info "list" ~doc:"list available workloads")
+    Term.(const run $ scale_arg)
+
+let run_cmd =
+  let run scale wname pname functional =
+    match (find_workload scale wname, paradigm_of_string pname) with
+    | Error e, _ | _, Error e ->
+      prerr_endline e;
+      exit 1
+    | Ok w, Ok p -> (
+      let options = { E.default_options with functional } in
+      match E.run ~options p w with
+      | Error e ->
+        prerr_endline ("error: " ^ e);
+        exit 1
+      | Ok r -> print_report r)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"simulate one workload under one paradigm")
+    Term.(const run $ scale_arg $ workload_arg $ paradigm_arg $ functional_arg)
+
+let compile_cmd =
+  let run scale wname =
+    match find_workload scale wname with
+    | Error e ->
+      prerr_endline e;
+      exit 1
+    | Ok w -> (
+      match Fat_binary.compile w.WL.prog with
+      | Error e ->
+        prerr_endline ("compile error: " ^ e);
+        exit 1
+      | Ok fb ->
+        Format.printf "%a@." Ast.pp_program fb.Fat_binary.prog;
+        List.iter
+          (fun (r : Fat_binary.region) ->
+            Format.printf "@.--- region %s ---@." r.kernel.Ast.kname;
+            Format.printf "%s@." (Sdfg.to_string r.sdfg);
+            (match r.fallback with
+            | Some reason -> Format.printf "fallback (near-memory only): %s@." reason
+            | None ->
+              Format.printf "%s@." (Tdfg.to_string r.optimized);
+              Format.printf "e-graph: %d rounds, cost %.3g -> %.3g@."
+                r.opt_stats.Extract.rounds r.opt_stats.cost_before
+                r.opt_stats.cost_after;
+              List.iter
+                (fun (wl, (s : Schedule.t)) ->
+                  Format.printf "schedule %d wordlines: %d/%d slots@." wl
+                    s.slots_used s.capacity)
+                r.schedules);
+            let h = r.hints in
+            Format.printf "hints: shift=%s bc=%s reduce=%s primary=%s@."
+              (String.concat "," (List.map string_of_int h.Fat_binary.shift_dims))
+              (String.concat "," (List.map string_of_int h.bc_dims))
+              (String.concat "," (List.map string_of_int h.reduce_dims))
+              (Option.value ~default:"-" h.primary_array))
+          fb.regions)
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"show the compiled fat binary (tDFGs, schedules, hints)")
+    Term.(const run $ scale_arg $ workload_arg)
+
+let lower_cmd =
+  let run scale wname kname =
+    match find_workload scale wname with
+    | Error e ->
+      prerr_endline e;
+      exit 1
+    | Ok w -> (
+      match Fat_binary.compile w.WL.prog with
+      | Error e ->
+        prerr_endline ("compile error: " ^ e);
+        exit 1
+      | Ok fb -> (
+        let region =
+          match kname with
+          | Some k -> Fat_binary.region_of fb k
+          | None -> (
+            match fb.Fat_binary.regions with r :: _ -> Some r | [] -> None)
+        in
+        match region with
+        | None ->
+          prerr_endline "no such region";
+          exit 1
+        | Some r -> (
+          match (r.fallback, List.assoc_opt 256 r.schedules) with
+          | Some f, _ ->
+            prerr_endline ("region is near-memory only: " ^ f);
+            exit 1
+          | None, None ->
+            prerr_endline "no 256-wordline schedule";
+            exit 1
+          | None, Some schedule -> (
+            match Interp.create w.WL.prog ~params:w.WL.params with
+            | Error e ->
+              prerr_endline e;
+              exit 1
+            | Ok env ->
+              (* resolve host-loop variables at their lower bounds for the
+                 first invocation's view of the region *)
+              let rec lows acc = function
+                | Ast.Host_loop (l, body) :: rest ->
+                  let v = Symaff.eval l.lo (fun x -> List.assoc x acc) in
+                  lows (lows ((l.ivar, v) :: acc) body) rest
+                | _ :: rest -> lows acc rest
+                | [] -> acc
+              in
+              let host_lows =
+                try lows [] w.WL.prog.Ast.body with Not_found -> []
+              in
+              let envf v =
+                match List.assoc_opt v host_lows with
+                | Some x -> x
+                | None -> Interp.lookup_int env v
+              in
+              let g = r.optimized in
+              let shape =
+                Array.init (Tdfg.lattice_dims g) (fun d ->
+                    List.fold_left
+                      (fun acc id ->
+                        match Tdfg.domain g id with
+                        | Tdfg.Finite rect ->
+                          max acc (Hyperrect.hi (Symrect.resolve rect envf) d)
+                        | Tdfg.Infinite -> acc)
+                      1 (Tdfg.live_nodes g))
+              in
+              let layout =
+                match
+                  Layout.choose Machine_config.default ~hints:r.hints ~shape
+                    ~elems_per_line:16
+                with
+                | Ok l -> l
+                | Error e ->
+                  prerr_endline e;
+                  exit 1
+              in
+              Format.printf "layout: %s@." (Layout.to_string layout);
+              let cmds, stats =
+                Jit.lower Machine_config.default g ~schedule ~layout ~env:envf
+              in
+              List.iter (fun c -> print_endline ("  " ^ Command.to_string c)) cmds;
+              Format.printf
+                "%d commands; jit %.1f us; %g in-memory element-ops; %g stream elems@."
+                stats.Jit.commands
+                (Machine_config.cycles_to_us Machine_config.default stats.jit_cycles)
+                stats.compute_elems
+                (stats.stream_load_elems +. stats.stream_store_elems)))))
+  in
+  let kernel_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "k"; "kernel" ] ~doc:"region (kernel) name; default: first")
+  in
+  Cmd.v
+    (Cmd.info "lower"
+       ~doc:"JIT-lower one region and dump the bit-serial command stream")
+    Term.(const run $ scale_arg $ workload_arg $ kernel_arg)
+
+let () =
+  let doc = "infinity stream - in-/near-memory fusion simulator" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "infs_run" ~doc)
+          [ list_cmd; run_cmd; compile_cmd; lower_cmd ]))

@@ -1,0 +1,1 @@
+examples/custom_kernel.ml: Ast Dtype Infinity_stream Infs_workloads List Op Printf Symaff

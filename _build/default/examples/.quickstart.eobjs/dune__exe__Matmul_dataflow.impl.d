@@ -1,0 +1,1 @@
+examples/matmul_dataflow.ml: Ast Fat_binary Infinity_stream Infs_workloads List Printf String Tdfg

@@ -1,0 +1,1 @@
+examples/pointnet_classifier.ml: Hashtbl Infinity_stream Infs_workloads List Option Printf

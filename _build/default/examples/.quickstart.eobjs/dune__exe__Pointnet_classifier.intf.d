@@ -1,0 +1,1 @@
+examples/pointnet_classifier.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ast Dtype Fat_binary Infinity_stream Infs_workloads List Printf Schedule Symaff Tdfg

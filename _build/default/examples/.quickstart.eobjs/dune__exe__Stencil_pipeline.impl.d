@@ -1,0 +1,1 @@
+examples/stencil_pipeline.ml: Array Breakdown Infinity_stream Infs_workloads List Printf

@@ -1,0 +1,45 @@
+(* The paper's Fig. 8 / Fig. 15 story: dataflow choice matters per paradigm.
+   In-core matmul wants the inner product (accumulate in registers);
+   in-memory matmul wants the outer product (element-wise accumulation
+   across all bitlines, reduction hoisted to the host loop).
+
+     dune exec examples/matmul_dataflow.exe *)
+
+module E = Infinity_stream.Engine
+module R = Infinity_stream.Report
+
+(* working sets resident in L3, as in the paper's evaluation *)
+let warm = { E.default_options with warm_data = true }
+
+let () =
+  let n = 2048 in
+  let mm_in = Infs_workloads.Mm.mm_inner ~n in
+  let mm_out = Infs_workloads.Mm.mm_outer ~n in
+  let base_in = E.run_exn ~options:warm E.Base mm_in in
+  Printf.printf "matmul %dx%dx%d, speedups over Base with inner product:\n\n" n n n;
+  Printf.printf "%-14s %10s %10s   preferred\n" "config" "inner" "outer";
+  List.iter
+    (fun p ->
+      let s w = R.speedup ~baseline:base_in (E.run_exn ~options:warm p w) in
+      let si = s mm_in and so = s mm_out in
+      Printf.printf "%-14s %10.2f %10.2f   %s\n" (E.paradigm_to_string p) si so
+        (if so > si then "outer" else "inner"))
+    [ E.Base; E.Near_l3; E.In_l3; E.Inf_s; E.Inf_s_nojit ];
+  print_newline ();
+  (* peek inside: the broadcasts the outer product generates *)
+  (match Fat_binary.compile mm_out.Infinity_stream.Workload.prog with
+  | Error e -> failwith e
+  | Ok fb ->
+    let r = List.hd fb.Fat_binary.regions in
+    Printf.printf "outer-product region %s hints: broadcast dims = [%s]\n"
+      r.kernel.Ast.kname
+      (String.concat ";" (List.map string_of_int r.hints.Fat_binary.bc_dims));
+    print_string (Tdfg.to_string r.optimized));
+  (* the inner product carries an in-memory reduction instead *)
+  match Fat_binary.compile mm_in.Infinity_stream.Workload.prog with
+  | Error e -> failwith e
+  | Ok fb ->
+    let r = List.hd fb.Fat_binary.regions in
+    Printf.printf "\ninner-product region %s hints: reduce dims = [%s]\n"
+      r.kernel.Ast.kname
+      (String.concat ";" (List.map string_of_int r.hints.Fat_binary.reduce_dims))

@@ -1,0 +1,45 @@
+(* The paper's end-to-end case study (§8): PointNet++ SSG and MSG point
+   cloud classifiers, built entirely from mini-C kernels, with the runtime
+   deciding per stage between in-core, near-memory and in-memory execution
+   (Fig. 19's timeline).
+
+     dune exec examples/pointnet_classifier.exe *)
+
+module E = Infinity_stream.Engine
+module R = Infinity_stream.Report
+
+let warm = { E.default_options with E.warm_data = true }
+
+let show (label, w) =
+  Printf.printf "=== PointNet++ %s (4k points) ===\n" label;
+  let base = E.run_exn ~options:warm E.Base w in
+  List.iter
+    (fun p ->
+      let r = E.run_exn ~options:warm p w in
+      Printf.printf "%-14s %.3e cycles (%.2fx over Base)\n" r.R.paradigm r.cycles
+        (R.speedup ~baseline:base r);
+      (* aggregate the per-kernel timeline into the paper's五 stages *)
+      let stages = Hashtbl.create 8 in
+      List.iter
+        (fun (t : R.timeline_entry) ->
+          let s = Infs_workloads.Pointnet.stage_of_kernel t.kernel in
+          let c, w0 =
+            Option.value ~default:(0.0, t.where) (Hashtbl.find_opt stages s)
+          in
+          ignore w0;
+          Hashtbl.replace stages s (c +. t.cycles, t.where))
+        r.timeline;
+      List.iter
+        (fun s ->
+          match Hashtbl.find_opt stages s with
+          | Some (c, where) when c > 0.0 ->
+            Printf.printf "    %-16s %5.1f%%  (%s)\n" s (100.0 *. c /. r.cycles)
+              (R.where_to_string where)
+          | _ -> ())
+        [ "Furthest Sample"; "Ball Query"; "Gather"; "MLP Layer"; "Aggregate"; "FC" ];
+      print_newline ())
+    [ E.Base; E.Near_l3; E.In_l3; E.Inf_s ]
+
+let () =
+  show ("SSG", Infs_workloads.Pointnet.ssg ());
+  show ("MSG", Infs_workloads.Pointnet.msg ())

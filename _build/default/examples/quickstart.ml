@@ -1,0 +1,89 @@
+(* Quickstart: write a plain kernel, compile it to a tDFG, and simulate it
+   under every paradigm of the paper.
+
+     dune exec examples/quickstart.exe
+
+   The kernel is the paper's Fig. 1 example, C[i] = A[i] + B[i]. We run it
+   functionally at a small size (checking every paradigm against the golden
+   interpreter) and then at the paper's 4M-element scale for performance. *)
+
+module E = Infinity_stream.Engine
+module R = Infinity_stream.Report
+module W = Infinity_stream.Workload
+
+(* 1. Write the program in the mini-C AST: one kernel, three arrays. *)
+let vec_add_program =
+  let open Ast in
+  let n = Symaff.var "N" in
+  program ~name:"vec_add" ~params:[ "N" ]
+    ~arrays:
+      [
+        array "A" Dtype.Fp32 [ n ];
+        array "B" Dtype.Fp32 [ n ];
+        array "C" Dtype.Fp32 [ n ];
+      ]
+    [
+      Kernel
+        (kernel "vec_add"
+           [ loop "i" (c 0) n ]
+           [ store "C" [ i "i" ] (load "A" [ i "i" ] + load "B" [ i "i" ]) ]);
+    ]
+
+(* 2. Inspect what the static compiler produces: the tensor dataflow graph
+   and its wordline schedule (the "fat binary"). *)
+let show_compilation () =
+  match Fat_binary.compile vec_add_program with
+  | Error e -> failwith e
+  | Ok fb ->
+    let region = List.hd fb.Fat_binary.regions in
+    print_endline "--- optimized tDFG ---";
+    print_string (Tdfg.to_string region.optimized);
+    List.iter
+      (fun (wl, (s : Schedule.t)) ->
+        Printf.printf "schedule for %d-wordline SRAMs: %d of %d registers\n" wl
+          s.slots_used s.capacity)
+      region.schedules;
+    print_newline ()
+
+(* 3. Run it. *)
+let () =
+  show_compilation ();
+  (* functional check at a small size *)
+  let small =
+    W.make ~name:"vec_add-small" ~params:[ ("N", 4096) ]
+      ~inputs:
+        (lazy
+          [
+            ("A", Infs_workloads.Data.uniform ~seed:1 4096);
+            ("B", Infs_workloads.Data.uniform ~seed:2 4096);
+          ])
+      vec_add_program
+  in
+  print_endline "functional check (N = 4096):";
+  List.iter
+    (fun p ->
+      let r =
+        E.run_exn ~options:{ E.default_options with functional = true } p small
+      in
+      match r.R.correctness with
+      | `Checked err ->
+        Printf.printf "  %-14s max error vs golden model: %.2e\n" r.paradigm err
+      | `Skipped -> ())
+    E.all_paradigms;
+  print_newline ();
+  (* performance at paper scale *)
+  let big =
+    W.make ~name:"vec_add-4M"
+      ~params:[ ("N", 4_194_304) ]
+      ~inputs:(lazy []) vec_add_program
+  in
+  print_endline "performance (N = 4M, data warm in L3):";
+  let options = { E.default_options with warm_data = true; pre_transposed = true; charge_jit = false } in
+  let base = E.run_exn ~options E.Base big in
+  List.iter
+    (fun p ->
+      let r = E.run_exn ~options p big in
+      Printf.printf "  %-14s %12.3e cycles  (%.1fx vs Base)\n" r.R.paradigm
+        r.cycles
+        (R.speedup ~baseline:base r))
+    E.all_paradigms

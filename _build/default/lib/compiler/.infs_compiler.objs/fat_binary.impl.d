@@ -1,0 +1,1 @@
+lib/compiler/fat_binary.ml: Ast Dtype Extract Frontend Kernel_info List Printf Schedule Sdfg String Symaff Tdfg

@@ -1,0 +1,1 @@
+lib/compiler/fat_binary.mli: Ast Extract Kernel_info Schedule Sdfg Symaff Tdfg

@@ -1,0 +1,1 @@
+lib/compiler/frontend.ml: Array Ast Dtype Fun List Op Option Printf Symaff Symrect Tdfg Tdfg_eval

@@ -1,0 +1,1 @@
+lib/compiler/frontend.mli: Ast Symaff Tdfg

@@ -1,0 +1,1 @@
+lib/compiler/kernel_info.ml: Ast Dtype Hashtbl List Option Symaff

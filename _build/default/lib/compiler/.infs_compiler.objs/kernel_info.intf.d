@@ -1,0 +1,1 @@
+lib/compiler/kernel_info.mli: Ast Symaff

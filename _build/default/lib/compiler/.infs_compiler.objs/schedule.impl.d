@@ -1,0 +1,1 @@
+lib/compiler/schedule.ml: Dtype Hashtbl List Printf String Tdfg

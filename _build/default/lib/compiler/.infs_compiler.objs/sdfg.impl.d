@@ -1,0 +1,1 @@
+lib/compiler/sdfg.ml: Ast Format Hashtbl List Op Option Printf String Symaff

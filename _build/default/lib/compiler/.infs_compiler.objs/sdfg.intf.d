@@ -1,0 +1,1 @@
+lib/compiler/sdfg.mli: Ast Format Op Symaff

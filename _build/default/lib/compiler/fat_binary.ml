@@ -1,0 +1,147 @@
+type hints = {
+  shift_dims : int list;
+  bc_dims : int list;
+  reduce_dims : int list;
+  primary_array : string option;
+  aligned_arrays : string list;
+}
+
+type region = {
+  kernel : Ast.kernel;
+  sdfg : Sdfg.t;
+  initial : Tdfg.t;
+  optimized : Tdfg.t;
+  info : Kernel_info.t;
+  schedules : (int * Schedule.t) list;
+  hints : hints;
+  opt_stats : Extract.opt_stats;
+  fallback : string option;
+}
+
+type t = {
+  prog : Ast.program;
+  regions : region list;
+  extents : (string * Symaff.t list) list;
+}
+
+let sram_geometries = [ 256; 512 ]
+
+let derive_hints g =
+  let live = Tdfg.live_nodes g in
+  let shift = ref [] and bcast = ref [] and red = ref [] in
+  List.iter
+    (fun id ->
+      match Tdfg.kind g id with
+      | Tdfg.Mv { dim; dist; _ } when dist <> 0 -> shift := dim :: !shift
+      | Tdfg.Bc { dim; _ } -> bcast := dim :: !bcast
+      | Tdfg.Reduce { dim; _ } -> red := dim :: !red
+      | _ -> ())
+    live;
+  let primary =
+    (* the reduced array when there is a reduction, otherwise the output *)
+    match Tdfg.outputs g with
+    | Tdfg.Out_tensor { array; _ } :: _ -> Some array
+    | Tdfg.Out_stream { array; _ } :: _ -> Some array
+    | [] -> None
+  in
+  {
+    shift_dims = List.sort_uniq compare !shift;
+    bc_dims = List.sort_uniq compare !bcast;
+    reduce_dims = List.sort_uniq compare !red;
+    primary_array = primary;
+    aligned_arrays =
+      List.sort_uniq String.compare (Tdfg.input_arrays g @ Tdfg.output_arrays g);
+  }
+
+let empty_hints =
+  {
+    shift_dims = [];
+    bc_dims = [];
+    reduce_dims = [];
+    primary_array = None;
+    aligned_arrays = [];
+  }
+
+let compile_region ~optimize ~extents prog (k : Ast.kernel) =
+  let info = Kernel_info.analyze prog k in
+  let sdfg = Sdfg.of_kernel prog k in
+  match Frontend.extract prog k with
+  | Error e ->
+    let g = Tdfg.create ~name:k.kname ~dims:1 ~dtype:Dtype.Fp32 in
+    {
+      kernel = k;
+      sdfg;
+      initial = g;
+      optimized = g;
+      info;
+      schedules = [];
+      hints = empty_hints;
+      opt_stats = { Extract.rounds = 0; cost_before = 0.0; cost_after = 0.0 };
+      fallback = Some (Frontend.error_to_string e);
+    }
+  | Ok initial ->
+    let optimized, opt_stats =
+      if optimize then Extract.optimize ~arrays:extents initial
+      else (initial, { Extract.rounds = 0; cost_before = 0.0; cost_after = 0.0 })
+    in
+    let schedules =
+      List.filter_map
+        (fun wl ->
+          match Schedule.compile ~wordlines:wl optimized with
+          | Ok s -> Some (wl, s)
+          | Error _ -> None)
+        sram_geometries
+    in
+    (* If the optimized graph spills everywhere, fall back to the initial
+       tDFG (which allocates fewer temporaries), then to spilling schedules
+       (the §6 limitation-3 extension). *)
+    let optimized, schedules =
+      if schedules = [] then
+        ( initial,
+          List.filter_map
+            (fun wl ->
+              match Schedule.compile ~wordlines:wl initial with
+              | Ok s -> Some (wl, s)
+              | Error _ -> None)
+            sram_geometries )
+      else (optimized, schedules)
+    in
+    let optimized, schedules =
+      if schedules = [] then
+        ( optimized,
+          List.filter_map
+            (fun wl ->
+              match Schedule.compile ~allow_spill:true ~wordlines:wl optimized with
+              | Ok s -> Some (wl, s)
+              | Error _ -> None)
+            sram_geometries )
+      else (optimized, schedules)
+    in
+    let fallback =
+      if schedules = [] then Some "register spill on all SRAM geometries"
+      else None
+    in
+    {
+      kernel = k;
+      sdfg;
+      initial;
+      optimized;
+      info;
+      schedules;
+      hints = derive_hints optimized;
+      opt_stats;
+      fallback;
+    }
+
+let compile ?(optimize = true) prog =
+  match Ast.validate prog with
+  | Error e -> Error (Printf.sprintf "program %s: %s" prog.Ast.name e)
+  | Ok () ->
+    let extents = Frontend.array_extents prog in
+    let regions =
+      List.map (compile_region ~optimize ~extents prog) (Ast.kernels prog)
+    in
+    Ok { prog; regions; extents }
+
+let region_of t name =
+  List.find_opt (fun r -> r.kernel.Ast.kname = name) t.regions

@@ -1,0 +1,350 @@
+type error = Unsupported of string | Invalid of string
+
+let error_to_string = function
+  | Unsupported s -> "unsupported: " ^ s
+  | Invalid s -> "invalid: " ^ s
+
+let array_extents (p : Ast.program) =
+  List.map (fun (a : Ast.array_decl) -> (a.aname, a.dims)) p.arrays
+
+(* How one affine index relates to the kernel's lattice. *)
+type index_class =
+  | Carried of int * int  (** (lattice dim, constant offset): index = ivar + c *)
+  | Fixed of Symaff.t  (** no induction variable involved *)
+  | Strided  (** needs a stream *)
+
+let classify_index ~ivars a =
+  let used = List.filter (fun v -> List.mem_assoc v ivars) (Symaff.vars a) in
+  match used with
+  | [] -> Fixed a
+  | [ v ] when Symaff.coeff a v = 1 ->
+    let rest = Symaff.subst a v Symaff.zero in
+    (match Symaff.is_const rest with
+    | Some off -> Carried (List.assoc v ivars, off)
+    | None -> Strided)
+  | _ -> Strided
+
+(* Rename kernel induction variables to lattice coordinate names d0..dN-1
+   for stream coordinate expressions. *)
+let to_lattice_coords ~ivars a =
+  List.fold_left
+    (fun acc (v, d) -> Symaff.subst acc v (Symaff.var (Tdfg_eval.lattice_var d)))
+    a ivars
+
+exception Fail of error
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Fail (Unsupported s))) fmt
+
+type ctx = {
+  g : Tdfg.t;
+  ivars : (string * int) list;  (** kernel ivar -> lattice dim *)
+  ranges : (Symaff.t * Symaff.t) array;  (** iteration range per lattice dim *)
+  decls : (string * Ast.array_decl) list;
+}
+
+let iteration_rect ctx = Symrect.make (Array.to_list ctx.ranges)
+
+let rank_of ctx array =
+  match List.assoc_opt array ctx.decls with
+  | Some d -> List.length d.Ast.dims
+  | None -> fail "undeclared array %s" array
+
+(* Build a near-memory load stream for an access that cannot be unrolled
+   into an aligned tensor view. *)
+let stream_load ctx array indices =
+  let coords =
+    List.map
+      (fun ix ->
+        match ix with
+        | Ast.Aff a -> Tdfg.Caff (to_lattice_coords ~ivars:ctx.ivars a)
+        | Ast.Indirect { array = index; indices = at } ->
+          Tdfg.Cgather
+            { index; at = List.map (to_lattice_coords ~ivars:ctx.ivars) at })
+      indices
+  in
+  Tdfg.add ctx.g (Tdfg.Stream_load { array; view = iteration_rect ctx; coords })
+
+(* Try to unroll an affine access into tensor + mv + bc. *)
+let tensorize_load ctx array indices =
+  let n = Array.length ctx.ranges in
+  let classes =
+    List.map
+      (function
+        | Ast.Aff a -> classify_index ~ivars:ctx.ivars a
+        | Ast.Indirect _ -> Strided)
+      indices
+  in
+  if List.exists (fun c -> c = Strided) classes then None
+  else begin
+    (* Assign lattice dimensions: carried dims are fixed by their ivar;
+       Fixed dims take free lattice dimensions greedily. *)
+    let taken = Array.make n false in
+    let carried_ok =
+      List.for_all
+        (function
+          | Carried (d, _) ->
+            if taken.(d) then false
+            else begin
+              taken.(d) <- true;
+              true
+            end
+          | Fixed _ | Strided -> true)
+        classes
+    in
+    if not carried_ok then None
+    else begin
+      let next_free () =
+        let rec go d =
+          if d >= n then None
+          else if taken.(d) then go (d + 1)
+          else begin
+            taken.(d) <- true;
+            Some d
+          end
+        in
+        go 0
+      in
+      let assigned =
+        List.map
+          (function
+            | Carried (d, off) -> Some (`Carried (d, off))
+            | Fixed e -> (
+              match next_free () with
+              | Some d -> Some (`Fixed (d, e))
+              | None -> None)
+            | Strided -> None)
+          classes
+      in
+      if List.exists Option.is_none assigned then None
+      else begin
+        let assigned = List.map Option.get assigned in
+        (* View in array coordinates; bc/mv bring it to iteration space. *)
+        let view = Array.make n (Symaff.zero, Symaff.one) in
+        Array.iteri
+          (fun d (lo, _) -> view.(d) <- (lo, Symaff.add_const lo 1))
+          ctx.ranges;
+        List.iter
+          (fun a ->
+            match a with
+            | `Carried (d, off) ->
+              let lo, hi = ctx.ranges.(d) in
+              view.(d) <- (Symaff.add_const lo off, Symaff.add_const hi off)
+            | `Fixed (d, e) -> view.(d) <- (e, Symaff.add_const e 1))
+          assigned;
+        let axes =
+          List.map (function `Carried (d, _) | `Fixed (d, _) -> d) assigned
+        in
+        let view = Symrect.make (Array.to_list view) in
+        let id = ref (Tdfg.tensor ctx.g ~array ~view ~axes) in
+        (* Align carried offsets with mv nodes. *)
+        List.iter
+          (function
+            | `Carried (d, off) when off <> 0 ->
+              id := Tdfg.mv ctx.g !id ~dim:d ~dist:(-off)
+            | `Carried _ | `Fixed _ -> ())
+          assigned;
+        (* Broadcast fixed and unused dimensions over the iteration range
+           (skip when the range is already a single cell). *)
+        let covered = Array.make n false in
+        List.iter
+          (function `Carried (d, _) -> covered.(d) <- true | `Fixed _ -> ())
+          assigned;
+        for d = 0 to n - 1 do
+          if not covered.(d) then begin
+            let lo, hi = ctx.ranges.(d) in
+            if not (Symaff.equal (Symaff.add_const lo 1) hi) then
+              id := Tdfg.bc ctx.g !id ~dim:d ~lo ~hi
+          end
+        done;
+        Some !id
+      end
+    end
+  end
+
+let load_node ctx array indices =
+  if rank_of ctx array <> List.length indices then
+    raise (Fail (Invalid (Printf.sprintf "rank mismatch on %s" array)));
+  match tensorize_load ctx array indices with
+  | Some id -> id
+  | None -> stream_load ctx array indices
+
+let rec expr_node ctx = function
+  | Ast.Load { array; indices } -> load_node ctx array indices
+  | Ast.Float_const f -> Tdfg.const_lit ctx.g f
+  | Ast.Scalar s -> Tdfg.const_runtime ctx.g s
+  | Ast.Binop (op, a, b) ->
+    (* evaluate left-to-right so node creation order (= schedule order)
+       interleaves subexpressions, keeping register pressure low *)
+    let ia = expr_node ctx a in
+    let ib = expr_node ctx b in
+    Tdfg.cmp ctx.g op [ ia; ib ]
+  | Ast.Unop (op, a) -> Tdfg.cmp ctx.g op [ expr_node ctx a ]
+
+(* Materialize an infinite-domain (constant) node over the iteration
+   domain so it can feed an output. *)
+let materialize ctx id =
+  match Tdfg.domain ctx.g id with
+  | Tdfg.Finite _ -> id
+  | Tdfg.Infinite -> Tdfg.shrink ctx.g id ~rect:(iteration_rect ctx)
+
+let process_stmt ctx (st : Ast.kernel_stmt) =
+  let rhs = expr_node ctx st.rhs in
+  let has_indirect =
+    List.exists (function Ast.Indirect _ -> true | Ast.Aff _ -> false)
+      st.target_indices
+  in
+  let target_classes =
+    List.map
+      (function
+        | Ast.Aff a -> Some (classify_index ~ivars:ctx.ivars a)
+        | Ast.Indirect _ -> None)
+      st.target_indices
+  in
+  let strided_target =
+    List.exists (function Some Strided -> true | _ -> false) target_classes
+  in
+  if has_indirect || strided_target then begin
+    (* Near-memory store stream (scatter / strided store). *)
+    let coords =
+      List.map
+        (function
+          | Ast.Aff a -> Tdfg.Caff (to_lattice_coords ~ivars:ctx.ivars a)
+          | Ast.Indirect { array = index; indices = at } ->
+            Tdfg.Cgather
+              { index; at = List.map (to_lattice_coords ~ivars:ctx.ivars) at })
+        st.target_indices
+    in
+    let src = materialize ctx rhs in
+    Tdfg.add_output ctx.g
+      (Tdfg.Out_stream { src; array = st.target; coords; accum = st.accum })
+  end
+  else begin
+    let n = Array.length ctx.ranges in
+    let assigns =
+      List.map
+        (function
+          | Some (Carried (d, off)) -> `Carried (d, off)
+          | Some (Fixed e) -> `Fixed e
+          | Some Strided | None -> fail "unreachable target class")
+        target_classes
+    in
+    let covered = Array.make n false in
+    List.iter
+      (function `Carried (d, _) -> covered.(d) <- true | `Fixed _ -> ())
+      assigns;
+    (* Loops absent from the target: reduction dimensions. *)
+    let missing = List.filter (fun d -> not covered.(d)) (List.init n Fun.id) in
+    let reduced, reduce_op =
+      match (missing, st.accum) with
+      | [], _ -> (materialize ctx rhs, None)
+      | _ :: _, Some op when Op.is_associative op ->
+        let id =
+          List.fold_left
+            (fun id d -> Tdfg.reduce ctx.g op (materialize ctx id) ~dim:d)
+            rhs missing
+        in
+        (id, Some op)
+      | _ :: _, Some op ->
+        fail "reduction with non-associative op %s" (Op.to_string op)
+      | _ :: _, None -> fail "target %s ignores a loop without accumulation" st.target
+    in
+    (* Offsets on stored indices move the result into array position. *)
+    let positioned =
+      List.fold_left
+        (fun id a ->
+          match a with
+          | `Carried (d, off) when off <> 0 -> Tdfg.mv ctx.g id ~dim:d ~dist:off
+          | `Carried _ | `Fixed _ -> id)
+        reduced assigns
+    in
+    (* Lattice dims carrying the target's array dims, in array-dim order.
+       A fixed target coordinate (e.g. the reduction cell [S\[0\]]) is
+       assigned to a reduced (missing) lattice dimension, whose anchored
+       position must provably equal the fixed coordinate. *)
+    let free_missing = ref missing in
+    let axes =
+      List.map
+        (function
+          | `Carried (d, _) -> d
+          | `Fixed e -> (
+            match !free_missing with
+            | d :: rest ->
+              let lo, _ = ctx.ranges.(d) in
+              if Symaff.equal e lo then begin
+                free_missing := rest;
+                d
+              end
+              else
+                fail "fixed store coordinate %s of %s differs from anchor %s"
+                  (Symaff.to_string e) st.target (Symaff.to_string lo)
+            | [] -> fail "store to a fixed coordinate of %s" st.target))
+        assigns
+    in
+    let final =
+      match (st.accum, reduce_op) with
+      | None, _ -> positioned
+      | Some op, _ ->
+        (* target op= rhs : read the old tensor and combine. Old value must
+           align with the (possibly reduced) rhs domain: carried dims span
+           their iteration range, reduced dims sit at their low bound. *)
+        let view = Array.make n (Symaff.zero, Symaff.one) in
+        Array.iteri
+          (fun d (lo, hi) ->
+            if covered.(d) then view.(d) <- (lo, hi)
+            else view.(d) <- (lo, Symaff.add_const lo 1))
+          ctx.ranges;
+        let old_view =
+          (* offsets on accumulating targets must be zero for alignment *)
+          List.iter
+            (function
+              | `Carried (_, off) when off <> 0 ->
+                fail "accumulating store with a shifted index"
+              | `Carried _ | `Fixed _ -> ())
+            assigns;
+          Symrect.make (Array.to_list view)
+        in
+        let old_id = Tdfg.tensor ctx.g ~array:st.target ~view:old_view ~axes in
+        Tdfg.cmp ctx.g op [ old_id; positioned ]
+    in
+    Tdfg.add_output ctx.g (Tdfg.Out_tensor { src = final; array = st.target; axes })
+  end
+
+let extract (p : Ast.program) (k : Ast.kernel) =
+  let n = List.length k.loops in
+  if n = 0 then Error (Invalid "kernel with no loops")
+  else if n > 3 then Error (Unsupported "kernels beyond 3 dimensions")
+  else begin
+    let ivars = List.mapi (fun d (l : Ast.loop) -> (l.ivar, d)) k.loops in
+    (* Loop bounds must not depend on sibling kernel ivars (the iteration
+       domain must be a hyperrectangle). *)
+    let bound_ok (l : Ast.loop) =
+      List.for_all
+        (fun v -> not (List.mem_assoc v ivars))
+        (Symaff.vars l.lo @ Symaff.vars l.hi)
+    in
+    if not (List.for_all bound_ok k.loops) then
+      Error (Unsupported "non-hyperrectangular iteration domain")
+    else begin
+      let ranges =
+        Array.of_list (List.map (fun (l : Ast.loop) -> (l.lo, l.hi)) k.loops)
+      in
+      let g =
+        Tdfg.create ~name:k.kname ~dims:n
+          ~dtype:
+            (match p.arrays with
+            | a :: _ -> a.Ast.dtype
+            | [] -> Dtype.Fp32)
+      in
+      let ctx =
+        { g; ivars; ranges; decls = List.map (fun (a : Ast.array_decl) -> (a.aname, a)) p.arrays }
+      in
+      try
+        List.iter (process_stmt ctx) k.body;
+        match Tdfg.validate g with
+        | Ok () -> Ok g
+        | Error e -> Error (Invalid e)
+      with
+      | Fail e -> Error e
+      | Failure msg -> Error (Unsupported msg)
+    end
+  end

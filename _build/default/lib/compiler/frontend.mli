@@ -1,0 +1,25 @@
+(** Static compiler frontend: extract a tDFG from a mini-C kernel
+    (paper §3.1–§3.3).
+
+    Each kernel loop becomes one lattice dimension (outermost first).
+    Unit-stride affine accesses unroll into tensor views aligned with
+    explicit [mv]/[bc] nodes; accumulation across a loop absent from the
+    target's indices becomes a [Reduce]; strided, rank-overflowing or
+    indirect accesses fall back to embedded near-memory streams
+    ([Stream_load] / [Out_stream]) exactly as §3.3 prescribes. *)
+
+type error =
+  | Unsupported of string
+      (** the kernel cannot be represented as a tDFG at all *)
+  | Invalid of string  (** malformed kernel (caught earlier by validation) *)
+
+val extract :
+  Ast.program -> Ast.kernel -> (Tdfg.t, error) result
+(** Build the initial (unoptimized) tDFG for one kernel of the program.
+    Host-loop variables and parameters appearing in bounds stay symbolic. *)
+
+val array_extents : Ast.program -> (string * Symaff.t list) list
+(** Symbolic extents of every declared array (context for the
+    tensor-expansion rewrite and the layout engine). *)
+
+val error_to_string : error -> string

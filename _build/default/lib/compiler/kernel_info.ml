@@ -1,0 +1,146 @@
+type direction = Read | Write | Read_write
+
+type stream = {
+  array : string;
+  direction : direction;
+  indirect : bool;
+  elem_bytes : int;
+  accesses_per_iter : int;
+  distinct : Symaff.t list option;
+}
+
+type t = {
+  kname : string;
+  loops : (Symaff.t * Symaff.t) list;
+  flops_per_iter : int;
+  streams : stream list;
+  has_indirect : bool;
+}
+
+(* Distinct extent contributed by one index expression along one array
+   dimension: Carried covers the loop range (plus offset spread handled by
+   merging), Fixed covers one cell, a strided index covers stride * range. *)
+let index_extent ~ivars (ranges : (string * (Symaff.t * Symaff.t)) list) = function
+  | Ast.Indirect _ -> None
+  | Ast.Aff a -> (
+    let used = List.filter (fun v -> List.mem_assoc v ivars) (Symaff.vars a) in
+    match used with
+    | [] -> Some Symaff.one
+    | [ v ] ->
+      let lo, hi = List.assoc v ranges in
+      let c = abs (Symaff.coeff a v) in
+      Some (Symaff.scale c (Symaff.sub hi lo))
+    | _ ->
+      (* multiple ivars: conservatively the product of ranges *)
+      Some
+        (List.fold_left
+           (fun acc v ->
+             let lo, hi = List.assoc v ranges in
+             ignore acc;
+             Symaff.sub hi lo)
+           Symaff.one used))
+
+let merge_direction a b =
+  match (a, b) with
+  | Read, Read -> Read
+  | Write, Write -> Write
+  | _, _ -> Read_write
+
+let analyze (p : Ast.program) (k : Ast.kernel) =
+  let ivars = List.map (fun (l : Ast.loop) -> (l.ivar, ())) k.loops in
+  let ivars = List.map fst ivars |> List.map (fun v -> (v, ())) in
+  let ranges = List.map (fun (l : Ast.loop) -> (l.ivar, (l.lo, l.hi))) k.loops in
+  let dtype_of array =
+    match List.find_opt (fun (a : Ast.array_decl) -> a.aname = array) p.arrays with
+    | Some a -> a.dtype
+    | None -> Dtype.Fp32
+  in
+  (* accumulate accesses: (array, direction, indirect, distinct extents) *)
+  let acc : (string, direction * bool * int * Symaff.t list option) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let record array direction indirect extents =
+    match Hashtbl.find_opt acc array with
+    | None -> Hashtbl.replace acc array (direction, indirect, 1, extents)
+    | Some (d0, i0, n0, e0) ->
+      let merged_extents =
+        match (e0, extents) with
+        | None, _ | _, None -> None
+        | Some a, Some b ->
+          if List.length a = List.length b then
+            Some (List.map2 (fun x y -> if Symaff.leq x y then y else x) a b)
+          else None
+      in
+      Hashtbl.replace acc array
+        (merge_direction d0 direction, i0 || indirect, n0 + 1, merged_extents)
+  in
+  let note array direction indices =
+    let indirect =
+      List.exists (function Ast.Indirect _ -> true | Ast.Aff _ -> false) indices
+    in
+    let extents =
+      if indirect then None
+      else begin
+        let per_dim = List.map (index_extent ~ivars ranges) indices in
+        if List.exists Option.is_none per_dim then None
+        else Some (List.map Option.get per_dim)
+      end
+    in
+    (* a gather's index array is itself streamed (read once per iteration) *)
+    List.iter
+      (function
+        | Ast.Indirect { indices = iidx; array = idx } ->
+          let idx_extents =
+            let per_dim =
+              List.map (fun a -> index_extent ~ivars ranges (Ast.Aff a)) iidx
+            in
+            if List.exists Option.is_none per_dim then None
+            else Some (List.map Option.get per_dim)
+          in
+          record idx Read false idx_extents
+        | Ast.Aff _ -> ())
+      indices;
+    record array direction indirect extents
+  in
+  List.iter
+    (fun (st : Ast.kernel_stmt) ->
+      let dir = match st.accum with Some _ -> Read_write | None -> Write in
+      note st.target dir st.target_indices;
+      List.iter (fun (a, ixs) -> note a Read ixs) (Ast.expr_loads st.rhs))
+    k.body;
+  let streams =
+    Hashtbl.fold
+      (fun array (direction, indirect, n, extents) out ->
+        {
+          array;
+          direction;
+          indirect;
+          elem_bytes = Dtype.bytes (dtype_of array);
+          accesses_per_iter = n;
+          distinct = extents;
+        }
+        :: out)
+      acc []
+    |> List.sort compare
+  in
+  {
+    kname = k.kname;
+    loops = List.map (fun (l : Ast.loop) -> (l.lo, l.hi)) k.loops;
+    flops_per_iter = Ast.kernel_flops_per_iter k;
+    streams;
+    has_indirect = Ast.kernel_has_indirect k;
+  }
+
+let iterations t env =
+  List.fold_left
+    (fun acc (lo, hi) -> acc * max 0 (Symaff.eval hi env - Symaff.eval lo env))
+    1 t.loops
+
+let stream_distinct_elems s env ~arrays =
+  match s.distinct with
+  | Some extents ->
+    List.fold_left (fun acc e -> acc * max 1 (Symaff.eval e env)) 1 extents
+  | None -> (
+    match List.assoc_opt s.array arrays with
+    | Some dims -> List.fold_left ( * ) 1 dims
+    | None -> 1)

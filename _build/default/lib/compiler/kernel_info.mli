@@ -1,0 +1,38 @@
+(** Stream-level analysis of a kernel (the sDFG view, paper §3.1).
+
+    This summary drives the in-core ([Base]) and near-memory ([Near-L3])
+    performance models and the runtime's in-/near-memory decision: which
+    arrays stream in/out, how much reuse each stream has (distinct elements
+    vs accesses), whether accesses are indirect, and the arithmetic
+    intensity of one iteration. *)
+
+type direction = Read | Write | Read_write
+
+type stream = {
+  array : string;
+  direction : direction;
+  indirect : bool;
+  elem_bytes : int;
+  accesses_per_iter : int;  (** how many accesses per kernel iteration *)
+  distinct : Symaff.t list option;
+      (** symbolic extents of the distinct region touched (per array dim);
+          [None] when it cannot be bounded (indirect) and the whole array
+          must be assumed *)
+}
+
+type t = {
+  kname : string;
+  loops : (Symaff.t * Symaff.t) list;  (** iteration ranges, outermost first *)
+  flops_per_iter : int;
+  streams : stream list;
+  has_indirect : bool;
+}
+
+val analyze : Ast.program -> Ast.kernel -> t
+
+val iterations : t -> (string -> int) -> int
+(** Concrete iteration count of the kernel under an environment. *)
+
+val stream_distinct_elems : stream -> (string -> int) -> arrays:(string * int list) list -> int
+(** Concrete distinct element count of one stream ([arrays] gives concrete
+    array extents for the [None] fallback). *)

@@ -1,0 +1,116 @@
+type instr = { node : Tdfg.id; dst_slot : int option }
+
+type t = {
+  order : instr list;
+  array_slots : (string * int) list;
+  slot_of_node : (Tdfg.id * int) list;
+  slots_used : int;
+  wordlines : int;
+  capacity : int;
+  spilled : Tdfg.id list;
+}
+
+let compile ?(allow_spill = false) ~wordlines g =
+  let capacity = wordlines / Dtype.bits (Tdfg.dtype g) in
+  let live = Tdfg.live_nodes g in
+  (* Persistent slots only for arrays resident in transposed form: tensor
+     views and tensor outputs. Stream-accessed arrays (strided/indirect
+     sources, gather indices, scatter targets) stay in the conventional
+     ways and are read/written by the stream engines. *)
+  let resident =
+    List.filter_map
+      (fun id ->
+        match Tdfg.kind g id with
+        | Tdfg.Tensor { array; _ } -> Some array
+        | _ -> None)
+      live
+    @ List.filter_map
+        (function
+          | Tdfg.Out_tensor { array; _ } -> Some array
+          | Tdfg.Out_stream _ -> None)
+        (Tdfg.outputs g)
+    |> List.sort_uniq String.compare
+  in
+  let array_slots = List.mapi (fun i a -> (a, i)) resident in
+  let base = List.length array_slots in
+  (* Liveness: last use of each node among live consumers and outputs. *)
+  let last_use = Hashtbl.create 32 in
+  List.iter
+    (fun id ->
+      List.iter
+        (fun input -> Hashtbl.replace last_use input id)
+        (Tdfg.inputs_of (Tdfg.kind g id)))
+    live;
+  let out_sentinel = Tdfg.node_count g in
+  List.iter
+    (function
+      | Tdfg.Out_tensor { src; _ } | Tdfg.Out_stream { src; _ } ->
+        Hashtbl.replace last_use src out_sentinel)
+    (Tdfg.outputs g);
+  (* Linear scan over topological order. *)
+  let free = ref [] in
+  let next = ref base in
+  let spilled = ref [] in
+  let alloc id =
+    match !free with
+    | s :: rest ->
+      free := rest;
+      Some s
+    | [] ->
+      if allow_spill && !next >= capacity then begin
+        (* no register left: this temporary lives in the conventional ways
+           and moves through spill streams instead *)
+        spilled := id :: !spilled;
+        None
+      end
+      else begin
+        let s = !next in
+        incr next;
+        Some s
+      end
+  in
+  let slot_tbl : (Tdfg.id, int) Hashtbl.t = Hashtbl.create 32 in
+  let release_if_dead current id =
+    match Hashtbl.find_opt last_use id with
+    | Some l when l = current -> (
+      (* only temporaries are recycled; array-backed tensors stay put *)
+      match Hashtbl.find_opt slot_tbl id with
+      | Some s when s >= base -> free := s :: !free
+      | _ -> ())
+    | _ -> ()
+  in
+  let order = ref [] in
+  List.iter
+    (fun id ->
+      let dst =
+        match Tdfg.kind g id with
+        | Tdfg.Tensor { array; _ } -> List.assoc_opt array array_slots
+        | Tdfg.Const _ -> None
+        | Tdfg.Shrink { input; _ } -> Hashtbl.find_opt slot_tbl input
+        | Tdfg.Cmp _ | Tdfg.Mv _ | Tdfg.Bc _ | Tdfg.Reduce _ -> alloc id
+        | Tdfg.Stream_load _ -> alloc id
+      in
+      (match dst with Some s -> Hashtbl.replace slot_tbl id s | None -> ());
+      order := { node = id; dst_slot = dst } :: !order;
+      (* inputs may die here *)
+      List.iter (release_if_dead id) (Tdfg.inputs_of (Tdfg.kind g id)))
+    live;
+  let slots_used = !next in
+  if slots_used > capacity && not allow_spill then
+    Error
+      (Printf.sprintf "register spill: %d slots needed, %d available (%d wordlines)"
+         slots_used capacity wordlines)
+  else
+    Ok
+      {
+        order = List.rev !order;
+        array_slots;
+        slot_of_node = Hashtbl.fold (fun k v acc -> (k, v) :: acc) slot_tbl [];
+        slots_used = min slots_used capacity;
+        wordlines;
+        capacity;
+        spilled = List.rev !spilled;
+      }
+
+let slot_of t id = List.assoc_opt id t.slot_of_node
+let is_spilled t id = List.mem id t.spilled

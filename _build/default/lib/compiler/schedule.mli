@@ -1,0 +1,39 @@
+(** Backend compilation of a tDFG: instruction scheduling and wordline
+    register allocation (paper §3.4).
+
+    Each SRAM array stores transposed elements vertically, so a
+    256-wordline array holds 8 fp32 "registers" per bitline. Input/output
+    arrays get persistent slots for the whole region; intermediate tensors
+    are allocated by liveness (a local linear scan, cf. the paper's local
+    register allocation). The schedule is computed once per SRAM geometry
+    when building the fat binary, leaving only layout-dependent lowering to
+    the JIT. *)
+
+type instr = {
+  node : Tdfg.id;
+  dst_slot : int option;  (** [None] for no-op nodes (shrink) *)
+}
+
+type t = {
+  order : instr list;  (** topological execution order of live nodes *)
+  array_slots : (string * int) list;  (** persistent slot of each array *)
+  slot_of_node : (Tdfg.id * int) list;
+  slots_used : int;
+  wordlines : int;
+  capacity : int;  (** wordlines / element bits *)
+  spilled : Tdfg.id list;
+      (** nodes whose values live in conventional ways and move through
+          spill streams (paper §6's limitation 3, relaxed here: "register
+          spilling can be implemented by a stream writing back and loading
+          from the DRAM") *)
+}
+
+val compile : ?allow_spill:bool -> wordlines:int -> Tdfg.t -> (t, string) result
+(** [Error] on register spill unless [allow_spill] (default false), in
+    which case overflow temporaries are assigned to spill streams. *)
+
+val slot_of : t -> Tdfg.id -> int option
+(** Slot holding a node's value (shrink nodes forward their input's);
+    [None] also for spilled nodes. *)
+
+val is_spilled : t -> Tdfg.id -> bool

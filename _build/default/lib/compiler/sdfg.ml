@@ -1,0 +1,124 @@
+type direction = Load | Store | Reduce_s
+
+type access =
+  | Affine of Symaff.t list
+  | Indexed of { index : string; via : Symaff.t list; rest : Symaff.t list }
+
+type stream = {
+  sname : string;
+  array : string;
+  direction : direction;
+  access : access;
+  depends_on : string list;
+}
+
+type t = {
+  region : string;
+  domain : (string * Symaff.t * Symaff.t) list;
+  streams : stream list;
+  ops : Op.t list;
+}
+
+let access_of_indices indices =
+  let rec split = function
+    | [] -> Affine []
+    | Ast.Indirect { array; indices = via } :: rest ->
+      let rest_aff =
+        List.map
+          (function
+            | Ast.Aff a -> a
+            | Ast.Indirect _ -> Symaff.zero (* nested indirection: flattened *))
+          rest
+      in
+      Indexed { index = array; via; rest = rest_aff }
+    | Ast.Aff a :: rest -> (
+      match split rest with
+      | Affine xs -> Affine (a :: xs)
+      | Indexed _ as ix -> ix (* indirection later: keep the indexed view *))
+  in
+  split indices
+
+let of_kernel (_p : Ast.program) (k : Ast.kernel) =
+  let counter = Hashtbl.create 8 in
+  let fresh array suffix =
+    let n = Option.value ~default:0 (Hashtbl.find_opt counter (array, suffix)) in
+    Hashtbl.replace counter (array, suffix) (n + 1);
+    Printf.sprintf "%s.%s%d" array suffix n
+  in
+  let streams = ref [] and ops = ref [] in
+  List.iter
+    (fun (st : Ast.kernel_stmt) ->
+      let load_names =
+        List.map
+          (fun (array, indices) ->
+            let sname = fresh array "ld" in
+            streams :=
+              {
+                sname;
+                array;
+                direction = Load;
+                access = access_of_indices indices;
+                depends_on = [];
+              }
+              :: !streams;
+            sname)
+          (Ast.expr_loads st.rhs)
+      in
+      ops := !ops @ Ast.expr_ops st.rhs;
+      (match st.accum with Some op -> ops := !ops @ [ op ] | None -> ());
+      let sname = fresh st.target "st" in
+      streams :=
+        {
+          sname;
+          array = st.target;
+          direction = (match st.accum with Some _ -> Reduce_s | None -> Store);
+          access = access_of_indices st.target_indices;
+          depends_on = load_names;
+        }
+        :: !streams)
+    k.body;
+  {
+    region = k.kname;
+    domain = List.map (fun (l : Ast.loop) -> (l.ivar, l.lo, l.hi)) k.loops;
+    streams = List.rev !streams;
+    ops = !ops;
+  }
+
+let loads t = List.filter (fun s -> s.direction = Load) t.streams
+let stores t = List.filter (fun s -> s.direction <> Load) t.streams
+
+let is_irregular s = match s.access with Indexed _ -> true | Affine _ -> false
+
+let pp_access ppf = function
+  | Affine xs ->
+    List.iter (fun a -> Format.fprintf ppf "[%s]" (Symaff.to_string a)) xs
+  | Indexed { index; via; rest } ->
+    Format.fprintf ppf "[%s%s]" index
+      (String.concat ""
+         (List.map (fun a -> Printf.sprintf "[%s]" (Symaff.to_string a)) via));
+    List.iter (fun a -> Format.fprintf ppf "[%s]" (Symaff.to_string a)) rest
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>sdfg %s over %s@," t.region
+    (String.concat ", "
+       (List.map
+          (fun (v, lo, hi) ->
+            Printf.sprintf "%s in [%s,%s)" v (Symaff.to_string lo)
+              (Symaff.to_string hi))
+          t.domain));
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "  %-12s %s %s%a%s@," s.sname
+        (match s.direction with
+        | Load -> "load "
+        | Store -> "store"
+        | Reduce_s -> "red. ")
+        s.array pp_access s.access
+        (if s.depends_on = [] then ""
+         else " <- " ^ String.concat ", " s.depends_on))
+    t.streams;
+  Format.fprintf ppf "  near-stream ops: %s@,"
+    (String.concat " " (List.map Op.to_string t.ops));
+  Format.fprintf ppf "@]"
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,54 @@
+(** The stream dataflow graph (paper §3.1, Fig. 4's left column).
+
+    The sDFG is the near-memory program representation the tDFG builds on:
+    memory accesses decouple into {e streams} (long-term access patterns,
+    up to 3-D affine plus one-level indirection — Fig. 5's [strm] node)
+    with the associated computation attached to the consuming store/reduce
+    stream. Both the sDFG and tDFG of a region are encoded in the fat
+    binary so the runtime can choose near-memory or in-memory execution
+    (§3.4); near-memory simulation consumes the quantitative summary in
+    {!Kernel_info}, while this module keeps the explicit graph for
+    inspection, dependence queries and the CLI's [compile] view. *)
+
+type direction = Load | Store | Reduce_s
+    (** [Reduce_s]: a store stream that accumulates (paper: reduction
+        streams produce normal values consumed by the core). *)
+
+type access =
+  | Affine of Symaff.t list
+      (** one index expression per array dimension, affine in the kernel's
+          induction variables *)
+  | Indexed of { index : string; via : Symaff.t list; rest : Symaff.t list }
+      (** one-level indirect: the first array coordinate reads
+          [index\[via\]], remaining coordinates are affine *)
+
+type stream = {
+  sname : string;  (** unique within the graph, e.g. ["A.ld0"] *)
+  array : string;
+  direction : direction;
+  access : access;
+  depends_on : string list;
+      (** streams whose values flow into this one (loads feeding the store
+          through the near-stream computation) *)
+}
+
+type t = {
+  region : string;
+  domain : (string * Symaff.t * Symaff.t) list;  (** (ivar, lo, hi) *)
+  streams : stream list;
+  ops : Op.t list;  (** near-stream computation, in evaluation order *)
+}
+
+val of_kernel : Ast.program -> Ast.kernel -> t
+(** Decouple a kernel's accesses into streams. Never fails: every kernel
+    has an sDFG (that is the point — near-memory handles what in-memory
+    cannot). *)
+
+val loads : t -> stream list
+val stores : t -> stream list
+
+val is_irregular : stream -> bool
+(** Indirect access — inefficient for pure in-memory computing (§3.1). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Machine_config Report Workload

@@ -1,0 +1,644 @@
+type paradigm = Base_1 | Base | Near_l3 | In_l3 | Inf_s | Inf_s_nojit
+
+let paradigm_to_string = function
+  | Base_1 -> "Base-Thread-1"
+  | Base -> "Base"
+  | Near_l3 -> "Near-L3"
+  | In_l3 -> "In-L3"
+  | Inf_s -> "Inf-S"
+  | Inf_s_nojit -> "Inf-S-noJIT"
+
+let all_paradigms = [ Base_1; Base; Near_l3; In_l3; Inf_s; Inf_s_nojit ]
+
+type options = {
+  cfg : Machine_config.t;
+  functional : bool;
+  optimize : bool;
+  tile_override : int array option;
+  charge_jit : bool;
+  warm_data : bool;
+  pre_transposed : bool;
+}
+
+let default_options =
+  {
+    cfg = Machine_config.default;
+    functional = false;
+    optimize = true;
+    tile_override = None;
+    charge_jit = true;
+    warm_data = false;
+    pre_transposed = false;
+  }
+
+(* L3 residency tracking across program regions: which arrays currently
+   live in the shared cache, and in which layout. Implements the "delayed
+   release of transposed data" policy at region granularity (§5.2). *)
+module Residency = struct
+  type form = Normal | Transposed
+
+  type t = {
+    cfg : Machine_config.t;
+    tbl : (string, form * float) Hashtbl.t; (* name -> form, bytes *)
+    mutable order : string list; (* FIFO for eviction *)
+    mutable resident_bytes : float;
+  }
+
+  let create cfg = { cfg; tbl = Hashtbl.create 8; order = []; resident_bytes = 0.0 }
+
+  let capacity t =
+    float_of_int
+      (t.cfg.Machine_config.l3_banks * t.cfg.l3_ways * t.cfg.arrays_per_way
+      * t.cfg.sram_wordlines * t.cfg.sram_bitlines / 8)
+
+  let transposed_count t =
+    Hashtbl.fold
+      (fun _ (f, _) acc -> if f = Transposed then acc + 1 else acc)
+      t.tbl 0
+
+  (* The layout override table holds a fixed number of transposed regions
+     (16 in Table 2); exceeding it releases the oldest transposed array
+     back to normal layout (§5.2's delayed release / LOT capacity). *)
+  let evict_transposed_if_full t =
+    while transposed_count t >= t.cfg.Machine_config.lot_regions do
+      let victim =
+        List.find_opt
+          (fun name ->
+            match Hashtbl.find_opt t.tbl name with
+            | Some (Transposed, _) -> true
+            | _ -> false)
+          t.order
+      in
+      match victim with
+      | Some name ->
+        let _, b = Hashtbl.find t.tbl name in
+        Hashtbl.replace t.tbl name (Normal, b)
+      | None -> raise Exit
+    done
+
+  let evict_transposed_if_full t =
+    try evict_transposed_if_full t with Exit -> ()
+
+  let evict_until t needed =
+    while
+      t.resident_bytes +. needed > capacity t
+      &&
+      match t.order with
+      | [] -> false
+      | victim :: rest ->
+        (match Hashtbl.find_opt t.tbl victim with
+        | Some (_, b) ->
+          Hashtbl.remove t.tbl victim;
+          t.resident_bytes <- t.resident_bytes -. b
+        | None -> ());
+        t.order <- rest;
+        true
+    do
+      ()
+    done
+
+  (* Returns the DRAM bytes that must be fetched and whether an on-chip
+     layout conversion (transpose) is needed. *)
+  let touch t name ~bytes ~form =
+    (if form = Transposed then
+       match Hashtbl.find_opt t.tbl name with
+       | Some (Transposed, _) -> () (* re-touch: no new LOT entry *)
+       | _ -> evict_transposed_if_full t);
+    match Hashtbl.find_opt t.tbl name with
+    | Some (f, _) when f = form -> (0.0, false)
+    | Some (_, _) ->
+      (* resident but in the other layout: convert in place *)
+      Hashtbl.replace t.tbl name (form, bytes);
+      (0.0, true)
+    | None ->
+      evict_until t bytes;
+      Hashtbl.replace t.tbl name (form, bytes);
+      t.order <- t.order @ [ name ];
+      t.resident_bytes <- t.resident_bytes +. bytes;
+      (bytes, form = Transposed)
+
+  (* Core and near-memory accesses work on resident data in either layout:
+     the coherence integration lets streams read/write transposed lines
+     directly (paper §5.3), so no conversion is charged. *)
+  let touch_any t name ~bytes =
+    match Hashtbl.find_opt t.tbl name with
+    | Some _ -> 0.0
+    | None -> fst (touch t name ~bytes ~form:Normal)
+end
+
+type state = {
+  opts : options;
+  paradigm : paradigm;
+  fb : Fat_binary.t;
+  env : Interp.env;
+  traffic : Traffic.t;
+  bd : Breakdown.t;
+  events : Energy.events;
+  memo : Jit.memo;
+  layouts : (string, (Layout.t, string) result) Hashtbl.t;
+  residency : Residency.t;
+  timeline : (string, (Report.where * float) list) Hashtbl.t;
+  mutable timeline_order : string list;
+  mutable in_mem_elems : float;
+  mutable other_elems : float;
+  mutable jit_invocations : int;
+  mutable jit_cycles_total : float;
+  mutable jit_commands : int;
+  mutable jit_nonmemo : int;
+  seen_kernels : (string, unit) Hashtbl.t;
+}
+
+let cfgv st = st.opts.cfg
+
+(* Per kernel, cycles are accumulated per execution target; the report
+   shows the dominant target (a region can change sides across host-loop
+   iterations, e.g. gauss's shrinking trailing matrix). *)
+let note_timeline st kname where cycles =
+  if not (Hashtbl.mem st.timeline kname) then
+    st.timeline_order <- st.timeline_order @ [ kname ];
+  let prev = Option.value ~default:[] (Hashtbl.find_opt st.timeline kname) in
+  let prev =
+    if List.mem_assoc where prev then
+      List.map
+        (fun (w, c) -> if w = where then (w, c +. cycles) else (w, c))
+        prev
+    else (where, cycles) :: prev
+  in
+  Hashtbl.replace st.timeline kname prev
+
+let concrete_arrays st =
+  List.map
+    (fun (a : Ast.array_decl) ->
+      (a.aname, Interp.array_dims st.env a.aname))
+    st.fb.Fat_binary.prog.Ast.arrays
+
+let array_bytes st name =
+  let dims = Interp.array_dims st.env name in
+  float_of_int (List.fold_left ( * ) 1 dims * 4)
+
+let workset_of st (region : Fat_binary.region) =
+  Workset.resolve region.info ~env:(Interp.lookup_int st.env)
+    ~arrays:(concrete_arrays st)
+
+(* ----- core / near-memory execution of one kernel invocation ----- *)
+
+let run_core st ~threads (region : Fat_binary.region) =
+  let w = workset_of st region in
+  let cold =
+    List.fold_left
+      (fun acc (s : Workset.stream) ->
+        let bytes = Float.min s.distinct_bytes (array_bytes st s.array) in
+        acc +. Residency.touch_any st.residency s.array ~bytes)
+      0.0 w.streams
+  in
+  let first_invocation =
+    not (Hashtbl.mem st.seen_kernels region.kernel.Ast.kname)
+  in
+  Hashtbl.replace st.seen_kernels region.kernel.Ast.kname ();
+  let r =
+    Corem.run (cfgv st) st.traffic w ~threads ~cold_bytes:cold ~first_invocation
+  in
+  st.bd.Breakdown.core <- st.bd.Breakdown.core +. r.Corem.cycles -. r.dram_cycles;
+  st.bd.Breakdown.dram <- st.bd.Breakdown.dram +. r.dram_cycles;
+  st.events.Energy.core_flops <- st.events.Energy.core_flops +. w.flops;
+  st.events.Energy.dram_bytes <- st.events.Energy.dram_bytes +. cold;
+  st.events.Energy.l3_bytes <- st.events.Energy.l3_bytes +. Workset.touched_bytes w;
+  st.other_elems <- st.other_elems +. w.flops;
+  note_timeline st region.kernel.Ast.kname Report.On_core r.Corem.cycles;
+  if st.opts.functional then Interp.exec_kernel st.env region.kernel
+
+let run_near st (region : Fat_binary.region) =
+  let w = workset_of st region in
+  let cold =
+    List.fold_left
+      (fun acc (s : Workset.stream) ->
+        let bytes = Float.min s.distinct_bytes (array_bytes st s.array) in
+        acc +. Residency.touch_any st.residency s.array ~bytes)
+      0.0 w.streams
+  in
+  let r = Near.run (cfgv st) st.traffic w ~cold_bytes:cold in
+  st.bd.Breakdown.near_mem <-
+    st.bd.Breakdown.near_mem +. r.Near.cycles -. r.dram_cycles;
+  st.bd.Breakdown.dram <- st.bd.Breakdown.dram +. r.dram_cycles;
+  st.events.Energy.sel3_flops <- st.events.Energy.sel3_flops +. w.flops;
+  st.events.Energy.dram_bytes <- st.events.Energy.dram_bytes +. cold;
+  st.events.Energy.l3_bytes <- st.events.Energy.l3_bytes +. Workset.touched_bytes w;
+  st.other_elems <- st.other_elems +. w.flops;
+  note_timeline st region.kernel.Ast.kname Report.Near_mem r.Near.cycles;
+  if st.opts.functional then Interp.exec_kernel st.env region.kernel
+
+(* ----- in-memory execution ----- *)
+
+(* Lattice shape the layout must tile. Arrays are anchored at the origin;
+   the compute region's extent per dimension is the larger of the output
+   arrays' extents (via their axis maps) and the bounding box of the
+   computed (non-source-view) node domains. Source tensor views are
+   excluded: a fixed-coordinate view (e.g. a weight row at a large
+   flattened index) is broadcast into the compute region and its own
+   lattice position is immaterial. Oversized regions execute in waves. *)
+let region_shape st (region : Fat_binary.region) =
+  let g = region.optimized in
+  let n = Tdfg.lattice_dims g in
+  let shape = Array.make n 1 in
+  let consider_axes array axes =
+    let dims = Interp.array_dims st.env array in
+    List.iteri
+      (fun j d -> shape.(d) <- max shape.(d) (List.nth dims j))
+      axes
+  in
+  List.iter
+    (fun id ->
+      match Tdfg.kind g id with
+      | Tdfg.Tensor _ | Tdfg.Const _ -> ()
+      | Tdfg.Stream_load _ | Tdfg.Cmp _ | Tdfg.Mv _ | Tdfg.Bc _ | Tdfg.Shrink _
+      | Tdfg.Reduce _ -> begin
+        match Tdfg.domain g id with
+        | Tdfg.Finite r ->
+          let rect = Symrect.resolve r (Interp.lookup_int st.env) in
+          for d = 0 to n - 1 do
+            shape.(d) <- max shape.(d) (Hyperrect.hi rect d)
+          done
+        | Tdfg.Infinite -> ()
+      end)
+    (Tdfg.live_nodes g);
+  List.iter
+    (function
+      | Tdfg.Out_tensor { array; axes; _ } -> consider_axes array axes
+      | Tdfg.Out_stream _ -> ())
+    (Tdfg.outputs g);
+  shape
+
+let layout_for st (region : Fat_binary.region) =
+  let key = region.kernel.Ast.kname in
+  match Hashtbl.find_opt st.layouts key with
+  | Some l -> l
+  | None ->
+    let shape = region_shape st region in
+    let elems_per_line =
+      (cfgv st).Machine_config.line_bytes / Dtype.bytes (Tdfg.dtype region.optimized)
+    in
+    let l =
+      match st.opts.tile_override with
+      | Some tile when Array.length tile = Array.length shape ->
+        Layout.of_tile (cfgv st) ~shape ~tile
+      | Some _ | None ->
+        (* overrides only apply to regions of the same rank (sweeps) *)
+        Layout.choose (cfgv st) ~hints:region.hints ~shape ~elems_per_line
+    in
+    Hashtbl.replace st.layouts key l;
+    l
+
+let params_signature st (g : Tdfg.t) =
+  (* resolved bounds of every array the region touches + runtime scalars
+     are irrelevant to lowering; key on the resolved lattice domains *)
+  let buf = Buffer.create 32 in
+  List.iter
+    (fun id ->
+      match Tdfg.domain g id with
+      | Tdfg.Finite r ->
+        Buffer.add_string buf
+          (Hyperrect.to_string (Symrect.resolve r (Interp.lookup_int st.env)))
+      | Tdfg.Infinite -> ())
+    (Tdfg.live_nodes g);
+  Buffer.contents buf
+
+(* Near-memory (or core) cost of the embedded streams and final reduce of
+   an in-memory region. *)
+let hybrid_cost st ~stream_elems ~final_reduce_elems =
+  let cfg = cfgv st in
+  let banks = float_of_int cfg.Machine_config.l3_banks in
+  let avg_hops = Machine_config.avg_hops cfg in
+  match st.paradigm with
+  | In_l3 ->
+    (* no near-memory support: cores pull the stream data and partials
+       through the NoC *)
+    let elems = stream_elems +. final_reduce_elems in
+    let bytes = elems *. 4.0 in
+    if bytes > 0.0 then begin
+      Traffic.add st.traffic Traffic.Data ~bytes ~hops:avg_hops;
+      Traffic.add st.traffic Traffic.Control ~bytes:(bytes /. 4.0) ~hops:avg_hops
+    end;
+    let cycles =
+      Traffic.bulk_cycles cfg ~bytes ~avg_hops
+      +. (elems /. Machine_config.peak_simd_flops_per_cycle cfg)
+    in
+    st.events.Energy.core_flops <- st.events.Energy.core_flops +. elems;
+    `Core cycles
+  | _ ->
+    (* SEL3 streams handle them near the banks *)
+    let stream_cycles =
+      stream_elems /. (banks *. cfg.Machine_config.sel3_flops_per_cycle)
+    in
+    let fr_cycles =
+      final_reduce_elems /. (banks *. cfg.Machine_config.sel3_flops_per_cycle)
+    in
+    if final_reduce_elems > 0.0 then
+      Traffic.add st.traffic Traffic.Offload
+        ~bytes:(final_reduce_elems *. 4.0 /. 8.0)
+        ~hops:avg_hops;
+    st.events.Energy.sel3_flops <-
+      st.events.Energy.sel3_flops +. stream_elems +. final_reduce_elems;
+    `Near (stream_cycles, fr_cycles)
+
+let run_in_memory st (region : Fat_binary.region) (layout : Layout.t)
+    (schedule : Schedule.t) =
+  let cfg = cfgv st in
+  let g = region.optimized in
+  (* 1. prepare transposed data (only the touched region of each array) *)
+  let w0 = workset_of st region in
+  let touched_of a =
+    match
+      List.find_opt (fun (s : Workset.stream) -> s.array = a) w0.Workset.streams
+    with
+    | Some s -> Float.min s.distinct_bytes (array_bytes st a)
+    | None -> array_bytes st a
+  in
+  let arrays = region.hints.Fat_binary.aligned_arrays in
+  let write_only a =
+    List.exists
+      (fun (s : Workset.stream) -> s.array = a && s.direction = Kernel_info.Write)
+      w0.Workset.streams
+  in
+  let dram_bytes = ref 0.0 and transpose_bytes = ref 0.0 in
+  List.iter
+    (fun a ->
+      let bytes = touched_of a in
+      let dram, transposed =
+        Residency.touch st.residency a ~bytes ~form:Residency.Transposed
+      in
+      (* a fully overwritten array is laid out transposed without a fetch *)
+      if not (write_only a) then dram_bytes := !dram_bytes +. dram;
+      if transposed && not (write_only a) then
+        transpose_bytes := !transpose_bytes +. bytes)
+    arrays;
+  let prep =
+    Float.max
+      (Dram.load_cycles cfg ~bytes:!dram_bytes)
+      (Dram.transpose_cycles cfg ~bytes:!transpose_bytes)
+  in
+  st.bd.Breakdown.dram <- st.bd.Breakdown.dram +. prep;
+  st.events.Energy.dram_bytes <- st.events.Energy.dram_bytes +. !dram_bytes;
+  st.events.Energy.l3_bytes <- st.events.Energy.l3_bytes +. !transpose_bytes;
+  (* 2. JIT lower (memoized) *)
+  let key =
+    Printf.sprintf "%s|%s|%s" region.kernel.Ast.kname (params_signature st g)
+      (Layout.to_string layout)
+  in
+  let cmds, jst =
+    Jit.lower_memo st.memo ~key cfg g ~schedule ~layout
+      ~env:(Interp.lookup_int st.env)
+  in
+  st.jit_invocations <- st.jit_invocations + 1;
+  if not jst.Jit.memoized then begin
+    st.jit_nonmemo <- st.jit_nonmemo + 1;
+    st.jit_commands <- st.jit_commands + jst.Jit.commands
+  end;
+  let jit_cycles =
+    if st.opts.charge_jit && st.paradigm <> Inf_s_nojit then jst.Jit.jit_cycles
+    else 0.0
+  in
+  st.jit_cycles_total <- st.jit_cycles_total +. jit_cycles;
+  st.bd.Breakdown.jit <- st.bd.Breakdown.jit +. jit_cycles;
+  (* 3. execute commands *)
+  let r = Imc.execute cfg st.traffic ~layout:(Layout.imc_view layout) cmds in
+  st.bd.Breakdown.move <- st.bd.Breakdown.move +. r.Imc.move_cycles +. r.sync_cycles;
+  st.bd.Breakdown.compute <- st.bd.Breakdown.compute +. r.Imc.compute_cycles;
+  st.events.Energy.sram_array_cycles <-
+    st.events.Energy.sram_array_cycles +. r.Imc.sram_array_cycles;
+  st.in_mem_elems <- st.in_mem_elems +. jst.Jit.compute_elems;
+  (* 4. embedded streams + final reduce *)
+  let stream_elems = jst.Jit.stream_load_elems +. jst.Jit.stream_store_elems in
+  let hybrid_cycles =
+    match hybrid_cost st ~stream_elems ~final_reduce_elems:jst.Jit.final_reduce_elems with
+    | `Core c ->
+      st.bd.Breakdown.core <- st.bd.Breakdown.core +. c;
+      c
+    | `Near (sc, fc) ->
+      st.bd.Breakdown.mix <- st.bd.Breakdown.mix +. sc;
+      st.bd.Breakdown.final_reduce <- st.bd.Breakdown.final_reduce +. fc;
+      sc +. fc
+  in
+  st.other_elems <- st.other_elems +. stream_elems +. jst.Jit.final_reduce_elems;
+  let total =
+    prep +. jit_cycles +. r.Imc.move_cycles +. r.sync_cycles
+    +. r.Imc.compute_cycles +. hybrid_cycles
+  in
+  note_timeline st region.kernel.Ast.kname Report.In_mem total;
+  (* 5. functional evaluation through the tDFG *)
+  if st.opts.functional then Tdfg_eval.eval g st.env
+
+(* ----- per-kernel dispatch ----- *)
+
+let on_kernel st _env (k : Ast.kernel) =
+  let region =
+    match Fat_binary.region_of st.fb k.Ast.kname with
+    | Some r -> r
+    | None -> failwith ("unknown kernel region " ^ k.Ast.kname)
+  in
+  match st.paradigm with
+  | Base_1 -> run_core st ~threads:1 region
+  | Base -> run_core st ~threads:(cfgv st).Machine_config.cores region
+  | Near_l3 -> run_near st region
+  | In_l3 | Inf_s | Inf_s_nojit -> begin
+    let fallback () =
+      if st.paradigm = In_l3 then
+        run_core st ~threads:(cfgv st).Machine_config.cores region
+      else run_near st region
+    in
+    match region.fallback with
+    | Some _ -> fallback ()
+    | None -> begin
+      match List.assoc_opt (cfgv st).Machine_config.sram_wordlines region.schedules with
+      | None -> fallback ()
+      | Some schedule -> begin
+        match layout_for st region with
+        | Error _ -> fallback ()
+        | Ok layout ->
+          let w = workset_of st region in
+          let g = region.optimized in
+          let elems =
+            (* data parallelism: the largest finite node domain *)
+            List.fold_left
+              (fun acc id ->
+                match Tdfg.domain g id with
+                | Tdfg.Finite r ->
+                  Float.max acc
+                    (float_of_int
+                       (Hyperrect.volume (Symrect.resolve r (Interp.lookup_int st.env))))
+                | Tdfg.Infinite -> acc)
+              1.0 (Tdfg.live_nodes g)
+          in
+          if st.paradigm = In_l3 then
+            (* In-L3 has no near-memory support and always offloads
+               expressible regions to the SRAMs *)
+            run_in_memory st region layout schedule
+          else begin
+            let verdict =
+              Decision.decide (cfgv st) ~ops:(Tdfg.op_multiset g)
+                ~node_count:(Tdfg.node_count g) ~dtype:(Tdfg.dtype g) ~elems
+                ~flops:w.Workset.flops
+                ~data_bytes:(Workset.touched_bytes w) ~fits:true
+                ~jit_known:(st.paradigm = Inf_s_nojit || not st.opts.charge_jit)
+            in
+            Logs.debug (fun m ->
+                m "eq2 %s: core=%.3e imc=%.3e -> %s" k.Ast.kname
+                  verdict.Decision.core_cycles verdict.imc_cycles
+                  (match verdict.target with
+                  | Decision.In_memory -> "in-mem"
+                  | Decision.Near_memory -> "near"));
+            match verdict.Decision.target with
+            | Decision.In_memory -> run_in_memory st region layout schedule
+            | Decision.Near_memory -> fallback ()
+          end
+      end
+    end
+  end
+
+(* ----- correctness check ----- *)
+
+let golden_arrays (w : Workload.t) =
+  match
+    Interp.run_program w.prog ~params:w.params ~inputs:(Lazy.force w.inputs)
+  with
+  | Ok arrays -> arrays
+  | Error e -> failwith ("golden run failed: " ^ e)
+
+let max_err st (w : Workload.t) =
+  let golden = golden_arrays w in
+  List.fold_left
+    (fun acc name ->
+      let got = Interp.get_array st.env name in
+      let want = List.assoc name golden in
+      let err = ref 0.0 in
+      Array.iteri
+        (fun i v ->
+          let d = Float.abs (v -. want.(i)) in
+          let scale = Float.max 1.0 (Float.abs want.(i)) in
+          err := Float.max !err (d /. scale))
+        got;
+      Float.max acc !err)
+    0.0 w.check_arrays
+
+(* ----- entry point ----- *)
+
+let run ?(options = default_options) paradigm (w : Workload.t) =
+  match Fat_binary.compile ~optimize:options.optimize w.prog with
+  | Error e -> Error e
+  | Ok fb -> begin
+    match Interp.create w.prog ~params:w.params with
+    | Error e -> Error e
+    | Ok env ->
+      if options.functional then
+        List.iter (fun (n, d) -> Interp.set_array env n d) (Lazy.force w.inputs);
+      let st =
+        {
+          opts = options;
+          paradigm;
+          fb;
+          env;
+          traffic = Traffic.create options.cfg;
+          bd = Breakdown.zero ();
+          events = Energy.fresh ();
+          memo = Jit.memo_create ();
+          layouts = Hashtbl.create 8;
+          residency = Residency.create options.cfg;
+          timeline = Hashtbl.create 8;
+          timeline_order = [];
+          in_mem_elems = 0.0;
+          other_elems = 0.0;
+          jit_invocations = 0;
+          jit_cycles_total = 0.0;
+          jit_commands = 0;
+          jit_nonmemo = 0;
+          seen_kernels = Hashtbl.create 16;
+        }
+      in
+      if options.warm_data then begin
+        (* data resident in L3 ("already tiled to fit", §6); in-memory
+           paradigms still pay the transposition unless [pre_transposed]
+           (Fig. 2's assumption) *)
+        let form =
+          match paradigm with
+          | (In_l3 | Inf_s | Inf_s_nojit) when options.pre_transposed ->
+            Residency.Transposed
+          | _ -> Residency.Normal
+        in
+        List.iter
+          (fun (a : Ast.array_decl) ->
+            ignore
+              (Residency.touch st.residency a.aname
+                 ~bytes:(array_bytes st a.aname) ~form))
+          w.prog.Ast.arrays
+      end;
+      (try
+         Interp.run ~on_kernel:(on_kernel st) env;
+         Energy.of_traffic st.events st.traffic;
+         let cycles = Breakdown.total st.bd in
+         let correctness =
+           if options.functional then `Checked (max_err st w) else `Skipped
+         in
+         let cats =
+           [
+             ("control", Traffic.Control);
+             ("data", Traffic.Data);
+             ("offload", Traffic.Offload);
+             ("inter-tile", Traffic.Inter_tile);
+           ]
+         in
+         let jit : Report.jit_summary =
+           {
+             invocations = st.jit_invocations;
+             memo_hits = Jit.memo_hits st.memo;
+             total_commands = st.jit_commands;
+             total_jit_cycles = st.jit_cycles_total;
+             avg_us =
+               (if st.jit_nonmemo = 0 then 0.0
+                else
+                  Machine_config.cycles_to_us options.cfg
+                    (st.jit_cycles_total /. float_of_int st.jit_nonmemo));
+           }
+         in
+         Ok
+           {
+             Report.workload = w.wname;
+             paradigm = paradigm_to_string paradigm;
+             cycles;
+             breakdown = st.bd;
+             noc_bytes =
+               List.map (fun (n, c) -> (n, Traffic.bytes st.traffic c)) cats;
+             noc_byte_hops =
+               List.map (fun (n, c) -> (n, Traffic.byte_hops st.traffic c)) cats;
+             local_bytes =
+               [
+                 ("intra-tile", Traffic.local_bytes st.traffic `Intra_tile);
+                 ("htree", Traffic.local_bytes st.traffic `Htree);
+               ];
+             noc_utilization = Traffic.utilization st.traffic ~cycles;
+             energy = Energy.total st.events;
+             energy_breakdown = Energy.breakdown st.events;
+             jit;
+             timeline =
+               List.map
+                 (fun k ->
+                   let parts = Hashtbl.find st.timeline k in
+                   let where, _ =
+                     List.fold_left
+                       (fun (bw, bc) (w, c) -> if c > bc then (w, c) else (bw, bc))
+                       (fst (List.hd parts), -1.0)
+                       parts
+                   in
+                   let cyc = List.fold_left (fun a (_, c) -> a +. c) 0.0 parts in
+                   { Report.kernel = k; where; cycles = cyc })
+                 st.timeline_order;
+             in_mem_op_fraction =
+               (let total = st.in_mem_elems +. st.other_elems in
+                if total <= 0.0 then 0.0 else st.in_mem_elems /. total);
+             correctness;
+           }
+       with Failure e -> Error e)
+  end
+
+let run_exn ?options paradigm w =
+  match run ?options paradigm w with
+  | Ok r -> r
+  | Error e -> failwith (Printf.sprintf "Engine.run %s: %s" w.Workload.wname e)

@@ -1,0 +1,47 @@
+(** The paradigm engine: compiles a workload and simulates it under one of
+    the paper's five configurations (§7 "Parameters and Configurations").
+
+    - [Base_1] / [Base]: in-core execution with AVX-512 SIMD, 1 or all
+      threads.
+    - [Near_l3]: near-stream computing — every kernel offloads its streams
+      and computation to the L3 stream engines.
+    - [In_l3]: in-memory computing via the JIT runtime, but without
+      near-memory support: embedded streams and final reductions execute on
+      the cores, and non-tensorizable kernels fall back to the cores.
+    - [Inf_s]: the full fused design — Eq. 2 decides per region between
+      in-memory and near-memory; embedded streams and final reductions run
+      at the L3 stream engines.
+    - [Inf_s_nojit]: [Inf_s] with precompiled commands (no JIT charge).
+
+    In functional mode the engine additionally computes every kernel's
+    values (through the tDFG evaluator for in-memory executions, through
+    the interpreter otherwise) and compares the designated output arrays
+    against a golden run of the program. *)
+
+type paradigm = Base_1 | Base | Near_l3 | In_l3 | Inf_s | Inf_s_nojit
+
+val paradigm_to_string : paradigm -> string
+val all_paradigms : paradigm list
+
+type options = {
+  cfg : Machine_config.t;
+  functional : bool;  (** compute & check values (use small sizes!) *)
+  optimize : bool;  (** run the e-graph optimizer *)
+  tile_override : int array option;  (** force a tile size (Fig. 16/17) *)
+  charge_jit : bool;
+      (** charge JIT lowering cycles (Fig. 2 assumes resident, precompiled
+          data and disables this for In-L3) *)
+  warm_data : bool;
+      (** start with every array resident in the L3 in normal layout — the
+          paper's "input data already tiled to fit in the L3" assumption
+          (§6); in-memory paradigms still pay transposition *)
+  pre_transposed : bool;
+      (** with [warm_data], in-memory paradigms additionally skip the
+          transposition — Fig. 2's "already transposed" assumption *)
+}
+
+val default_options : options
+
+val run : ?options:options -> paradigm -> Workload.t -> (Report.t, string) result
+
+val run_exn : ?options:options -> paradigm -> Workload.t -> Report.t

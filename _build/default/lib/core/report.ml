@@ -1,0 +1,49 @@
+type where = On_core | Near_mem | In_mem
+
+type timeline_entry = { kernel : string; where : where; cycles : float }
+
+type jit_summary = {
+  invocations : int;
+  memo_hits : int;
+  total_commands : int;
+  total_jit_cycles : float;
+  avg_us : float;
+}
+
+type t = {
+  workload : string;
+  paradigm : string;
+  cycles : float;
+  breakdown : Breakdown.t;
+  noc_bytes : (string * float) list;
+  noc_byte_hops : (string * float) list;
+  local_bytes : (string * float) list;
+  noc_utilization : float;
+  energy : float;
+  energy_breakdown : (string * float) list;
+  jit : jit_summary;
+  timeline : timeline_entry list;
+  in_mem_op_fraction : float;
+  correctness : [ `Checked of float | `Skipped ];
+}
+
+let speedup ~baseline t = if t.cycles <= 0.0 then 0.0 else baseline.cycles /. t.cycles
+
+let energy_efficiency ~baseline t =
+  if t.energy <= 0.0 then 0.0 else baseline.energy /. t.energy
+
+let where_to_string = function
+  | On_core -> "in-core"
+  | Near_mem -> "near-L3"
+  | In_mem -> "in-L3"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s [%s]: %.3e cycles, %.3e energy@," t.workload
+    t.paradigm t.cycles t.energy;
+  Format.fprintf ppf "  %a@," Breakdown.pp t.breakdown;
+  Format.fprintf ppf "  noc-util=%.4f in-mem-ops=%.1f%%@," t.noc_utilization
+    (100.0 *. t.in_mem_op_fraction);
+  (match t.correctness with
+  | `Checked err -> Format.fprintf ppf "  checked: max-err=%.2e@," err
+  | `Skipped -> ());
+  Format.fprintf ppf "@]"

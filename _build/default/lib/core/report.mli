@@ -1,0 +1,40 @@
+(** Result of simulating one workload under one paradigm. *)
+
+type where = On_core | Near_mem | In_mem
+
+type timeline_entry = {
+  kernel : string;
+  where : where;
+  cycles : float;
+}
+
+type jit_summary = {
+  invocations : int;
+  memo_hits : int;
+  total_commands : int;
+  total_jit_cycles : float;
+  avg_us : float;  (** mean JIT time per non-memoized lowering *)
+}
+
+type t = {
+  workload : string;
+  paradigm : string;
+  cycles : float;
+  breakdown : Breakdown.t;
+  noc_bytes : (string * float) list;  (** per category *)
+  noc_byte_hops : (string * float) list;
+  local_bytes : (string * float) list;  (** intra-tile / htree *)
+  noc_utilization : float;
+  energy : float;
+  energy_breakdown : (string * float) list;
+  jit : jit_summary;
+  timeline : timeline_entry list;  (** per-kernel, aggregated, in order *)
+  in_mem_op_fraction : float;  (** Fig. 14's dots *)
+  correctness : [ `Checked of float | `Skipped ];
+      (** max abs error vs the golden model when run functionally *)
+}
+
+val speedup : baseline:t -> t -> float
+val energy_efficiency : baseline:t -> t -> float
+val where_to_string : where -> string
+val pp : Format.formatter -> t -> unit

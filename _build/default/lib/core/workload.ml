@@ -1,0 +1,26 @@
+type t = {
+  wname : string;
+  prog : Ast.program;
+  params : (string * int) list;
+  inputs : (string * float array) list Lazy.t;
+  check_arrays : string list;
+}
+
+let default_checks (prog : Ast.program) =
+  List.concat_map
+    (fun (k : Ast.kernel) ->
+      List.map (fun (st : Ast.kernel_stmt) -> st.target) k.body)
+    (Ast.kernels prog)
+  |> List.sort_uniq String.compare
+
+let make ?check_arrays ~name ~params ~inputs prog =
+  {
+    wname = name;
+    prog;
+    params;
+    inputs;
+    check_arrays =
+      (match check_arrays with Some c -> c | None -> default_checks prog);
+  }
+
+let scaled t ~params ~inputs = { t with params; inputs }

@@ -1,0 +1,25 @@
+(** A runnable workload: a mini-C program plus concrete parameters and
+    (lazily generated) input data. All Table 3 benchmarks are values of
+    this type (see [Infs_workloads]). *)
+
+type t = {
+  wname : string;  (** display name, e.g. ["mm/out"] *)
+  prog : Ast.program;
+  params : (string * int) list;
+  inputs : (string * float array) list Lazy.t;
+      (** forced only in functional mode *)
+  check_arrays : string list;
+      (** output arrays to compare against the golden model *)
+}
+
+val make :
+  ?check_arrays:string list ->
+  name:string ->
+  params:(string * int) list ->
+  inputs:(string * float array) list Lazy.t ->
+  Ast.program ->
+  t
+(** [check_arrays] defaults to every array the program's kernels write. *)
+
+val scaled : t -> params:(string * int) list -> inputs:(string * float array) list Lazy.t -> t
+(** The same program at a different size (used by sweeps and tests). *)

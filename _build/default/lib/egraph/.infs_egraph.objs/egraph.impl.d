@@ -1,0 +1,1 @@
+lib/egraph/egraph.ml: Array Hashtbl List Op Printf Symaff Symrect Tdfg

@@ -1,0 +1,1 @@
+lib/egraph/egraph.mli: Op Symaff Symrect Tdfg

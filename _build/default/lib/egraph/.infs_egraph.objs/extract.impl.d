@@ -1,0 +1,1 @@
+lib/egraph/extract.ml: Bitserial Dtype Egraph Float Hashtbl List Rules Symaff Symrect Tdfg

@@ -1,0 +1,1 @@
+lib/egraph/extract.mli: Dtype Egraph Symaff Tdfg

@@ -1,0 +1,1 @@
+lib/egraph/rules.ml: Egraph List Op Option Symaff Symrect Tdfg

@@ -1,0 +1,1 @@
+lib/egraph/rules.mli: Egraph Symaff

@@ -1,0 +1,232 @@
+type eid = int
+
+type enode =
+  | E_tensor of { array : string; view : Symrect.t; axes : int list }
+  | E_const of Tdfg.const_value
+  | E_cmp of Op.t * eid list
+  | E_mv of { input : eid; dim : int; dist : int }
+  | E_bc of { input : eid; dim : int; lo : Symaff.t; hi : Symaff.t }
+  | E_shrink of { input : eid; rect : Symrect.t }
+  | E_reduce of { op : Op.t; input : eid; dim : int }
+  | E_stream of { array : string; view : Symrect.t; coords : Tdfg.coord list }
+
+type eclass = {
+  mutable cnodes : enode list;
+  mutable parents : (enode * eid) list;
+  mutable dom : Tdfg.dom;
+}
+
+type t = {
+  min_var : int;
+  dims : int;
+  mutable parent : int array; (* union-find *)
+  mutable n : int;
+  memo : (enode, eid) Hashtbl.t;
+  data : (eid, eclass) Hashtbl.t;
+  mutable worklist : eid list;
+}
+
+let create ?(min_var = 4) ~dims () =
+  {
+    min_var;
+    dims;
+    parent = Array.make 64 0;
+    n = 0;
+    memo = Hashtbl.create 128;
+    data = Hashtbl.create 128;
+    worklist = [];
+  }
+
+let rec find t i =
+  let p = t.parent.(i) in
+  if p = i then i
+  else begin
+    let root = find t p in
+    t.parent.(i) <- root;
+    root
+  end
+
+let children = function
+  | E_tensor _ | E_const _ | E_stream _ -> []
+  | E_cmp (_, inputs) -> inputs
+  | E_mv { input; _ } | E_bc { input; _ } | E_shrink { input; _ }
+  | E_reduce { input; _ } ->
+    [ input ]
+
+let map_children f = function
+  | (E_tensor _ | E_const _ | E_stream _) as n -> n
+  | E_cmp (op, inputs) -> E_cmp (op, List.map f inputs)
+  | E_mv r -> E_mv { r with input = f r.input }
+  | E_bc r -> E_bc { r with input = f r.input }
+  | E_shrink r -> E_shrink { r with input = f r.input }
+  | E_reduce r -> E_reduce { r with input = f r.input }
+
+let canonicalize t n = map_children (find t) n
+
+let dom_of_class t i = (Hashtbl.find t.data (find t i)).dom
+
+(* Domain analysis mirroring Tdfg.domain, but over e-classes. *)
+let node_dom t n =
+  let min_var = t.min_var in
+  match n with
+  | E_tensor { view; _ } | E_stream { view; _ } -> Tdfg.Finite view
+  | E_const _ -> Tdfg.Infinite
+  | E_cmp (_, inputs) ->
+    List.fold_left
+      (fun acc i ->
+        match (acc, dom_of_class t i) with
+        | Tdfg.Infinite, d | d, Tdfg.Infinite -> d
+        | Tdfg.Finite a, Tdfg.Finite b -> (
+          match Symrect.intersect ~min_var a b with
+          | Some r -> Tdfg.Finite r
+          | None ->
+            failwith
+              (Printf.sprintf "Egraph: incomparable intersection %s vs %s"
+                 (Symrect.to_string a) (Symrect.to_string b))))
+      Tdfg.Infinite inputs
+  | E_mv { input; dim; dist } -> (
+    match dom_of_class t input with
+    | Tdfg.Infinite -> Tdfg.Infinite
+    | Tdfg.Finite r -> Tdfg.Finite (Symrect.shift r ~dim ~dist))
+  | E_bc { input; dim; lo; hi } -> (
+    match dom_of_class t input with
+    | Tdfg.Infinite -> Tdfg.Infinite
+    | Tdfg.Finite r -> Tdfg.Finite (Symrect.with_range r ~dim ~lo ~hi))
+  | E_shrink { rect; _ } -> Tdfg.Finite rect
+  | E_reduce { input; dim; _ } -> (
+    match dom_of_class t input with
+    | Tdfg.Infinite -> failwith "Egraph: reduce over infinite domain"
+    | Tdfg.Finite r -> Tdfg.Finite (Symrect.collapse r ~dim))
+
+let grow t =
+  if t.n >= Array.length t.parent then begin
+    let bigger = Array.make (2 * Array.length t.parent) 0 in
+    Array.blit t.parent 0 bigger 0 t.n;
+    t.parent <- bigger
+  end
+
+let add t n =
+  let n = canonicalize t n in
+  match Hashtbl.find_opt t.memo n with
+  | Some id -> find t id
+  | None ->
+    let dom = node_dom t n in
+    grow t;
+    let id = t.n in
+    t.n <- id + 1;
+    t.parent.(id) <- id;
+    Hashtbl.replace t.data id { cnodes = [ n ]; parents = []; dom };
+    Hashtbl.replace t.memo n id;
+    List.iter
+      (fun child ->
+        let c = Hashtbl.find t.data (find t child) in
+        c.parents <- (n, id) :: c.parents)
+      (children n);
+    id
+
+let dom_equal a b =
+  match (a, b) with
+  | Tdfg.Infinite, Tdfg.Infinite -> true
+  | Tdfg.Finite x, Tdfg.Finite y -> Symrect.equal x y
+  | Tdfg.Infinite, Tdfg.Finite _ | Tdfg.Finite _, Tdfg.Infinite -> false
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra = rb then false
+  else begin
+    let ca = Hashtbl.find t.data ra and cb = Hashtbl.find t.data rb in
+    if not (dom_equal ca.dom cb.dom) then
+      failwith
+        (Printf.sprintf "Egraph.union: domain mismatch (%s vs %s)"
+           (match ca.dom with
+           | Tdfg.Infinite -> "inf"
+           | Tdfg.Finite r -> Symrect.to_string r)
+           (match cb.dom with
+           | Tdfg.Infinite -> "inf"
+           | Tdfg.Finite r -> Symrect.to_string r));
+    (* merge smaller into larger *)
+    let keep, drop, ck, cd =
+      if List.length ca.parents >= List.length cb.parents then (ra, rb, ca, cb)
+      else (rb, ra, cb, ca)
+    in
+    t.parent.(drop) <- keep;
+    ck.cnodes <- cd.cnodes @ ck.cnodes;
+    ck.parents <- cd.parents @ ck.parents;
+    Hashtbl.remove t.data drop;
+    t.worklist <- keep :: t.worklist;
+    true
+  end
+
+let rebuild t =
+  let rec loop () =
+    match t.worklist with
+    | [] -> ()
+    | _ ->
+      let todo = List.sort_uniq compare (List.map (find t) t.worklist) in
+      t.worklist <- [];
+      List.iter
+        (fun cls ->
+          match Hashtbl.find_opt t.data (find t cls) with
+          | None -> ()
+          | Some c ->
+            let parents = c.parents in
+            c.parents <- [];
+            let seen = Hashtbl.create 16 in
+            List.iter
+              (fun (pnode, pid) ->
+                let canon = canonicalize t pnode in
+                Hashtbl.remove t.memo pnode;
+                (match Hashtbl.find_opt seen canon with
+                 | Some other -> ignore (union t pid other)
+                 | None -> Hashtbl.replace seen canon (find t pid));
+                (match Hashtbl.find_opt t.memo canon with
+                 | Some existing when find t existing <> find t pid ->
+                   ignore (union t existing pid)
+                 | _ -> ());
+                Hashtbl.replace t.memo canon (find t pid))
+              parents;
+            (* store canonicalized parent list back on the root *)
+            let root = Hashtbl.find t.data (find t cls) in
+            Hashtbl.iter (fun pn pid -> root.parents <- (pn, pid) :: root.parents) seen;
+            (* canonicalize the class's own nodes *)
+            root.cnodes <-
+              List.sort_uniq compare (List.map (canonicalize t) root.cnodes))
+        todo;
+      loop ()
+  in
+  loop ()
+
+let classes t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.data [] |> List.sort compare
+
+let nodes_of t id =
+  let c = Hashtbl.find t.data (find t id) in
+  List.sort_uniq compare (List.map (canonicalize t) c.cnodes)
+
+let domain_of t id = (Hashtbl.find t.data (find t id)).dom
+
+let class_count t = Hashtbl.length t.data
+
+let node_count t =
+  Hashtbl.fold (fun _ c acc -> acc + List.length c.cnodes) t.data 0
+
+let of_tdfg ?min_var g =
+  let t = create ?min_var ~dims:(Tdfg.lattice_dims g) () in
+  let mapping = Hashtbl.create 32 in
+  let map_id i = Hashtbl.find mapping i in
+  List.iter
+    (fun id ->
+      let en =
+        match Tdfg.kind g id with
+        | Tdfg.Tensor { array; view; axes } -> E_tensor { array; view; axes }
+        | Tdfg.Const c -> E_const c
+        | Tdfg.Cmp { op; inputs } -> E_cmp (op, List.map map_id inputs)
+        | Tdfg.Mv { input; dim; dist } -> E_mv { input = map_id input; dim; dist }
+        | Tdfg.Bc { input; dim; lo; hi } -> E_bc { input = map_id input; dim; lo; hi }
+        | Tdfg.Shrink { input; rect } -> E_shrink { input = map_id input; rect }
+        | Tdfg.Reduce { op; input; dim } -> E_reduce { op; input = map_id input; dim }
+        | Tdfg.Stream_load { array; view; coords } -> E_stream { array; view; coords }
+      in
+      Hashtbl.replace mapping id (add t en))
+    (Tdfg.live_nodes g);
+  (t, Hashtbl.fold (fun k v acc -> (k, v) :: acc) mapping [] |> List.sort compare)

@@ -1,0 +1,239 @@
+open Egraph
+
+type opt_stats = { rounds : int; cost_before : float; cost_after : float }
+
+let vol_estimate ~nominal dom =
+  match dom with
+  | Tdfg.Infinite -> 1.0
+  | Tdfg.Finite r ->
+    let env _ = nominal in
+    let v = ref 1.0 in
+    List.iter
+      (fun (lo, hi) ->
+        let e = Symaff.eval hi env - Symaff.eval lo env in
+        v := !v *. float_of_int (max 1 e))
+      (Symrect.ranges r);
+    !v
+
+(* Cost of an e-node, excluding children: bit-serial latency of the
+   operation times the (estimated) number of elements it touches. The
+   constants come straight from the Bitserial model so that mv is cheap
+   relative to multiply, making compute-reuse rewrites profitable exactly
+   when they save expensive ops. *)
+let node_cost ~dtype ~nominal g n =
+  let dom_vol id = vol_estimate ~nominal (domain_of g id) in
+  match n with
+  | E_tensor _ | E_const _ | E_stream _ -> 0.0
+  | E_cmp (op, inputs) ->
+    let out_vol =
+      List.fold_left
+        (fun acc i ->
+          if acc > 0.0 then Float.min acc (dom_vol i)
+          else dom_vol i)
+        0.0
+        (List.filter (fun i -> domain_of g i <> Tdfg.Infinite) inputs)
+    in
+    let out_vol = if out_vol = 0.0 then 1.0 else out_vol in
+    float_of_int (Bitserial.op_cycles op dtype) *. out_vol
+  | E_mv { input; dist; _ } ->
+    float_of_int (Bitserial.intra_shift_cycles dtype ~distance:dist) *. dom_vol input
+  | E_bc { input; dim = _; lo; hi } ->
+    let env _ = nominal in
+    let copies = max 1 (Symaff.eval hi env - Symaff.eval lo env) in
+    2.0 *. float_of_int (Dtype.bits dtype) *. dom_vol input *. log (float_of_int copies +. 1.0)
+  | E_shrink _ -> 0.0
+  | E_reduce { op; input; _ } ->
+    let rounds = 8.0 (* log2 of a typical tile extent *) in
+    (float_of_int (Bitserial.op_cycles op dtype) +. float_of_int (Dtype.bits dtype))
+    *. rounds
+    *. sqrt (dom_vol input)
+
+let infinity_cost = Float.max_float /. 4.0
+
+(* Seed: per-class best representative by tree cost (fixpoint, cycle-safe). *)
+let tree_seed ~dtype ~nominal g =
+  let cls = classes g in
+  let best : (eid, enode * float) Hashtbl.t = Hashtbl.create 64 in
+  let cost_of_class c =
+    match Hashtbl.find_opt best (find g c) with
+    | Some (_, c) -> c
+    | None -> infinity_cost
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun c ->
+        List.iter
+          (fun n ->
+            let child_cost =
+              List.fold_left (fun acc i -> acc +. cost_of_class i) 0.0 (children n)
+            in
+            if child_cost < infinity_cost then begin
+              let total = node_cost ~dtype ~nominal g n +. child_cost in
+              match Hashtbl.find_opt best c with
+              | Some (_, old) when old <= total -> ()
+              | _ ->
+                Hashtbl.replace best c (n, total);
+                changed := true
+            end)
+          (nodes_of g c))
+      cls
+  done;
+  best
+
+(* DAG cost of a choice function from the roots: each class counted once.
+   Returns infinity on a cyclic choice. *)
+let dag_cost_of_choice ~dtype ~nominal g choice roots =
+  let visited : (eid, unit) Hashtbl.t = Hashtbl.create 64 in
+  let in_progress : (eid, unit) Hashtbl.t = Hashtbl.create 64 in
+  let total = ref 0.0 in
+  let exception Cyclic in
+  let rec go id =
+    let id = find g id in
+    if Hashtbl.mem visited id then ()
+    else if Hashtbl.mem in_progress id then raise Cyclic
+    else begin
+      Hashtbl.replace in_progress id ();
+      let n = choice id in
+      List.iter go (children n);
+      Hashtbl.remove in_progress id;
+      Hashtbl.replace visited id ();
+      total := !total +. node_cost ~dtype ~nominal g n
+    end
+  in
+  try
+    List.iter go roots;
+    Some (!total, visited)
+  with Cyclic -> None
+
+let extract ?(nominal = 1024) ~dtype g ~roots =
+  let roots = List.map (find g) roots in
+  let best = tree_seed ~dtype ~nominal g in
+  let choice_tbl : (eid, enode) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter (fun c (n, _) -> Hashtbl.replace choice_tbl c n) best;
+  let choice id =
+    match Hashtbl.find_opt choice_tbl (find g id) with
+    | Some n -> n
+    | None -> failwith "Extract: class without a representative"
+  in
+  let current_cost () =
+    match dag_cost_of_choice ~dtype ~nominal g choice roots with
+    | Some (c, _) -> c
+    | None -> infinity_cost
+  in
+  (* Local search: switch one class's representative when it lowers the
+     total shared-DAG cost. *)
+  let improved = ref true in
+  let passes = ref 0 in
+  let base = ref (current_cost ()) in
+  while !improved && !passes < 6 do
+    improved := false;
+    incr passes;
+    (match dag_cost_of_choice ~dtype ~nominal g choice roots with
+    | None -> ()
+    | Some (_, visited) ->
+      Hashtbl.iter
+        (fun cls () ->
+          let original = Hashtbl.find_opt choice_tbl cls in
+          List.iter
+            (fun cand ->
+              match original with
+              | Some o when o = cand -> ()
+              | _ ->
+                Hashtbl.replace choice_tbl cls cand;
+                let c = current_cost () in
+                if c +. 1e-9 < !base then begin
+                  base := c;
+                  improved := true
+                end
+                else
+                  match original with
+                  | Some o -> Hashtbl.replace choice_tbl cls o
+                  | None -> Hashtbl.remove choice_tbl cls)
+            (nodes_of g cls))
+        visited);
+    (* refresh `original` semantics between passes *)
+    ()
+  done;
+  (choice, !base)
+
+(* Rebuild a Tdfg from the extraction. *)
+let rebuild g ~(source : Tdfg.t) ~choice ~mapping =
+  let out = Tdfg.create ~name:(Tdfg.name source) ~dims:(Tdfg.lattice_dims source) ~dtype:(Tdfg.dtype source) in
+  let built : (eid, Tdfg.id) Hashtbl.t = Hashtbl.create 64 in
+  let rec emit id =
+    let id = find g id in
+    match Hashtbl.find_opt built id with
+    | Some x -> x
+    | None ->
+      let n = choice id in
+      let x =
+        match n with
+        | E_tensor { array; view; axes } -> Tdfg.tensor out ~array ~view ~axes
+        | E_const c -> Tdfg.add out (Tdfg.Const c)
+        | E_cmp (op, inputs) ->
+          (* left-to-right to preserve low register pressure in the
+             rebuilt schedule order *)
+          let inputs = List.fold_left (fun acc i -> emit i :: acc) [] inputs in
+          Tdfg.cmp out op (List.rev inputs)
+        | E_mv { input; dim; dist } -> Tdfg.mv out (emit input) ~dim ~dist
+        | E_bc { input; dim; lo; hi } -> Tdfg.bc out (emit input) ~dim ~lo ~hi
+        | E_shrink { input; rect } -> Tdfg.shrink out (emit input) ~rect
+        | E_reduce { op; input; dim } -> Tdfg.reduce out op (emit input) ~dim
+        | E_stream { array; view; coords } ->
+          Tdfg.add out (Tdfg.Stream_load { array; view; coords })
+      in
+      Hashtbl.replace built id x;
+      x
+  in
+  let map_src src =
+    match List.assoc_opt src mapping with
+    | Some e -> emit e
+    | None -> failwith "Extract.rebuild: output source not in mapping"
+  in
+  List.iter
+    (fun o ->
+      match o with
+      | Tdfg.Out_tensor { src; array; axes } ->
+        Tdfg.add_output out (Tdfg.Out_tensor { src = map_src src; array; axes })
+      | Tdfg.Out_stream { src; array; coords; accum } ->
+        Tdfg.add_output out (Tdfg.Out_stream { src = map_src src; array; coords; accum }))
+    (Tdfg.outputs source);
+  out
+
+let optimize ?(nominal = 1024) ?max_iters ?node_limit ~arrays source =
+  let dtype = Tdfg.dtype source in
+  let g, mapping = of_tdfg source in
+  let roots =
+    List.map
+      (fun o ->
+        let src =
+          match o with
+          | Tdfg.Out_tensor { src; _ } | Tdfg.Out_stream { src; _ } -> src
+        in
+        List.assoc src mapping)
+      (Tdfg.outputs source)
+  in
+  let _, cost_before = extract ~nominal ~dtype g ~roots in
+  let rounds = Rules.saturate ?max_iters ?node_limit ~arrays g in
+  let choice, cost_after = extract ~nominal ~dtype g ~roots in
+  let optimized = rebuild g ~source ~choice ~mapping in
+  (optimized, { rounds; cost_before; cost_after })
+
+let dag_cost ?(nominal = 1024) g =
+  let dtype = Tdfg.dtype g in
+  let eg, mapping = of_tdfg g in
+  let roots =
+    List.map
+      (fun o ->
+        let src =
+          match o with
+          | Tdfg.Out_tensor { src; _ } | Tdfg.Out_stream { src; _ } -> src
+        in
+        List.assoc src mapping)
+      (Tdfg.outputs g)
+  in
+  let choice, cost = extract ~nominal ~dtype eg ~roots in
+  ignore choice;
+  cost

@@ -1,0 +1,1 @@
+lib/energy/energy.ml: List Traffic

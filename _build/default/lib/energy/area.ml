@@ -1,0 +1,26 @@
+type t = {
+  base_chip_mm2 : float;
+  imc_overhead_mm2 : float;
+  near_mem_overhead_mm2 : float;
+}
+
+(* The paper reports 66.75 mm2 of in-memory compute logic, 28.16 mm2 of
+   near-memory support, and a 6.52% whole-chip overhead, which pins the
+   McPAT baseline chip at (66.75+28.16)/0.0652 mm2. *)
+let default =
+  {
+    base_chip_mm2 = (66.75 +. 28.16) /. 0.0652;
+    imc_overhead_mm2 = 66.75;
+    near_mem_overhead_mm2 = 28.16;
+  }
+
+let overhead_fraction t =
+  (t.imc_overhead_mm2 +. t.near_mem_overhead_mm2) /. t.base_chip_mm2
+
+let table t =
+  [
+    ("base chip (McPAT, 22nm) mm^2", t.base_chip_mm2);
+    ("in-memory compute overhead mm^2", t.imc_overhead_mm2);
+    ("near-memory support mm^2", t.near_mem_overhead_mm2);
+    ("whole-chip overhead fraction", overhead_fraction t);
+  ]

@@ -1,0 +1,16 @@
+(** Area model (paper §8): in-memory compute enhancements (extra sense
+    amps, write drivers, dual-wordline decoder, bit-serial PEs) plus
+    near-memory support logic, relative to the McPAT whole-chip area. *)
+
+type t = {
+  base_chip_mm2 : float;
+  imc_overhead_mm2 : float;  (** 66.75 mm2 in the paper *)
+  near_mem_overhead_mm2 : float;  (** 28.16 mm2 *)
+}
+
+val default : t
+
+val overhead_fraction : t -> float
+(** Whole-chip overhead; 6.52% with the paper's numbers. *)
+
+val table : t -> (string * float) list

@@ -1,0 +1,78 @@
+type events = {
+  mutable sram_array_cycles : float;
+  mutable htree_bytes : float;
+  mutable intra_tile_bytes : float;
+  mutable noc_byte_hops : float;
+  mutable dram_bytes : float;
+  mutable core_flops : float;
+  mutable sel3_flops : float;
+  mutable l3_bytes : float;
+}
+
+let fresh () =
+  {
+    sram_array_cycles = 0.0;
+    htree_bytes = 0.0;
+    intra_tile_bytes = 0.0;
+    noc_byte_hops = 0.0;
+    dram_bytes = 0.0;
+    core_flops = 0.0;
+    sel3_flops = 0.0;
+    l3_bytes = 0.0;
+  }
+
+let accumulate ~dst e =
+  dst.sram_array_cycles <- dst.sram_array_cycles +. e.sram_array_cycles;
+  dst.htree_bytes <- dst.htree_bytes +. e.htree_bytes;
+  dst.intra_tile_bytes <- dst.intra_tile_bytes +. e.intra_tile_bytes;
+  dst.noc_byte_hops <- dst.noc_byte_hops +. e.noc_byte_hops;
+  dst.dram_bytes <- dst.dram_bytes +. e.dram_bytes;
+  dst.core_flops <- dst.core_flops +. e.core_flops;
+  dst.sel3_flops <- dst.sel3_flops +. e.sel3_flops;
+  dst.l3_bytes <- dst.l3_bytes +. e.l3_bytes
+
+type costs = {
+  per_sram_array_cycle : float;
+  per_htree_byte : float;
+  per_intra_tile_byte : float;
+  per_noc_byte_hop : float;
+  per_dram_byte : float;
+  per_core_flop : float;
+  per_sel3_flop : float;
+  per_l3_byte : float;
+}
+
+(* A bit-serial array activation touches one wordline across 256 bitlines
+   (≈2pJ at 22nm); moving a byte across one NoC hop costs roughly the same
+   as several array cycles; a DRAM byte is an order of magnitude above
+   that; a full SIMD-lane core op carries fetch/decode/register overheads. *)
+let default_costs =
+  {
+    per_sram_array_cycle = 12.0;
+    per_htree_byte = 5.0;
+    per_intra_tile_byte = 2.0;
+    per_noc_byte_hop = 4.0;
+    per_dram_byte = 60.0;
+    per_core_flop = 300.0;
+    per_sel3_flop = 150.0;
+    per_l3_byte = 4.0;
+  }
+
+let breakdown ?(costs = default_costs) e =
+  [
+    ("sram-compute", e.sram_array_cycles *. costs.per_sram_array_cycle);
+    ("htree", e.htree_bytes *. costs.per_htree_byte);
+    ("intra-tile", e.intra_tile_bytes *. costs.per_intra_tile_byte);
+    ("noc", e.noc_byte_hops *. costs.per_noc_byte_hop);
+    ("dram", e.dram_bytes *. costs.per_dram_byte);
+    ("core", e.core_flops *. costs.per_core_flop);
+    ("near-mem", e.sel3_flops *. costs.per_sel3_flop);
+    ("l3", e.l3_bytes *. costs.per_l3_byte);
+  ]
+
+let total ?costs e = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 (breakdown ?costs e)
+
+let of_traffic e traffic =
+  e.noc_byte_hops <- e.noc_byte_hops +. Traffic.total_byte_hops traffic;
+  e.htree_bytes <- e.htree_bytes +. Traffic.local_bytes traffic `Htree;
+  e.intra_tile_bytes <- e.intra_tile_bytes +. Traffic.local_bytes traffic `Intra_tile

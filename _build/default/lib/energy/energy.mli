@@ -1,0 +1,45 @@
+(** Energy model (paper §8 "Energy and Area", Fig. 18).
+
+    The paper derives SRAM-array and H-tree energy from CACTI (22nm) and
+    core energy from McPAT. We charge per-event constants of the same
+    classes; the absolute scale is arbitrary (picojoule-flavoured units) —
+    Fig. 18 is a relative energy-efficiency plot, and the constants are
+    chosen so that in-memory ops are far cheaper than moving operands to a
+    core, which is the physical premise of the paper. *)
+
+type events = {
+  mutable sram_array_cycles : float;
+      (** active compute-array cycles (array x cycle) *)
+  mutable htree_bytes : float;
+  mutable intra_tile_bytes : float;
+  mutable noc_byte_hops : float;
+  mutable dram_bytes : float;
+  mutable core_flops : float;  (** SIMD lanes' useful ops in a core *)
+  mutable sel3_flops : float;  (** near-memory ops at the bank *)
+  mutable l3_bytes : float;  (** conventional L3 array read/write traffic *)
+}
+
+val fresh : unit -> events
+val accumulate : dst:events -> events -> unit
+
+(** Per-event costs in energy units. *)
+type costs = {
+  per_sram_array_cycle : float;
+  per_htree_byte : float;
+  per_intra_tile_byte : float;
+  per_noc_byte_hop : float;
+  per_dram_byte : float;
+  per_core_flop : float;
+  per_sel3_flop : float;
+  per_l3_byte : float;
+}
+
+val default_costs : costs
+
+val total : ?costs:costs -> events -> float
+
+val breakdown : ?costs:costs -> events -> (string * float) list
+
+val of_traffic : events -> Traffic.t -> unit
+(** Fold a traffic accumulator's NoC/H-tree/intra-tile counters into the
+    event record. *)

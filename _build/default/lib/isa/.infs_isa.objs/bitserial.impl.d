@@ -1,0 +1,1 @@
+lib/isa/bitserial.ml: Dtype Op

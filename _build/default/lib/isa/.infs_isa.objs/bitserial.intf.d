@@ -1,0 +1,1 @@
+lib/isa/bitserial.mli: Dtype Op

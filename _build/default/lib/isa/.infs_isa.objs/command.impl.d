@@ -1,0 +1,1 @@
+lib/isa/command.ml: Bitserial Dtype Format Hyperrect Op Pattern Printf

@@ -1,0 +1,1 @@
+lib/isa/command.mli: Dtype Format Hyperrect Op Pattern

@@ -1,0 +1,1 @@
+lib/isa/dtype.ml: Format

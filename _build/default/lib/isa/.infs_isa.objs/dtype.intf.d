@@ -1,0 +1,1 @@
+lib/isa/dtype.mli: Format

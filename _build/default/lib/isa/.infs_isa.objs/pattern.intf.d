@@ -1,0 +1,1 @@
+lib/isa/pattern.mli: Format

@@ -1,0 +1,61 @@
+let int_add n = n + 1
+let int_mul n = (n * n) + (5 * n)
+let int_div n = (2 * n * n) + (10 * n)
+let int_cmp n = n + 2
+
+(* fp32: 8-bit exponent, 24-bit significand (incl. hidden bit).
+   add: exponent compare (int_cmp 8) + alignment shift (bit-serial variable
+   shift, ~2 cycles/significand bit over the worst-case distance) + integer
+   add + renormalize (another variable shift + exponent adjust).
+   mul: significand integer multiply + exponent add + normalize. *)
+let mantissa = 24
+let exponent = 8
+
+(* Mantissa alignment and renormalization are variable bit-serial shifts:
+   one predicated pass per possible distance, ~m^2/2 cycles each (cf.
+   Duality Cache's fp32 add costing ~1000 cycles). *)
+let fp_add =
+  int_cmp exponent
+  + (mantissa * mantissa / 2)
+  + int_add mantissa
+  + (mantissa * mantissa / 2)
+  + int_add exponent
+let fp_mul = int_mul mantissa + int_add exponent + mantissa
+let fp_div = int_div mantissa + int_add exponent + mantissa
+let fp_cmp = int_cmp (exponent + mantissa)
+
+let op_cycles (op : Op.t) (dt : Dtype.t) =
+  let n = Dtype.bits dt in
+  if Dtype.is_float dt then
+    match op with
+    | Add | Sub -> fp_add
+    | Mul -> fp_mul
+    | Div | Sqrt -> fp_div
+    | Min | Max | Lt | Relu -> fp_cmp
+    | Select -> n + 2
+    | Abs | Neg | Copy -> n
+  else
+    match op with
+    | Add | Sub -> int_add n
+    | Mul -> int_mul n
+    | Div | Sqrt -> int_div n
+    | Min | Max | Lt | Relu -> int_cmp n
+    | Select -> n + 2
+    | Abs | Neg | Copy -> n
+
+let copy_cycles dt = 2 * Dtype.bits dt
+
+let intra_shift_cycles dt ~distance =
+  let d = abs distance in
+  (* Neighbour shifts move one bitline position per pass (one pass reads
+     and rewrites every bit-row of the element); longer moves ride the
+     array's 5-level buffered H-tree, which covers power-of-two distances
+     in one pass each — cost grows with log2(distance), not distance. *)
+  let rec log2c acc x = if x <= 1 then acc else log2c (acc + 1) ((x + 1) / 2) in
+  max 1 ((1 + log2c 0 d) * Dtype.bits dt)
+
+let transpose_cycles_per_line = 2
+
+let reduction_rounds ~width =
+  let rec go acc w = if w <= 1 then acc else go (acc + 1) ((w + 1) / 2) in
+  go 0 width

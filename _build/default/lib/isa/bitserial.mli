@@ -1,0 +1,33 @@
+(** Bit-serial latency model for compute-SRAM arrays (paper §2.2, §5).
+
+    Latencies are in SRAM-array cycles and apply simultaneously to every
+    active bitline of an array (that is the whole point of bit-serial
+    in-memory computing: latency O(width), throughput O(bitlines)).
+
+    Integer latencies follow the paper directly: addition is O(n) cycles and
+    multiplication is n^2 + 5n cycles for n-bit operands (§5 "Execute
+    Commands"). Floating-point costs are estimates in the spirit of Duality
+    Cache [17]: an fp32 operation decomposes into exponent handling, mantissa
+    alignment (bit-serial variable shifts), the mantissa integer op, and
+    renormalization. Absolute constants scale all in-memory results together
+    and do not change who wins; the paper's Fig. 2 crossover shape is the
+    calibration target (see EXPERIMENTS.md). *)
+
+val op_cycles : Op.t -> Dtype.t -> int
+(** Cycles for one element-wise op across all active bitlines of an array. *)
+
+val copy_cycles : Dtype.t -> int
+(** Cycles to copy one operand between wordline slots (read+write / bit). *)
+
+val intra_shift_cycles : Dtype.t -> distance:int -> int
+(** Move elements [distance] bitlines sideways within an array, all rows of
+    the element: one cycle per bit per step through the shift network, cf.
+    [15, 17]'s shifting support. *)
+
+val transpose_cycles_per_line : int
+(** TTU occupancy per 64B cache line converted between normal and
+    transposed layout (paper §5.2). The TTU is a small dedicated unit per
+    bank, pipelined with the fill, cf. Neural Cache's transpose unit. *)
+
+val reduction_rounds : width:int -> int
+(** Number of halving rounds to reduce [width] lanes to 1 (ceil log2). *)

@@ -1,0 +1,95 @@
+
+type kind =
+  | Compute of { op : Op.t; const_operands : int }
+  | Intra_shift of { dim : int; distance : int }
+  | Inter_shift of { dim : int; tile_dist : int; intra_dist : int }
+  | Broadcast of { dim : int; copies : int }
+  | Reduce of { op : Op.t; width : int }
+  | Sync
+
+type t = {
+  kind : kind;
+  dtype : Dtype.t;
+  tile_box : Hyperrect.t;
+  lanes_per_tile : int;
+  bitline_pat : Pattern.t option;
+  label : string;
+}
+
+let make ?bitline_pat ?(label = "") kind ~dtype ~tile_box ~lanes_per_tile =
+  if lanes_per_tile < 0 then invalid_arg "Command.make: negative lanes";
+  { kind; dtype; tile_box; lanes_per_tile; bitline_pat; label }
+
+let sync =
+  {
+    kind = Sync;
+    dtype = Dtype.Int32;
+    tile_box = Hyperrect.scalar;
+    lanes_per_tile = 0;
+    bitline_pat = None;
+    label = "sync";
+  }
+
+let tiles_touched t = Hyperrect.volume t.tile_box
+let elements_touched t = tiles_touched t * t.lanes_per_tile
+
+let is_sync t = match t.kind with Sync -> true | _ -> false
+
+let moves_data t =
+  match t.kind with
+  | Intra_shift _ | Inter_shift _ | Broadcast _ -> true
+  | Compute _ | Reduce _ | Sync -> false
+
+let array_cycles t =
+  match t.kind with
+  | Compute { op; const_operands } ->
+    let broadcast_const = const_operands * Bitserial.copy_cycles t.dtype in
+    broadcast_const + Bitserial.op_cycles op t.dtype
+  | Intra_shift { distance; _ } -> Bitserial.intra_shift_cycles t.dtype ~distance
+  | Inter_shift { intra_dist; _ } ->
+    (* Read active lanes out to the H-tree plus settling the residual
+       intra-tile distance on arrival; inter-bank transfer is added by the
+       NoC model. *)
+    (2 * Dtype.bits t.dtype) + Bitserial.intra_shift_cycles t.dtype ~distance:intra_dist
+  | Broadcast _ ->
+    (* Source read once; writes at destinations are pipelined behind the
+       H-tree / NoC multicast. *)
+    2 * Dtype.bits t.dtype
+  | Reduce { op; width } ->
+    let rounds = Bitserial.reduction_rounds ~width in
+    let cost = ref 0 in
+    let dist = ref 1 in
+    for _ = 1 to rounds do
+      cost :=
+        !cost
+        + Bitserial.intra_shift_cycles t.dtype ~distance:!dist
+        + Bitserial.op_cycles op t.dtype;
+      dist := !dist * 2
+    done;
+    !cost
+  | Sync -> 0
+
+let kind_string = function
+  | Compute { op; const_operands } ->
+    Printf.sprintf "cmp(%s%s)" (Op.to_string op)
+      (if const_operands > 0 then Printf.sprintf ",%dconst" const_operands else "")
+  | Intra_shift { dim; distance } -> Printf.sprintf "sh.intra(d%d,%+d)" dim distance
+  | Inter_shift { dim; tile_dist; intra_dist } ->
+    Printf.sprintf "sh.inter(d%d,%+dT%+d)" dim tile_dist intra_dist
+  | Broadcast { dim; copies } -> Printf.sprintf "bc(d%d,x%d)" dim copies
+  | Reduce { op; width } -> Printf.sprintf "red(%s,w%d)" (Op.to_string op) width
+  | Sync -> "sync"
+
+let to_string t =
+  if is_sync t then "sync"
+  else
+    Printf.sprintf "%s %s tiles=%s lanes=%d%s"
+      (kind_string t.kind)
+      (Dtype.to_string t.dtype)
+      (Hyperrect.to_string t.tile_box)
+      t.lanes_per_tile
+      (match t.bitline_pat with
+      | Some p -> Printf.sprintf " pat=%s" (Pattern.to_string p)
+      | None -> "")
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,68 @@
+(** In-memory commands produced by JIT lowering and executed by the tensor
+    controllers (paper §4.2, Fig. 9).
+
+    A command applies to a box of tiles in tile-coordinate space (the paper
+    encodes the same information as linearized [start:stride:count] tile
+    patterns; the box form generalizes to N dimensions) and, within each
+    touched tile, to [lanes_per_tile] active bitlines. The simulator charges
+    SRAM occupancy, H-tree and NoC traffic from these fields; functional
+    values are computed by the tDFG evaluator, so commands carry performance
+    -relevant structure only. *)
+
+type kind =
+  | Compute of { op : Op.t; const_operands : int }
+      (** Element-wise bit-serial op on aligned wordline slots. Constant
+          operands are broadcast to bitlines first (charged by the sim). *)
+  | Intra_shift of { dim : int; distance : int }
+      (** Move active lanes [distance] bitlines within their own tile. *)
+  | Inter_shift of { dim : int; tile_dist : int; intra_dist : int }
+      (** Move active lanes across [tile_dist] tiles along [dim], landing
+          [intra_dist] bitlines into the destination tile (Alg. 2's
+          inter-tile command; crosses the H-tree, and the NoC when source
+          and destination tiles live in different L3 banks). *)
+  | Broadcast of { dim : int; copies : int }
+      (** Replicate each source tile to [copies] destination tiles along
+          [dim] (bc node lowering; uses NoC multicast). *)
+  | Reduce of { op : Op.t; width : int }
+      (** Full intra-tile tree reduction along a dimension of [width] lanes:
+          ceil(log2 width) rounds of interleaved shift + compute. *)
+  | Sync
+      (** Global barrier: all packets of preceding inter-tile shifts must
+          have arrived (paper §4.2 "Synchronization"). *)
+
+type t = {
+  kind : kind;
+  dtype : Dtype.t;
+  tile_box : Hyperrect.t;  (** touched tiles, tile coordinates *)
+  lanes_per_tile : int;  (** active bitlines in each touched tile *)
+  bitline_pat : Pattern.t option;  (** lane pattern along the operated dim *)
+  label : string;
+}
+
+val make :
+  ?bitline_pat:Pattern.t ->
+  ?label:string ->
+  kind ->
+  dtype:Dtype.t ->
+  tile_box:Hyperrect.t ->
+  lanes_per_tile:int ->
+  t
+
+val sync : t
+(** A bare synchronization barrier (applies to no tiles). *)
+
+val tiles_touched : t -> int
+val elements_touched : t -> int
+(** [tiles_touched * lanes_per_tile]. *)
+
+val is_sync : t -> bool
+val moves_data : t -> bool
+(** True for shifts and broadcasts (the "Move" cycle category). *)
+
+val array_cycles : t -> int
+(** SRAM-array occupancy for executing this command on one tile (bit-serial
+    latency model; excludes NoC transfer for inter-tile shifts, which the
+    simulator adds from the layout). *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,22 @@
+type t = Int8 | Int16 | Int32 | Fp32
+
+let bits = function Int8 -> 8 | Int16 -> 16 | Int32 -> 32 | Fp32 -> 32
+let bytes t = bits t / 8
+let is_float = function Fp32 -> true | Int8 | Int16 | Int32 -> false
+
+let to_string = function
+  | Int8 -> "int8"
+  | Int16 -> "int16"
+  | Int32 -> "int32"
+  | Fp32 -> "fp32"
+
+let of_string = function
+  | "int8" -> Some Int8
+  | "int16" -> Some Int16
+  | "int32" -> Some Int32
+  | "fp32" -> Some Fp32
+  | _ -> None
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+let equal (a : t) b = a = b
+let all = [ Int8; Int16; Int32; Fp32 ]

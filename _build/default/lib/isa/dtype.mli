@@ -1,0 +1,17 @@
+(** Element data types supported by the bit-serial substrate. *)
+
+type t = Int8 | Int16 | Int32 | Fp32
+
+val bits : t -> int
+(** Width in bits = wordlines occupied by one transposed element. *)
+
+val bytes : t -> int
+
+val is_float : t -> bool
+
+val to_string : t -> string
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+
+val all : t list

@@ -1,0 +1,101 @@
+type t =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Min
+  | Max
+  | Lt
+  | Select
+  | Relu
+  | Abs
+  | Neg
+  | Copy
+  | Sqrt
+
+let arity = function
+  | Add | Sub | Mul | Div | Min | Max | Lt -> 2
+  | Select -> 3
+  | Relu | Abs | Neg | Copy | Sqrt -> 1
+
+let eval op args =
+  match (op, args) with
+  | Add, [ a; b ] -> a +. b
+  | Sub, [ a; b ] -> a -. b
+  | Mul, [ a; b ] -> a *. b
+  | Div, [ a; b ] -> a /. b
+  | Min, [ a; b ] -> Float.min a b
+  | Max, [ a; b ] -> Float.max a b
+  | Lt, [ a; b ] -> if a < b then 1.0 else 0.0
+  | Select, [ c; a; b ] -> if c <> 0.0 then a else b
+  | Relu, [ a ] -> Float.max a 0.0
+  | Abs, [ a ] -> Float.abs a
+  | Neg, [ a ] -> -.a
+  | Copy, [ a ] -> a
+  | Sqrt, [ a ] -> Float.sqrt a
+  | _ ->
+    invalid_arg
+      (Printf.sprintf "Op.eval: wrong arity for %s (%d args)"
+         (match op with
+         | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div"
+         | Min -> "min" | Max -> "max" | Lt -> "lt" | Select -> "select"
+         | Relu -> "relu" | Abs -> "abs" | Neg -> "neg" | Copy -> "copy"
+         | Sqrt -> "sqrt")
+         (List.length args))
+
+let is_associative = function
+  | Add | Mul | Min | Max -> true
+  | Sub | Div | Lt | Select | Relu | Abs | Neg | Copy | Sqrt -> false
+
+let is_commutative = function
+  | Add | Mul | Min | Max -> true
+  | Sub | Div | Lt | Select | Relu | Abs | Neg | Copy | Sqrt -> false
+
+let identity = function
+  | Add -> Some 0.0
+  | Mul -> Some 1.0
+  | Min -> Some infinity
+  | Max -> Some neg_infinity
+  | Sub | Div | Lt | Select | Relu | Abs | Neg | Copy | Sqrt -> None
+
+let distributes_over a b =
+  match (a, b) with
+  | Mul, (Add | Sub) -> true
+  | _, _ -> false
+
+let to_string = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Min -> "min"
+  | Max -> "max"
+  | Lt -> "lt"
+  | Select -> "select"
+  | Relu -> "relu"
+  | Abs -> "abs"
+  | Neg -> "neg"
+  | Copy -> "copy"
+  | Sqrt -> "sqrt"
+
+let of_string = function
+  | "add" -> Some Add
+  | "sub" -> Some Sub
+  | "mul" -> Some Mul
+  | "div" -> Some Div
+  | "min" -> Some Min
+  | "max" -> Some Max
+  | "lt" -> Some Lt
+  | "select" -> Some Select
+  | "relu" -> Some Relu
+  | "abs" -> Some Abs
+  | "neg" -> Some Neg
+  | "copy" -> Some Copy
+  | "sqrt" -> Some Sqrt
+  | _ -> None
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+let equal (a : t) b = a = b
+
+let all =
+  [ Add; Sub; Mul; Div; Min; Max; Lt; Select; Relu; Abs; Neg; Copy; Sqrt ]

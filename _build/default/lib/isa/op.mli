@@ -1,0 +1,46 @@
+(** Element-wise operators of tDFG compute nodes.
+
+    The same operator set is shared by the golden interpreter, the e-graph
+    rewriter (which consults the algebraic flags), the JIT lowering and the
+    bit-serial latency model. *)
+
+type t =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Min
+  | Max
+  | Lt  (** [a < b] as 0.0 / 1.0 — used by k-means' argmin construction *)
+  | Select  (** ternary [cond ? a : b] with cond in {0,1} *)
+  | Relu
+  | Abs
+  | Neg
+  | Copy
+  | Sqrt
+
+val arity : t -> int
+
+val eval : t -> float list -> float
+(** Apply to exactly [arity] operands; [Invalid_argument] otherwise.
+    Results follow fp32 semantics once rounded by the caller. *)
+
+val is_associative : t -> bool
+(** Valid as a reduction/reassociation operator (Add, Mul, Min, Max). Note
+    fp32 addition is not strictly associative; the paper (and we) reassociate
+    anyway, and tests compare with a tolerance. *)
+
+val is_commutative : t -> bool
+
+val identity : t -> float option
+(** Neutral element when one exists (0 for Add, 1 for Mul, +inf/-inf for
+    Min/Max). *)
+
+val distributes_over : t -> t -> bool
+(** [distributes_over Mul Add = true]: a*(x+y) = a*x + a*y. *)
+
+val to_string : t -> string
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+val all : t list

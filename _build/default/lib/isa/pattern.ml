@@ -1,0 +1,59 @@
+type t = { start : int; stride : int; count : int }
+
+let make ~start ~stride ~count =
+  if count < 0 then invalid_arg "Pattern.make: negative count";
+  if count > 1 && stride < 1 then invalid_arg "Pattern.make: stride < 1";
+  { start; stride = max 1 stride; count }
+
+let singleton i = make ~start:i ~stride:1 ~count:1
+let range ~lo ~hi = make ~start:lo ~stride:1 ~count:(max 0 (hi - lo))
+
+let indices t = List.init t.count (fun i -> t.start + (i * t.stride))
+
+let mem t i =
+  i >= t.start
+  && (i - t.start) mod t.stride = 0
+  && (i - t.start) / t.stride < t.count
+
+let cardinal t = t.count
+
+let last t = if t.count = 0 then None else Some (t.start + ((t.count - 1) * t.stride))
+
+let intersect_range t ~lo ~hi =
+  if t.count = 0 then None
+  else begin
+    (* first index >= lo *)
+    let first_k =
+      if t.start >= lo then 0
+      else (lo - t.start + t.stride - 1) / t.stride
+    in
+    let last_k =
+      if t.start >= hi then -1
+      else
+        let k = (hi - 1 - t.start) / t.stride in
+        min k (t.count - 1)
+    in
+    if first_k > last_k then None
+    else
+      Some
+        {
+          start = t.start + (first_k * t.stride);
+          stride = t.stride;
+          count = last_k - first_k + 1;
+        }
+  end
+
+let to_string t = Printf.sprintf "%d:%d:%d" t.start t.stride t.count
+
+let of_string s =
+  match String.split_on_char ':' s with
+  | [ a; b; c ] -> (
+    match (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c) with
+    | Some start, Some stride, Some count when count >= 0 && (count <= 1 || stride >= 1)
+      ->
+      Some { start; stride = max 1 stride; count }
+    | _ -> None)
+  | _ -> None
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+let equal (a : t) b = a = b

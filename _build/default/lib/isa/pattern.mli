@@ -1,0 +1,34 @@
+(** [start:stride:count] patterns used by shift commands to select bitlines
+    and tiles (paper Fig. 9). Hardware expands these into masks; here they
+    also let tests check exactly which lanes a lowered command touches. *)
+
+type t = { start : int; stride : int; count : int }
+
+val make : start:int -> stride:int -> count:int -> t
+(** [count >= 0]; [stride >= 1] when [count > 1]. *)
+
+val singleton : int -> t
+(** One index. *)
+
+val range : lo:int -> hi:int -> t
+(** Contiguous [\[lo,hi)] with stride 1. *)
+
+val indices : t -> int list
+(** Expanded index list, in increasing order. *)
+
+val mem : t -> int -> bool
+
+val cardinal : t -> int
+
+val last : t -> int option
+(** Largest index, [None] when empty. *)
+
+val intersect_range : t -> lo:int -> hi:int -> t option
+(** Restrict to indices falling in [\[lo,hi)]; [None] if none do. *)
+
+val to_string : t -> string
+(** Paper syntax, e.g. ["1:2:2"]. *)
+
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,1 @@
+lib/lang/ast.ml: Dtype Format List Op Printf Result Set Stdlib String Symaff

@@ -1,0 +1,1 @@
+lib/lang/interp.ml: Array Ast Dense Hashtbl List Op Option Printf String Symaff

@@ -1,0 +1,1 @@
+lib/lang/symaff.ml: Buffer Format Hashtbl List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/lang/symrect.ml: Array Format Hashtbl Hyperrect Int Printf String Symaff

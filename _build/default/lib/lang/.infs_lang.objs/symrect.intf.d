@@ -1,0 +1,1 @@
+lib/lang/symrect.mli: Format Hyperrect Symaff

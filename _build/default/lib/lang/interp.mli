@@ -1,0 +1,55 @@
+(** Reference (golden-model) interpreter for mini-C programs.
+
+    Executes a program sequentially with concrete parameter values and input
+    arrays, with fp32 rounding after every arithmetic operation. Every
+    simulated paradigm's functional result is checked against this. *)
+
+type env
+
+val create :
+  Ast.program -> params:(string * int) list -> (env, string) result
+(** Validates the program, resolves array extents, and zero-initializes all
+    arrays. Fails when a parameter is missing or an extent is negative. *)
+
+val set_array : env -> string -> float array -> unit
+(** Provide input data (row-major). [Invalid_argument] on unknown array or
+    length mismatch. Values are rounded to fp32. *)
+
+val get_array : env -> string -> float array
+(** Snapshot of the current contents. *)
+
+val array_dims : env -> string -> int list
+
+val lookup_int : env -> string -> int
+(** Current value of a parameter or live induction variable; [Failure] when
+    unbound. *)
+
+val get_scalar : env -> string -> float
+val read_cell : env -> string -> int list -> float
+val write_cell : env -> string -> int list -> float -> unit
+
+val run : ?on_kernel:(env -> Ast.kernel -> unit) -> env -> unit
+(** Execute the whole program body. When [on_kernel] is given it replaces
+    direct interpretation of each kernel region — this is how the paradigm
+    engines intercept offloadable regions while host statements still run
+    here. [Failure] on runtime errors (e.g. an indirect index out of
+    range). *)
+
+val exec_kernel : env -> Ast.kernel -> unit
+(** Directly interpret one kernel in the current environment (the default
+    behaviour of [run] without [on_kernel]). *)
+
+val op_count : env -> int
+(** Arithmetic ops executed by the last [run] (kernel and host combined);
+    used to cross-check the simulator's operation accounting. *)
+
+val kernel_iterations : env -> (string * int) list
+(** Dynamic iteration counts per kernel name, accumulated across host-loop
+    invocations. *)
+
+val run_program :
+  Ast.program ->
+  params:(string * int) list ->
+  inputs:(string * float array) list ->
+  ((string * float array) list, string) result
+(** One-shot convenience: create, set inputs, run, return all arrays. *)

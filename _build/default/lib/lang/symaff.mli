@@ -1,0 +1,51 @@
+(** Symbolic affine expressions over named integers.
+
+    Loop bounds, array extents and access indices in the mini-C frontend are
+    affine in loop induction variables and runtime size parameters
+    ([2*i + N - 1]). The tDFG keeps them symbolic so the compiled binary is
+    input-size neutral (the paper's portability requirement); the JIT
+    resolves them against the runtime parameter environment. *)
+
+type t
+
+val const : int -> t
+val var : string -> t
+(** A named integer (induction variable or runtime parameter) . *)
+
+val term : int -> string -> t
+(** [term c x] is [c*x]. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : int -> t -> t
+val add_const : t -> int -> t
+
+val zero : t
+val one : t
+
+val is_const : t -> int option
+val vars : t -> string list
+(** Variables with non-zero coefficient, sorted. *)
+
+val coeff : t -> string -> int
+val const_part : t -> int
+
+val subst : t -> string -> t -> t
+(** [subst t x e] replaces variable [x] by expression [e]. *)
+
+val eval : t -> (string -> int) -> int
+(** [eval t env]; [env] raises on unknown names. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val leq : ?min_var:int -> t -> t -> bool
+(** [leq ~min_var a b] conservatively decides [a <= b] assuming every
+    variable is at least [min_var] (default 1). True only when provable:
+    writing [d = b - a], all variable coefficients of [d] must be
+    non-negative and [const d + min_var * sum_coeffs >= 0]. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val hash : t -> int

@@ -1,0 +1,52 @@
+(** Symbolic hyperrectangles: tensor domains in the tDFG whose bounds are
+    affine in runtime parameters (and enclosing host-loop variables).
+
+    The compiled tDFG keeps domains symbolic for portability; the JIT
+    resolves them to concrete {!Hyperrect.t} boxes against the runtime
+    parameter environment. Comparisons between symbolic bounds are decided
+    conservatively via {!Symaff.leq} under the assumption that every
+    parameter is at least [min_var] (the paper embeds such "Hints: N > f(…)"
+    in the configuration, Fig. 7). *)
+
+type t
+
+val make : (Symaff.t * Symaff.t) list -> t
+(** Per-dimension [(lo, hi)] bounds, outermost dimension first. *)
+
+val of_hyperrect : Hyperrect.t -> t
+
+val dims : t -> int
+val lo : t -> int -> Symaff.t
+val hi : t -> int -> Symaff.t
+val ranges : t -> (Symaff.t * Symaff.t) list
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val shift : t -> dim:int -> dist:int -> t
+val with_range : t -> dim:int -> lo:Symaff.t -> hi:Symaff.t -> t
+val collapse : t -> dim:int -> t
+(** Reduce dimension [dim] to extent 1 anchored at its low bound. *)
+
+val subst : t -> string -> Symaff.t -> t
+(** Substitute a variable in every bound. *)
+
+val intersect : ?min_var:int -> t -> t -> t option
+(** Symbolic intersection. For each dimension the bounds must be
+    {e comparable} under {!Symaff.leq}; returns [None] when incomparable or
+    provably empty. The compiler only builds graphs whose intersections are
+    comparable (tensors are explicitly aligned first). *)
+
+val contains : ?min_var:int -> t -> t -> bool
+(** [contains outer inner]: conservative, true only when provable. *)
+
+val is_empty : ?min_var:int -> t -> bool
+(** Provably empty in some dimension ([hi <= lo]). *)
+
+val resolve : t -> (string -> int) -> Hyperrect.t
+(** Concretize against an environment; [Invalid_argument] if a resolved
+    bound pair is reversed. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

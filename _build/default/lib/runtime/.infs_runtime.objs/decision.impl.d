@@ -1,0 +1,1 @@
+lib/runtime/decision.ml: Bitserial Float List Machine_config

@@ -1,0 +1,1 @@
+lib/runtime/decision.mli: Dtype Machine_config Op

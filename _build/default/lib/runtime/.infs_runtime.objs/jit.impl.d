@@ -1,0 +1,1 @@
+lib/runtime/jit.ml: Array Command Hashtbl Hyperrect Layout List Machine_config Op Pattern Printf Schedule String Symrect Tdfg

@@ -1,0 +1,1 @@
+lib/runtime/jit.mli: Command Layout Machine_config Schedule Tdfg

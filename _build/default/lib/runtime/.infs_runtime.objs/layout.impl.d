@@ -1,0 +1,1 @@
+lib/runtime/layout.ml: Array Fat_binary Float Fun Imc List Machine_config Printf String

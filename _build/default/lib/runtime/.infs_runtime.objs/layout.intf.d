@@ -1,0 +1,1 @@
+lib/runtime/layout.mli: Fat_binary Imc Machine_config

@@ -1,0 +1,59 @@
+type target = In_memory | Near_memory
+
+type verdict = {
+  target : target;
+  core_cycles : float;
+  imc_cycles : float;
+  reason : string;
+}
+
+let decide cfg ~ops ~node_count ~dtype ~elems ~flops ~data_bytes ~fits ~jit_known =
+  if not fits then
+    {
+      target = Near_memory;
+      core_cycles = 0.0;
+      imc_cycles = infinity;
+      reason = "no valid transposed layout";
+    }
+  else begin
+    (* LHS: N_elem * N_op / TP_core, with the caller folding N_elem into
+       [flops]; a core execution is also bounded by streaming the working
+       set through the NoC at bisection bandwidth. *)
+    let core =
+      Float.max
+        (flops /. Machine_config.peak_simd_flops_per_cycle cfg)
+        (data_bytes /. (2.0 *. Machine_config.bisection_bytes_per_cycle cfg))
+    in
+    (* RHS: sum of bit-serial op latencies (waves when the data exceeds the
+       bitline capacity) plus the JIT term. *)
+    let waves =
+      Float.max 1.0 (elems /. float_of_int (Machine_config.total_bitlines cfg))
+    in
+    let op_lat =
+      List.fold_left
+        (fun acc (op, n) ->
+          acc +. (float_of_int (n * Bitserial.op_cycles op dtype) *. waves))
+        0.0 ops
+    in
+    let jit =
+      if jit_known then 0.0
+      else
+        float_of_int cfg.Machine_config.jit_base_cycles
+        +. float_of_int (node_count * cfg.Machine_config.jit_cycles_per_command)
+    in
+    let imc = op_lat +. jit in
+    if core > imc then
+      {
+        target = In_memory;
+        core_cycles = core;
+        imc_cycles = imc;
+        reason = "core latency exceeds in-memory latency (Eq. 2)";
+      }
+    else
+      {
+        target = Near_memory;
+        core_cycles = core;
+        imc_cycles = imc;
+        reason = "insufficient parallelism to amortize bit-serial latency";
+      }
+  end

@@ -1,0 +1,35 @@
+(** Runtime in-/near-memory offload decision (paper §4.3, Eq. 2).
+
+    Offload to in-memory computing when the core's best-case latency at
+    peak throughput exceeds the in-memory latency (bit-serial op latencies
+    are element-count independent — the computation is fully parallel) plus
+    the JIT lowering cost. The compiler ships aggregate hints (op counts per
+    kind) so the decision never walks the tDFG at runtime. The heuristic is
+    deliberately conservative: it assumes peak core performance. *)
+
+type target = In_memory | Near_memory
+
+type verdict = {
+  target : target;
+  core_cycles : float;  (** LHS of Eq. 2 *)
+  imc_cycles : float;  (** RHS: op latencies + JIT term *)
+  reason : string;
+}
+
+val decide :
+  Machine_config.t ->
+  ops:(Op.t * int) list ->
+  node_count:int ->
+  dtype:Dtype.t ->
+  elems:float ->
+  flops:float ->
+  data_bytes:float ->
+  fits:bool ->
+  jit_known:bool ->
+  verdict
+(** [elems] is the data-parallel element count of the region, [flops] the
+    total arithmetic work a core-based execution would perform,
+    [data_bytes] the working set it would stream through the NoC (the core
+    is bounded by whichever is slower at peak), [fits] whether a valid
+    transposed layout exists, [jit_known] whether lowered commands are
+    already memoized (drops the JIT term). *)

@@ -1,0 +1,339 @@
+type stats = {
+  commands : int;
+  jit_cycles : float;
+  final_reduce_elems : float;
+  stream_load_elems : float;
+  stream_store_elems : float;
+  spill_elems : float;
+  writeback_elems : float;
+  compute_elems : float;
+  memoized : bool;
+}
+
+let fdiv a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)
+
+(* Tile box covered by a (decomposed or not) region. *)
+let tile_box_of layout rect =
+  let tile = layout.Layout.tile in
+  let n = Hyperrect.dims rect in
+  let lo = Array.init n (fun d -> fdiv (Hyperrect.lo rect d) tile.(d)) in
+  let hi = Array.init n (fun d -> fdiv (Hyperrect.hi rect d - 1) tile.(d) + 1) in
+  Hyperrect.make ~lo ~hi
+
+(* Active bitlines per touched tile of a decomposed piece: full tile extent
+   in dimensions where the piece spans multiple tiles (it is then aligned),
+   the piece extent otherwise. *)
+let lanes_of layout piece =
+  let tile = layout.Layout.tile in
+  let box = tile_box_of layout piece in
+  let lanes = ref 1 in
+  for d = 0 to Hyperrect.dims piece - 1 do
+    let span = Hyperrect.extent box d in
+    let e = if span > 1 then tile.(d) else Hyperrect.extent piece d in
+    lanes := !lanes * e
+  done;
+  !lanes
+
+(* In-tile position range of a piece along one dimension. *)
+let in_tile_range layout piece d =
+  let t = layout.Layout.tile.(d) in
+  let box = tile_box_of layout piece in
+  if Hyperrect.extent box d > 1 then (0, t)
+  else begin
+    let lo = Hyperrect.lo piece d and hi = Hyperrect.hi piece d in
+    let base = fdiv lo t * t in
+    (lo - base, hi - base)
+  end
+
+type lower_ctx = {
+  cfg : Machine_config.t;
+  g : Tdfg.t;
+  schedule : Schedule.t;
+  layout : Layout.t;
+  env : string -> int;
+  mutable out : Command.t list; (* reversed *)
+  mutable dirty : bool; (* pending inter-tile movement since last sync *)
+  mutable final_reduce : float;
+  mutable s_load : float;
+  mutable s_store : float;
+  mutable spill : float;
+  mutable writeback : float;
+  mutable computed : float;
+}
+
+let emit ctx c = ctx.out <- c :: ctx.out
+
+let barrier_if_dirty ctx =
+  if ctx.dirty then begin
+    emit ctx Command.sync;
+    ctx.dirty <- false
+  end
+
+let resolve_dom ctx id =
+  match Tdfg.domain ctx.g id with
+  | Tdfg.Infinite -> None
+  | Tdfg.Finite r -> Some (Symrect.resolve r ctx.env)
+
+let dtype ctx = Tdfg.dtype ctx.g
+
+let decomp ctx rect = Hyperrect.decompose rect ~tile:ctx.layout.Layout.tile
+
+let lower_cmp ctx id op inputs =
+  barrier_if_dirty ctx;
+  let const_operands =
+    List.length
+      (List.filter
+         (fun i -> match Tdfg.kind ctx.g i with Tdfg.Const _ -> true | _ -> false)
+         inputs)
+  in
+  match resolve_dom ctx id with
+  | None -> () (* constant folding: nothing to execute *)
+  | Some dom ->
+    List.iter
+      (fun piece ->
+        let lanes = lanes_of ctx.layout piece in
+        ctx.computed <- ctx.computed +. float_of_int (Hyperrect.volume piece);
+        emit ctx
+          (Command.make
+             (Command.Compute { op; const_operands })
+             ~dtype:(dtype ctx)
+             ~tile_box:(tile_box_of ctx.layout piece)
+             ~lanes_per_tile:lanes
+             ~label:(Printf.sprintf "cmp:%d" id)))
+      (decomp ctx dom)
+
+(* Algorithm 2: lower one mv into shift commands over a decomposed piece. *)
+let lower_mv_piece ctx ~node ~dim ~dist piece =
+  let t = ctx.layout.Layout.tile.(dim) in
+  let d_inter = abs dist / t in
+  let d_intra = abs dist mod t in
+  let d_intra_c = t - d_intra in
+  (* (mask_lo, mask_hi, inter, intra) per Alg 2 *)
+  let shifts =
+    if dist > 0 then
+      (0, d_intra_c, d_inter, d_intra)
+      :: (if d_intra > 0 then [ (d_intra_c, t, d_inter + 1, -d_intra_c) ] else [])
+    else if dist < 0 then
+      (if d_intra > 0 then [ (0, d_intra, -(d_inter + 1), d_intra_c) ] else [])
+      @ [ (d_intra, t, -d_inter, -d_intra) ]
+    else []
+  in
+  let p_lo, p_hi = in_tile_range ctx.layout piece dim in
+  let other_lanes = lanes_of ctx.layout piece / max 1 (min t (p_hi - p_lo)) in
+  List.iter
+    (fun (m_lo, m_hi, inter, intra) ->
+      let o_lo = max m_lo p_lo and o_hi = min m_hi p_hi in
+      if o_hi > o_lo then begin
+        (* the piece has bitlines under this mask *)
+        let lanes = other_lanes * (o_hi - o_lo) in
+        let pat = Pattern.range ~lo:o_lo ~hi:o_hi in
+        let kind =
+          if inter = 0 then Command.Intra_shift { dim; distance = intra }
+          else Command.Inter_shift { dim; tile_dist = inter; intra_dist = intra }
+        in
+        if inter <> 0 then ctx.dirty <- true;
+        emit ctx
+          (Command.make kind ~bitline_pat:pat ~dtype:(dtype ctx)
+             ~tile_box:(tile_box_of ctx.layout piece)
+             ~lanes_per_tile:lanes
+             ~label:(Printf.sprintf "mv:%d" node))
+      end)
+    shifts
+
+let lower_mv ctx node input ~dim ~dist =
+  if dist <> 0 then begin
+    match resolve_dom ctx input with
+    | None -> ()
+    | Some src -> List.iter (lower_mv_piece ctx ~node ~dim ~dist) (decomp ctx src)
+  end
+
+let lower_bc ctx id input ~dim =
+  match (resolve_dom ctx id, resolve_dom ctx input) with
+  | Some dest, Some _src ->
+    List.iter
+      (fun piece ->
+        let box = tile_box_of ctx.layout piece in
+        let copies = Hyperrect.extent box dim in
+        if copies > 1 then ctx.dirty <- true;
+        emit ctx
+          (Command.make
+             (Command.Broadcast { dim; copies })
+             ~dtype:(dtype ctx) ~tile_box:box
+             ~lanes_per_tile:(lanes_of ctx.layout piece)
+             ~label:(Printf.sprintf "bc:%d" id)))
+      (decomp ctx dest)
+  | _ -> () (* broadcasting a constant is folded into compute commands *)
+
+let lower_reduce ctx op input ~dim =
+  barrier_if_dirty ctx;
+  match resolve_dom ctx input with
+  | None -> ()
+  | Some src ->
+    let extent = Hyperrect.extent src dim in
+    let t = ctx.layout.Layout.tile.(dim) in
+    let width = min t extent in
+    List.iter
+      (fun piece ->
+        ctx.computed <- ctx.computed +. float_of_int (Hyperrect.volume piece);
+        emit ctx
+          (Command.make
+             (Command.Reduce { op; width })
+             ~dtype:(dtype ctx)
+             ~tile_box:(tile_box_of ctx.layout piece)
+             ~lanes_per_tile:(lanes_of ctx.layout piece)
+             ~label:(Printf.sprintf "reduce:%d" input)))
+      (decomp ctx src);
+    (* Partials left across tiles along [dim] are collected by a
+       near-memory stream (the Final Reduce phase). *)
+    let tiles_along = (extent + t - 1) / t in
+    if tiles_along > 1 then begin
+      let out_elems = Hyperrect.volume src / max 1 extent in
+      ctx.final_reduce <-
+        ctx.final_reduce +. float_of_int (out_elems * tiles_along)
+    end
+
+(* A spilled node's value leaves the arrays through a spill store stream
+   and its consumers pull it back in — both charged as stream elements
+   moving at bank bandwidth (paper §6: "a stream writing back and loading
+   from the DRAM"). *)
+let charge_spill ctx id =
+  if Schedule.is_spilled ctx.schedule id then
+    match resolve_dom ctx id with
+    | Some dom ->
+      ctx.spill <- ctx.spill +. float_of_int (Hyperrect.volume dom)
+    | None -> ()
+
+let lower_node ctx (instr : Schedule.instr) =
+  charge_spill ctx instr.node;
+  List.iter (charge_spill ctx) (Tdfg.inputs_of (Tdfg.kind ctx.g instr.node));
+  match Tdfg.kind ctx.g instr.node with
+  | Tdfg.Tensor _ | Tdfg.Const _ | Tdfg.Shrink _ -> ()
+  | Tdfg.Stream_load _ -> begin
+    match resolve_dom ctx instr.node with
+    | Some dom -> ctx.s_load <- ctx.s_load +. float_of_int (Hyperrect.volume dom)
+    | None -> ()
+  end
+  | Tdfg.Cmp { op; inputs } -> lower_cmp ctx instr.node op inputs
+  | Tdfg.Mv { input; dim; dist } -> lower_mv ctx instr.node input ~dim ~dist
+  | Tdfg.Bc { input; dim; _ } -> lower_bc ctx instr.node input ~dim
+  | Tdfg.Reduce { op; input; dim } -> lower_reduce ctx op input ~dim
+
+let lower_output ctx schedule o =
+  match o with
+  | Tdfg.Out_tensor { src; array; _ } -> begin
+    barrier_if_dirty ctx;
+    match resolve_dom ctx src with
+    | None -> ()
+    | Some dom ->
+      ctx.writeback <- ctx.writeback +. float_of_int (Hyperrect.volume dom);
+      let src_slot = Schedule.slot_of schedule src in
+      let arr_slot = List.assoc_opt array schedule.Schedule.array_slots in
+      if src_slot <> arr_slot then
+        (* copy the result wordlines into the array's persistent slot *)
+        List.iter
+          (fun piece ->
+            emit ctx
+              (Command.make
+                 (Command.Compute { op = Op.Copy; const_operands = 0 })
+                 ~dtype:(dtype ctx)
+                 ~tile_box:(tile_box_of ctx.layout piece)
+                 ~lanes_per_tile:(lanes_of ctx.layout piece)
+                 ~label:("writeback:" ^ array)))
+          (decomp ctx dom)
+  end
+  | Tdfg.Out_stream { src; _ } -> begin
+    barrier_if_dirty ctx;
+    match resolve_dom ctx src with
+    | Some dom -> ctx.s_store <- ctx.s_store +. float_of_int (Hyperrect.volume dom)
+    | None -> ()
+  end
+
+let lower cfg g ~schedule ~layout ~env =
+  let ctx =
+    {
+      cfg;
+      g;
+      schedule;
+      layout;
+      env;
+      out = [];
+      dirty = false;
+      final_reduce = 0.0;
+      s_load = 0.0;
+      s_store = 0.0;
+      spill = 0.0;
+      writeback = 0.0;
+      computed = 0.0;
+    }
+  in
+  List.iter (lower_node ctx) schedule.Schedule.order;
+  List.iter (lower_output ctx schedule) (Tdfg.outputs g);
+  if ctx.dirty then emit ctx Command.sync;
+  let cmds = List.rev ctx.out in
+  let n = List.length cmds in
+  let jit_cycles =
+    float_of_int cfg.Machine_config.jit_base_cycles
+    +. (float_of_int n *. float_of_int cfg.Machine_config.jit_cycles_per_command)
+  in
+  ( cmds,
+    {
+      commands = n;
+      jit_cycles;
+      final_reduce_elems = ctx.final_reduce;
+      stream_load_elems = ctx.s_load +. ctx.spill;
+      stream_store_elems = ctx.s_store +. ctx.spill;
+      spill_elems = ctx.spill;
+      writeback_elems = ctx.writeback;
+      compute_elems = ctx.computed;
+      memoized = false;
+    } )
+
+(* Memoization *)
+
+type memo = {
+  table : (string, Command.t list * stats) Hashtbl.t;
+  warm_regions : (string, unit) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let memo_create () =
+  { table = Hashtbl.create 64; warm_regions = Hashtbl.create 8; hits = 0; misses = 0 }
+
+let memo_lookup_cycles = 200.0
+
+(* The per-region entry cost (template instantiation, array-dimension
+   specialization, §4.2) is paid once; re-lowering the same region with new
+   parameters only maps the pre-scheduled tDFG onto the layout. *)
+let region_of_key key =
+  match String.index_opt key '|' with
+  | Some i -> String.sub key 0 i
+  | None -> key
+
+let lower_memo memo ~key cfg g ~schedule ~layout ~env =
+  match Hashtbl.find_opt memo.table key with
+  | Some (cmds, st) ->
+    memo.hits <- memo.hits + 1;
+    (cmds, { st with jit_cycles = memo_lookup_cycles; memoized = true })
+  | None ->
+    memo.misses <- memo.misses + 1;
+    let cmds, st = lower cfg g ~schedule ~layout ~env in
+    let region = region_of_key key in
+    let st =
+      if Hashtbl.mem memo.warm_regions region then
+        {
+          st with
+          jit_cycles =
+            st.jit_cycles -. float_of_int cfg.Machine_config.jit_base_cycles
+            +. memo_lookup_cycles;
+        }
+      else begin
+        Hashtbl.replace memo.warm_regions region ();
+        st
+      end
+    in
+    Hashtbl.replace memo.table key (cmds, st);
+    (cmds, st)
+
+let memo_hits m = m.hits
+let memo_misses m = m.misses

@@ -1,0 +1,1 @@
+lib/sim/corem.mli: Machine_config Traffic Workset

@@ -1,0 +1,1 @@
+lib/sim/dram.ml: Bitserial Float Machine_config

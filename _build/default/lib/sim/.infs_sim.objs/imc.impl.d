@@ -1,0 +1,1 @@
+lib/sim/imc.ml: Array Command Dtype Float Hashtbl List Machine_config Traffic

@@ -1,0 +1,1 @@
+lib/sim/imc.mli: Command Machine_config Traffic

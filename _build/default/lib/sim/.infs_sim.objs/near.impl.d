@@ -1,0 +1,1 @@
+lib/sim/near.ml: Dram Float List Machine_config Traffic Workset

@@ -1,0 +1,1 @@
+lib/sim/near.mli: Machine_config Traffic Workset

@@ -1,0 +1,1 @@
+lib/sim/traffic.ml: Float Format List Machine_config

@@ -1,0 +1,1 @@
+lib/sim/workset.ml: Float Kernel_info List

@@ -1,0 +1,1 @@
+lib/sim/workset.mli: Kernel_info

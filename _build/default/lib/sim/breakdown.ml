@@ -1,0 +1,79 @@
+type t = {
+  mutable dram : float;
+  mutable jit : float;
+  mutable move : float;
+  mutable compute : float;
+  mutable final_reduce : float;
+  mutable mix : float;
+  mutable near_mem : float;
+  mutable core : float;
+}
+
+let zero () =
+  {
+    dram = 0.0;
+    jit = 0.0;
+    move = 0.0;
+    compute = 0.0;
+    final_reduce = 0.0;
+    mix = 0.0;
+    near_mem = 0.0;
+    core = 0.0;
+  }
+
+let total t =
+  t.dram +. t.jit +. t.move +. t.compute +. t.final_reduce +. t.mix
+  +. t.near_mem +. t.core
+
+let add a b =
+  {
+    dram = a.dram +. b.dram;
+    jit = a.jit +. b.jit;
+    move = a.move +. b.move;
+    compute = a.compute +. b.compute;
+    final_reduce = a.final_reduce +. b.final_reduce;
+    mix = a.mix +. b.mix;
+    near_mem = a.near_mem +. b.near_mem;
+    core = a.core +. b.core;
+  }
+
+let accumulate ~dst b =
+  dst.dram <- dst.dram +. b.dram;
+  dst.jit <- dst.jit +. b.jit;
+  dst.move <- dst.move +. b.move;
+  dst.compute <- dst.compute +. b.compute;
+  dst.final_reduce <- dst.final_reduce +. b.final_reduce;
+  dst.mix <- dst.mix +. b.mix;
+  dst.near_mem <- dst.near_mem +. b.near_mem;
+  dst.core <- dst.core +. b.core
+
+let scale t k =
+  {
+    dram = t.dram *. k;
+    jit = t.jit *. k;
+    move = t.move *. k;
+    compute = t.compute *. k;
+    final_reduce = t.final_reduce *. k;
+    mix = t.mix *. k;
+    near_mem = t.near_mem *. k;
+    core = t.core *. k;
+  }
+
+let to_assoc t =
+  [
+    ("DRAM", t.dram);
+    ("JIT Lower", t.jit);
+    ("Move", t.move);
+    ("Compute", t.compute);
+    ("Final Reduce", t.final_reduce);
+    ("Mix", t.mix);
+    ("Near-Mem", t.near_mem);
+    ("Core", t.core);
+  ]
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>";
+  List.iter
+    (fun (k, v) -> if v > 0.0 then Format.fprintf ppf "%s=%.3e " k v)
+    (to_assoc t);
+  Format.fprintf ppf "total=%.3e@]" (total t)

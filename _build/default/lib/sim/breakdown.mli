@@ -1,0 +1,30 @@
+(** Cycle breakdown by activity (paper Fig. 14 / Fig. 16).
+
+    Categories: DRAM transfer+transpose, JIT lowering, tensor movement
+    (intra-/inter-tile shifts and broadcasts), bit-serial compute, the
+    near-memory final reduction of in-memory partials, hybrid in-/near-
+    memory phases, pure near-memory stream execution, and in-core
+    execution. Phases are modeled as sequential (commands are synchronous
+    at L3 banks), so the total is the sum. *)
+
+type t = {
+  mutable dram : float;
+  mutable jit : float;
+  mutable move : float;
+  mutable compute : float;
+  mutable final_reduce : float;
+  mutable mix : float;
+  mutable near_mem : float;
+  mutable core : float;
+}
+
+val zero : unit -> t
+val total : t -> float
+val add : t -> t -> t
+val accumulate : dst:t -> t -> unit
+val scale : t -> float -> t
+
+val to_assoc : t -> (string * float) list
+(** Label/value pairs in the paper's plotting order. *)
+
+val pp : Format.formatter -> t -> unit

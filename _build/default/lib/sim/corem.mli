@@ -1,0 +1,32 @@
+(** In-core (baseline) execution model: OOO cores with AVX-512 SIMD and
+    OpenMP-style threading (paper's [Base] configuration).
+
+    Kernels run at the minimum of compute throughput and memory bandwidth.
+    Every distinct byte of the working set crosses the NoC between L3 banks
+    and cores ([Data] traffic plus per-line [Control] messages); streams
+    whose distinct region fits in the private L2s are served from them after
+    the first touch. Cold data additionally pays DRAM bandwidth. *)
+
+type result = {
+  cycles : float;
+  dram_cycles : float;
+}
+
+val run :
+  Machine_config.t ->
+  Traffic.t ->
+  Workset.t ->
+  threads:int ->
+  cold_bytes:float ->
+  first_invocation:bool ->
+  result
+(** [threads] is 1 or the core count (Fig. 2's Base-Thread-1 / -64).
+    OpenMP overhead: a full fork/join is charged on a kernel's first
+    invocation; host-loop re-executions of the same parallel region only
+    pay a barrier (real code keeps the parallel region outside the loop). *)
+
+val omp_fork_cycles : float
+(** Fork/join charged on the first launch of a parallel region. *)
+
+val omp_barrier_cycles : float
+(** Per-iteration synchronization of a persistent parallel region. *)

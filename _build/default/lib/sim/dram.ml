@@ -1,0 +1,20 @@
+let load_cycles cfg ~bytes =
+  if bytes <= 0.0 then 0.0
+  else bytes /. Machine_config.dram_bytes_per_cycle cfg
+
+let transpose_cycles cfg ~bytes =
+  if bytes <= 0.0 then 0.0
+  else begin
+    let lines = bytes /. float_of_int cfg.Machine_config.line_bytes in
+    let per_bank = lines /. float_of_int cfg.l3_banks in
+    per_bank *. float_of_int Bitserial.transpose_cycles_per_line
+  end
+
+let fill_transposed_cycles cfg ~bytes ~resident =
+  let fetch = if resident then 0.0 else load_cycles cfg ~bytes in
+  (* L3-internal move of resident lines to the compute ways *)
+  let internal =
+    bytes
+    /. float_of_int (cfg.Machine_config.l3_banks * cfg.htree_bytes_per_cycle)
+  in
+  Float.max (Float.max fetch internal) (transpose_cycles cfg ~bytes)

@@ -1,0 +1,13 @@
+(** DRAM channel and tensor-transpose-unit (TTU) timing. *)
+
+val load_cycles : Machine_config.t -> bytes:float -> float
+(** Bandwidth-limited bulk transfer over all memory controllers. *)
+
+val transpose_cycles : Machine_config.t -> bytes:float -> float
+(** TTU occupancy to convert [bytes] between normal and transposed layout;
+    all banks transpose their resident lines in parallel, pipelined with the
+    fill (callers take [max] with the DRAM time, paper §5.2). *)
+
+val fill_transposed_cycles : Machine_config.t -> bytes:float -> resident:bool -> float
+(** Cycles to prepare [bytes] of data in transposed layout: a DRAM fetch
+    (unless already [resident] in L3) overlapped with TTU transposition. *)

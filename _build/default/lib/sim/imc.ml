@@ -1,0 +1,181 @@
+type layout_view = { grid : int array; tile : int array }
+
+type result = {
+  move_cycles : float;
+  compute_cycles : float;
+  sync_cycles : float;
+  sram_array_cycles : float;
+  commands : int;
+  elements_computed : float;
+}
+
+let grid_stride layout dim =
+  let n = Array.length layout.grid in
+  let s = ref 1 in
+  for d = dim + 1 to n - 1 do
+    s := !s * layout.grid.(d)
+  done;
+  !s
+
+let tile_linear layout coords =
+  let n = Array.length layout.grid in
+  let idx = ref 0 in
+  for d = 0 to n - 1 do
+    idx := (!idx * layout.grid.(d)) + coords.(d)
+  done;
+  !idx
+
+let tile_bank cfg layout coords =
+  tile_linear layout coords mod cfg.Machine_config.l3_banks
+
+(* Mean hop distance for a uniform bank shift of [delta] (mod banks). *)
+let shift_hops cfg delta =
+  let banks = cfg.Machine_config.l3_banks in
+  let total = ref 0 in
+  for b = 0 to banks - 1 do
+    total := !total + Machine_config.hops cfg b ((b + delta) mod banks)
+  done;
+  float_of_int !total /. float_of_int banks
+
+let execute cfg traffic ~layout cmds =
+  let move = ref 0.0
+  and comp = ref 0.0
+  and sync = ref 0.0
+  and sram = ref 0.0
+  and elems = ref 0.0 in
+  let dispatch = float_of_int cfg.Machine_config.cmd_dispatch_cycles in
+  let total_arrays = Machine_config.total_compute_arrays cfg in
+  (* Regions larger than the physical compute arrays execute in waves over
+     the tile space; each command's occupancy repeats per wave. *)
+  let waves_of (c : Command.t) =
+    float_of_int ((Command.tiles_touched c + total_arrays - 1) / max 1 total_arrays)
+  in
+  let diameter =
+    float_of_int
+      ((cfg.Machine_config.mesh_x + cfg.mesh_y - 2) * cfg.noc_router_cycles)
+  in
+  (* Inter-tile NoC bytes accumulated since the last sync barrier; their
+     transfer time is charged at the barrier. *)
+  let pending_noc_bytes = ref 0.0 and pending_hops = ref 0.0 in
+  (* Decomposed pieces of one tDFG node touch disjoint tiles and execute
+     concurrently on their own SRAM arrays: consecutive commands with the
+     same label and kind charge their occupancy once (dispatch still paid
+     per command). *)
+  let last : (string * Command.kind) option ref = ref None in
+  let occupancy_of (c : Command.t) =
+    let key = (c.Command.label, c.kind) in
+    if !last = Some key then 0.0
+    else begin
+      last := Some key;
+      float_of_int (Command.array_cycles c)
+      *. cfg.Machine_config.imc_cycle_multiplier *. waves_of c
+    end
+  in
+  let flush_pending () =
+    if !pending_noc_bytes > 0.0 then begin
+      let avg_hops =
+        if !pending_noc_bytes > 0.0 then !pending_hops /. !pending_noc_bytes
+        else 1.0
+      in
+      move :=
+        !move +. Traffic.bulk_cycles cfg ~bytes:!pending_noc_bytes ~avg_hops;
+      pending_noc_bytes := 0.0;
+      pending_hops := 0.0
+    end
+  in
+  List.iter
+    (fun (c : Command.t) ->
+      let tiles = float_of_int (Command.tiles_touched c) in
+      let lanes = float_of_int c.lanes_per_tile in
+      let bytes_per_tile = lanes *. float_of_int (Dtype.bytes c.dtype) in
+      let full_occupancy = float_of_int (Command.array_cycles c) in
+      let occupancy = occupancy_of c in
+      (match c.kind with
+      | Command.Sync ->
+        flush_pending ();
+        (* barrier: two rounds of control messages across the mesh *)
+        sync := !sync +. (2.0 *. diameter) +. dispatch;
+        let banks = float_of_int cfg.Machine_config.l3_banks in
+        Traffic.add traffic Traffic.Offload
+          ~bytes:(banks *. 16.0)
+          ~hops:(Machine_config.avg_hops cfg)
+      | Command.Compute { const_operands; _ } ->
+        comp := !comp +. occupancy +. dispatch;
+        sram := !sram +. (tiles *. full_occupancy);
+        elems := !elems +. (tiles *. lanes);
+        if const_operands > 0 then
+          Traffic.add_local traffic `Htree
+            ~bytes:(float_of_int const_operands *. tiles *. bytes_per_tile)
+      | Command.Reduce _ ->
+        comp := !comp +. occupancy +. dispatch;
+        sram := !sram +. (tiles *. full_occupancy);
+        elems := !elems +. (tiles *. lanes);
+        Traffic.add_local traffic `Intra_tile ~bytes:(tiles *. bytes_per_tile)
+      | Command.Intra_shift _ ->
+        move := !move +. occupancy +. dispatch;
+        sram := !sram +. (tiles *. full_occupancy);
+        Traffic.add_local traffic `Intra_tile ~bytes:(tiles *. bytes_per_tile)
+      | Command.Inter_shift { dim; tile_dist; _ } ->
+        move := !move +. occupancy +. dispatch;
+        sram := !sram +. (tiles *. full_occupancy);
+        let delta_linear = tile_dist * grid_stride layout dim in
+        let banks = cfg.Machine_config.l3_banks in
+        let delta_bank = ((delta_linear mod banks) + banks) mod banks in
+        let bytes = tiles *. bytes_per_tile in
+        if delta_bank = 0 then begin
+          (* stays within each bank: buffered H-tree *)
+          Traffic.add_local traffic `Htree ~bytes;
+          let per_bank = bytes /. float_of_int banks in
+          move :=
+            !move +. (per_bank /. float_of_int cfg.htree_bytes_per_cycle)
+        end
+        else begin
+          let hops = shift_hops cfg delta_bank in
+          Traffic.add traffic Traffic.Inter_tile ~bytes ~hops;
+          pending_noc_bytes := !pending_noc_bytes +. bytes;
+          pending_hops := !pending_hops +. (bytes *. hops)
+        end
+      | Command.Broadcast { dim; copies } ->
+        move := !move +. occupancy +. dispatch;
+        let dest_tiles = tiles in
+        let src_tiles = Float.max 1.0 (tiles /. float_of_int (max 1 copies)) in
+        sram := !sram +. (src_tiles *. full_occupancy);
+        let src_bytes = src_tiles *. bytes_per_tile in
+        let dest_bytes = dest_tiles *. bytes_per_tile in
+        (* Which banks receive copies? Walk the bank shift pattern of the
+           broadcast dimension: multicast injects each source packet once
+           and the tree replicates it. *)
+        let stride = grid_stride layout dim in
+        let banks = cfg.Machine_config.l3_banks in
+        let dest_banks =
+          let distinct = Hashtbl.create 16 in
+          let copies = max 1 copies in
+          for k = 0 to min (copies - 1) (banks - 1) do
+            Hashtbl.replace distinct (k * stride mod banks) ()
+          done;
+          float_of_int (Hashtbl.length distinct)
+        in
+        (* multicast: the NoC carries each source packet once (replicated
+           at the routers); banks then fan the data out to their tiles over
+           the buffered H-tree *)
+        Traffic.add traffic Traffic.Inter_tile ~bytes:src_bytes ~hops:dest_banks;
+        Traffic.add_local traffic `Htree ~bytes:dest_bytes;
+        let eject =
+          src_bytes /. float_of_int (banks * cfg.Machine_config.noc_link_bytes)
+        in
+        let htree =
+          dest_bytes /. float_of_int banks
+          /. float_of_int cfg.htree_bytes_per_cycle
+        in
+        move := !move +. Float.max eject htree);
+      ())
+    cmds;
+  flush_pending ();
+  {
+    move_cycles = !move;
+    compute_cycles = !comp;
+    sync_cycles = !sync;
+    sram_array_cycles = !sram;
+    commands = List.length cmds;
+    elements_computed = !elems;
+  }

@@ -1,0 +1,34 @@
+(** In-memory command execution model (paper §5.2).
+
+    Executes a lowered command list against a tiled layout. Tiles are
+    statically mapped to SRAM arrays (tile linear index interleaved across
+    L3 banks), so every touched tile computes concurrently; a command's
+    latency is its bit-serial array occupancy plus TCL3 dispatch. Inter-tile
+    shifts whose destination tile lives in another bank inject NoC packets
+    (category [Inter_tile]); same-bank transfers ride the buffered H-tree.
+    Commands are synchronous per bank except inter-tile shifts, which
+    complete at the next [Sync] barrier — the model therefore charges the
+    NoC transfer time when the barrier is crossed, overlapping it with
+    nothing (conservative, like the paper's synchronous L3-bank
+    semantics). *)
+
+type layout_view = {
+  grid : int array;  (** tiles per lattice dimension *)
+  tile : int array;  (** elements per tile per dimension *)
+}
+
+type result = {
+  move_cycles : float;
+  compute_cycles : float;
+  sync_cycles : float;
+  sram_array_cycles : float;
+      (** Σ over commands of touched-tiles x occupancy — the energy proxy *)
+  commands : int;
+  elements_computed : float;
+}
+
+val tile_bank : Machine_config.t -> layout_view -> int array -> int
+(** Home L3 bank of a tile (linear index modulo bank count). *)
+
+val execute :
+  Machine_config.t -> Traffic.t -> layout:layout_view -> Command.t list -> result

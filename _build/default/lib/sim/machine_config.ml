@@ -1,0 +1,147 @@
+type t = {
+  freq_ghz : float;
+  cores : int;
+  mesh_x : int;
+  mesh_y : int;
+  issue_width : int;
+  simd_fp32_lanes : int;
+  fp_units : int;
+  l1_kb : int;
+  l2_kb : int;
+  l2_hit_cycles : int;
+  l3_hit_cycles : int;
+  line_bytes : int;
+  l3_banks : int;
+  l3_ways : int;
+  compute_ways : int;
+  arrays_per_way : int;
+  sram_wordlines : int;
+  sram_bitlines : int;
+  htree_bytes_per_cycle : int;
+  l3_bank_bytes_per_cycle : int;
+  noc_link_bytes : int;
+  noc_router_cycles : int;
+  dram_gbps : float;
+  mem_ctrls : int;
+  sel3_streams : int;
+  sel3_buffer_kb : int;
+  sel3_init_cycles : int;
+  sel3_flops_per_cycle : float;
+  secore_fifo_kb : int;
+  lot_regions : int;
+  cmd_dispatch_cycles : int;
+  jit_cycles_per_command : int;
+  jit_base_cycles : int;
+  transpose_release_timer : int;
+  imc_cycle_multiplier : float;
+}
+
+let default =
+  {
+    freq_ghz = 2.0;
+    cores = 64;
+    mesh_x = 8;
+    mesh_y = 8;
+    issue_width = 8;
+    simd_fp32_lanes = 16;
+    fp_units = 4;
+    l1_kb = 32;
+    l2_kb = 256;
+    l2_hit_cycles = 16;
+    l3_hit_cycles = 20;
+    line_bytes = 64;
+    l3_banks = 64;
+    l3_ways = 18;
+    compute_ways = 16;
+    arrays_per_way = 16;
+    sram_wordlines = 256;
+    sram_bitlines = 256;
+    htree_bytes_per_cycle = 1024;
+    l3_bank_bytes_per_cycle = 64;
+    noc_link_bytes = 32;
+    noc_router_cycles = 3;
+    dram_gbps = 25.6;
+    mem_ctrls = 16;
+    sel3_streams = 768;
+    sel3_buffer_kb = 64;
+    sel3_init_cycles = 4;
+    sel3_flops_per_cycle = 16.0;
+    secore_fifo_kb = 2;
+    lot_regions = 16;
+    cmd_dispatch_cycles = 8;
+    jit_cycles_per_command = 60;
+    jit_base_cycles = 4000;
+    transpose_release_timer = 100_000;
+    imc_cycle_multiplier = 1.0;
+  }
+
+(* A future-generation machine with 512x512 compute arrays (32kB each):
+   the same fat binary runs here through its second pre-scheduled geometry
+   (the paper's portability claim). Capacity is kept at 144MB. *)
+let big_arrays =
+  {
+    default with
+    arrays_per_way = 4;
+    sram_wordlines = 512;
+    sram_bitlines = 512;
+  }
+
+(* An in-DRAM sketch (paper §9: "the JIT runtime can be extended for
+   in-DRAM computing, e.g. triple-row activation"). The tDFG, compiler and
+   runtime are unchanged — only the substrate parameters move: 16 channels
+   of many large subarrays (8x the bitlines), bit-serial steps built from
+   Ambit-style AAP sequences (~4x slower per bit), a narrower on-chip path
+   to the subarrays, and no conventional-cache reservation. *)
+let in_dram =
+  {
+    default with
+    l3_banks = 16;
+    l3_ways = 64;
+    compute_ways = 64;
+    arrays_per_way = 32;
+    sram_bitlines = 1024;
+    htree_bytes_per_cycle = 256;
+    l3_bank_bytes_per_cycle = 32;
+    cmd_dispatch_cycles = 24;
+    imc_cycle_multiplier = 4.0;
+  }
+
+let small =
+  {
+    default with
+    cores = 4;
+    mesh_x = 2;
+    mesh_y = 2;
+    l3_banks = 4;
+    compute_ways = 2;
+    arrays_per_way = 2;
+    sel3_streams = 48;
+  }
+
+let compute_arrays_per_bank t = t.compute_ways * t.arrays_per_way
+let total_compute_arrays t = t.l3_banks * compute_arrays_per_bank t
+let total_bitlines t = total_compute_arrays t * t.sram_bitlines
+let dram_bytes_per_cycle t = t.dram_gbps /. t.freq_ghz
+let peak_simd_flops_per_cycle t = float_of_int (t.cores * t.simd_fp32_lanes)
+
+let peak_imc_ops_per_cycle t ~dtype ~op =
+  float_of_int (total_bitlines t) /. float_of_int (Bitserial.op_cycles op dtype)
+
+let bank_xy t b = (b mod t.mesh_x, b / t.mesh_x)
+
+let hops t a b =
+  let xa, ya = bank_xy t a and xb, yb = bank_xy t b in
+  abs (xa - xb) + abs (ya - yb)
+
+let avg_hops t =
+  (* mean |Δ| of two uniform draws over n points is (n^2-1)/(3n) *)
+  let mean_1d n = float_of_int ((n * n) - 1) /. (3.0 *. float_of_int n) in
+  mean_1d t.mesh_x +. mean_1d t.mesh_y
+
+let noc_links t =
+  2 * (((t.mesh_x - 1) * t.mesh_y) + (t.mesh_x * (t.mesh_y - 1)))
+
+let bisection_bytes_per_cycle t =
+  float_of_int (t.mesh_x * t.noc_link_bytes)
+
+let cycles_to_us t cycles = cycles /. (t.freq_ghz *. 1000.0)

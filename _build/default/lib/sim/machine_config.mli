@@ -1,0 +1,93 @@
+(** System and microarchitecture parameters (paper Table 2).
+
+    The default configuration reproduces the paper's 64-core, 8x8-mesh,
+    144MB-L3 system with 256x256 bit-serial compute SRAM arrays. All
+    latencies are in core cycles at [freq_ghz]. *)
+
+type t = {
+  freq_ghz : float;
+  cores : int;  (** 64 (8x8 tiles, one core + L3 bank per tile) *)
+  mesh_x : int;
+  mesh_y : int;
+  issue_width : int;  (** OOO8 *)
+  simd_fp32_lanes : int;  (** 512-bit AVX = 16 fp32 lanes *)
+  fp_units : int;  (** FP ALU/SIMD units per core *)
+  l1_kb : int;
+  l2_kb : int;
+  l2_hit_cycles : int;
+  l3_hit_cycles : int;
+  line_bytes : int;
+  l3_banks : int;
+  l3_ways : int;  (** 18 ways total *)
+  compute_ways : int;  (** 16 reserved for in-memory compute *)
+  arrays_per_way : int;  (** 16 8kB arrays *)
+  sram_wordlines : int;
+  sram_bitlines : int;
+  htree_bytes_per_cycle : int;
+      (** per bank: 64B per way's buffered H-tree x 16 compute ways *)
+  l3_bank_bytes_per_cycle : int;  (** SRAM read/write bandwidth per bank *)
+  noc_link_bytes : int;  (** 32B / cycle / link *)
+  noc_router_cycles : int;  (** per-hop latency (5-stage router, 1-cy link) *)
+  dram_gbps : float;  (** 25.6 GB/s aggregate *)
+  mem_ctrls : int;
+  sel3_streams : int;
+  sel3_buffer_kb : int;  (** per-bank stream buffer (Table 2: 64kB) *)
+  sel3_init_cycles : int;
+  sel3_flops_per_cycle : float;
+      (** near-memory compute throughput per bank: NSC coordinates a spare
+          SIMD thread, one 512-bit op per bank per cycle (16 fp32 lanes) *)
+  secore_fifo_kb : int;
+  lot_regions : int;
+  cmd_dispatch_cycles : int;  (** TCL3 per-command decode/broadcast *)
+  jit_cycles_per_command : int;
+      (** host-side JIT lowering cost per generated command (§4.2, after
+          the 1000x software optimizations) *)
+  jit_base_cycles : int;  (** fixed per-region JIT entry cost *)
+  transpose_release_timer : int;  (** delayed release, 100k cycles *)
+  imc_cycle_multiplier : float;
+      (** substrate scaling of every bit-serial command's occupancy: 1.0
+          for compute SRAM; ~4 for in-DRAM triple-row-activation sequences
+          (§9's extension direction) *)
+}
+
+val default : t
+(** Table 2 values. *)
+
+val in_dram : t
+(** An in-DRAM substrate sketch (§9): 16 channels of large, slow subarrays
+    with 8x the bitline parallelism; same tDFG/JIT stack. *)
+
+val big_arrays : t
+(** A future-generation machine with 512x512 SRAM arrays at the same total
+    capacity; exercises the fat binary's second schedule (portability). *)
+
+val small : t
+(** A scaled-down machine (4 banks, 4 arrays/bank) for fast unit tests. *)
+
+(** {1 Derived quantities} *)
+
+val compute_arrays_per_bank : t -> int
+val total_compute_arrays : t -> int
+val total_bitlines : t -> int
+val dram_bytes_per_cycle : t -> float
+val peak_simd_flops_per_cycle : t -> float
+(** All cores together (Fig. 2's 1024 ops/cycle). *)
+
+val peak_imc_ops_per_cycle : t -> dtype:Dtype.t -> op:Op.t -> float
+(** Equation 1: banks * arrays * bitlines / op latency. *)
+
+val bank_xy : t -> int -> int * int
+(** Mesh coordinates of an L3 bank (row-major). *)
+
+val hops : t -> int -> int -> int
+(** Manhattan distance between two banks. *)
+
+val avg_hops : t -> float
+(** Mean hop count between uniformly random mesh endpoints. *)
+
+val noc_links : t -> int
+(** Directed link count of the mesh. *)
+
+val bisection_bytes_per_cycle : t -> float
+
+val cycles_to_us : t -> float -> float

@@ -1,0 +1,28 @@
+(** Near-memory (near-stream, NSC-style) execution model (paper §2.1, §5.1).
+
+    Streams and their computation execute at the L3 banks where the data
+    resides. Sequential affine streams are read once at full bank bandwidth
+    with {e no} core-L3 NoC data traffic; what Near-L3 cannot do is exploit
+    reuse — re-referenced data (broadcast-style streams) is re-fetched, and
+    a remote fraction of those fetches crosses the NoC (this is why Near-L3
+    loses on kmeans in the paper, Fig. 12). Offload management (stream
+    configs, coarse flow control every few lines) is charged as [Offload]
+    traffic. *)
+
+type result = {
+  cycles : float;
+  dram_cycles : float;  (** cold-miss portion, reported separately *)
+}
+
+val run :
+  Machine_config.t ->
+  Traffic.t ->
+  Workset.t ->
+  cold_bytes:float ->
+  result
+(** Execute one kernel invocation near-memory. [cold_bytes] is the portion
+    of the working set that must be fetched from DRAM first (residency is
+    tracked by the caller across regions). *)
+
+val stream_setup_cycles : Machine_config.t -> streams:int -> float
+(** One-time SEcore-to-SEL3 configuration cost for a region. *)

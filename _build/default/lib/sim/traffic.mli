@@ -1,0 +1,46 @@
+(** NoC traffic accounting (paper Figs. 12–13).
+
+    Traffic is tracked per category in bytes, byte-hops (bytes weighted by
+    mesh distance — the quantity Fig. 12/13 plot) and packets. Categories
+    follow the paper: coherence control, data movement, offload management
+    (stream configs, flow control, in-memory synchronization), and the
+    inter-tile shift traffic that crosses the NoC. Intra-tile and in-bank
+    H-tree movement is recorded separately for Fig. 13. *)
+
+type category =
+  | Control  (** coherence / request control messages *)
+  | Data  (** cache-line data between cores and L3 / memory *)
+  | Offload  (** stream configs, flow control, sync for offloaded work *)
+  | Inter_tile  (** in-memory shifts crossing the NoC *)
+
+type t
+
+val create : Machine_config.t -> t
+val reset : t -> unit
+
+val add : t -> category -> bytes:float -> hops:float -> unit
+(** Record a transfer; packet count is derived from the link width. *)
+
+val add_local : t -> [ `Intra_tile | `Htree ] -> bytes:float -> unit
+(** In-SRAM / in-bank movement that never enters the NoC. *)
+
+val bytes : t -> category -> float
+val byte_hops : t -> category -> float
+val packets : t -> category -> float
+val local_bytes : t -> [ `Intra_tile | `Htree ] -> float
+
+val total_bytes : t -> float
+(** NoC categories only. *)
+
+val total_byte_hops : t -> float
+
+val utilization : t -> cycles:float -> float
+(** Fraction of aggregate link capacity used over [cycles]. *)
+
+val bulk_cycles : Machine_config.t -> bytes:float -> avg_hops:float -> float
+(** Time for a bulk, well-spread transfer: the maximum of endpoint
+    serialization and bisection-bandwidth limits, plus pipeline latency. *)
+
+val merge_into : dst:t -> t -> unit
+
+val pp : Format.formatter -> t -> unit

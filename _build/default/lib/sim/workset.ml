@@ -1,0 +1,68 @@
+type stream = {
+  array : string;
+  direction : Kernel_info.direction;
+  indirect : bool;
+  elem_bytes : float;
+  accesses : float;
+  distinct_bytes : float;
+}
+
+type t = {
+  name : string;
+  iters : float;
+  flops_per_iter : float;
+  flops : float;
+  streams : stream list;
+  has_indirect : bool;
+}
+
+let resolve (info : Kernel_info.t) ~env ~arrays =
+  let iters = float_of_int (Kernel_info.iterations info env) in
+  let streams =
+    List.map
+      (fun (s : Kernel_info.stream) ->
+        let distinct =
+          float_of_int (Kernel_info.stream_distinct_elems s env ~arrays)
+          *. float_of_int s.elem_bytes
+        in
+        {
+          array = s.array;
+          direction = s.direction;
+          indirect = s.indirect;
+          elem_bytes = float_of_int s.elem_bytes;
+          accesses = iters *. float_of_int s.accesses_per_iter;
+          distinct_bytes = distinct;
+        })
+      info.streams
+  in
+  {
+    name = info.kname;
+    iters;
+    flops_per_iter = float_of_int info.flops_per_iter;
+    flops = iters *. float_of_int info.flops_per_iter;
+    streams;
+    has_indirect = info.has_indirect;
+  }
+
+let read_bytes t =
+  List.fold_left
+    (fun acc s ->
+      match s.direction with
+      | Kernel_info.Read | Kernel_info.Read_write -> acc +. s.distinct_bytes
+      | Kernel_info.Write -> acc)
+    0.0 t.streams
+
+let write_bytes t =
+  List.fold_left
+    (fun acc s ->
+      match s.direction with
+      | Kernel_info.Write | Kernel_info.Read_write -> acc +. s.distinct_bytes
+      | Kernel_info.Read -> acc)
+    0.0 t.streams
+
+let touched_bytes t =
+  List.fold_left (fun acc s -> acc +. s.distinct_bytes) 0.0 t.streams
+
+let reuse_factor s =
+  if s.distinct_bytes <= 0.0 then 1.0
+  else Float.max 1.0 (s.accesses *. s.elem_bytes /. s.distinct_bytes)

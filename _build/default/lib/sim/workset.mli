@@ -1,0 +1,35 @@
+(** Concrete (resolved) working-set summary of one kernel invocation.
+
+    Bridges the compiler's symbolic {!Kernel_info} analysis and the
+    performance engines: iteration counts, per-stream access and distinct
+    byte counts under the current parameter environment. *)
+
+type stream = {
+  array : string;
+  direction : Kernel_info.direction;
+  indirect : bool;
+  elem_bytes : float;
+  accesses : float;  (** total element accesses over the whole invocation *)
+  distinct_bytes : float;  (** size of the region actually touched *)
+}
+
+type t = {
+  name : string;
+  iters : float;
+  flops_per_iter : float;  (** arithmetic ops per iteration *)
+  flops : float;
+  streams : stream list;
+  has_indirect : bool;
+}
+
+val resolve :
+  Kernel_info.t -> env:(string -> int) -> arrays:(string * int list) list -> t
+
+val read_bytes : t -> float
+(** Distinct bytes of all read / read-write streams. *)
+
+val write_bytes : t -> float
+val touched_bytes : t -> float
+
+val reuse_factor : stream -> float
+(** accesses x elem_bytes / distinct_bytes (>= 1 for non-degenerate). *)

@@ -1,0 +1,1 @@
+lib/tdfg/tdfg.ml: Array Dtype Format Hashtbl List Op Option Printf Set String Symaff Symrect

@@ -1,0 +1,1 @@
+lib/tdfg/tdfg.mli: Dtype Format Op Symaff Symrect

@@ -1,0 +1,1 @@
+lib/tdfg/tdfg_eval.ml: Array Dense Hashtbl Hyperrect Interp List Op Printf String Symaff Symrect Tdfg

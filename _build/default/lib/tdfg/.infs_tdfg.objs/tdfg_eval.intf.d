@@ -1,0 +1,1 @@
+lib/tdfg/tdfg_eval.mli: Dense Interp Tdfg

@@ -1,0 +1,353 @@
+type id = int
+
+type const_value = Lit of float | Runtime of string
+
+type coord =
+  | Caff of Symaff.t
+  | Cgather of { index : string; at : Symaff.t list }
+
+type kind =
+  | Tensor of { array : string; view : Symrect.t; axes : int list }
+  | Const of const_value
+  | Cmp of { op : Op.t; inputs : id list }
+  | Mv of { input : id; dim : int; dist : int }
+  | Bc of { input : id; dim : int; lo : Symaff.t; hi : Symaff.t }
+  | Shrink of { input : id; rect : Symrect.t }
+  | Reduce of { op : Op.t; input : id; dim : int }
+  | Stream_load of { array : string; view : Symrect.t; coords : coord list }
+
+type output =
+  | Out_tensor of { src : id; array : string; axes : int list }
+  | Out_stream of {
+      src : id;
+      array : string;
+      coords : coord list;
+      accum : Op.t option;
+    }
+
+type node = { id : id; kind : kind }
+
+type dom = Finite of Symrect.t | Infinite
+
+type t = {
+  gname : string;
+  dims : int;
+  gdtype : Dtype.t;
+  mutable node_list : node list; (* reversed *)
+  mutable count : int;
+  cons : (kind, id) Hashtbl.t;
+  by_id : (id, kind) Hashtbl.t;
+  mutable outs : output list; (* reversed *)
+  dom_cache : (id, dom) Hashtbl.t;
+}
+
+let create ~name ~dims ~dtype =
+  {
+    gname = name;
+    dims;
+    gdtype = dtype;
+    node_list = [];
+    count = 0;
+    cons = Hashtbl.create 64;
+    by_id = Hashtbl.create 64;
+    outs = [];
+    dom_cache = Hashtbl.create 64;
+  }
+
+let name t = t.gname
+let lattice_dims t = t.dims
+let dtype t = t.gdtype
+
+let inputs_of = function
+  | Tensor _ | Const _ | Stream_load _ -> []
+  | Cmp { inputs; _ } -> inputs
+  | Mv { input; _ } | Bc { input; _ } | Shrink { input; _ } | Reduce { input; _ } ->
+    [ input ]
+
+let add t kind =
+  match Hashtbl.find_opt t.cons kind with
+  | Some id -> id
+  | None ->
+    List.iter
+      (fun i ->
+        if i < 0 || i >= t.count then
+          invalid_arg (Printf.sprintf "Tdfg.add: dangling input %d" i))
+      (inputs_of kind);
+    let id = t.count in
+    t.count <- id + 1;
+    t.node_list <- { id; kind } :: t.node_list;
+    Hashtbl.replace t.cons kind id;
+    Hashtbl.replace t.by_id id kind;
+    id
+
+let add_output t o = t.outs <- o :: t.outs
+
+let tensor t ~array ~view ~axes = add t (Tensor { array; view; axes })
+let const_lit t f = add t (Const (Lit f))
+let const_runtime t s = add t (Const (Runtime s))
+let cmp t op inputs = add t (Cmp { op; inputs })
+let mv t input ~dim ~dist = add t (Mv { input; dim; dist })
+let bc t input ~dim ~lo ~hi = add t (Bc { input; dim; lo; hi })
+let shrink t input ~rect = add t (Shrink { input; rect })
+let reduce t op input ~dim = add t (Reduce { op; input; dim })
+
+let nodes t = List.rev t.node_list
+
+let kind t id =
+  match Hashtbl.find_opt t.by_id id with
+  | Some k -> k
+  | None -> invalid_arg "Tdfg.kind: bad id"
+
+let node t id = { id; kind = kind t id }
+let outputs t = List.rev t.outs
+let node_count t = t.count
+
+let rec domain ?(min_var = 4) t id =
+  match Hashtbl.find_opt t.dom_cache id with
+  | Some d -> d
+  | None ->
+    let d = compute_domain ~min_var t id in
+    Hashtbl.replace t.dom_cache id d;
+    d
+
+and compute_domain ~min_var t id =
+  let dom_of i = domain ~min_var t i in
+  match kind t id with
+  | Tensor { view; _ } | Stream_load { view; _ } -> Finite view
+  | Const _ -> Infinite
+  | Cmp { inputs; _ } ->
+    List.fold_left
+      (fun acc i ->
+        match (acc, dom_of i) with
+        | Infinite, d | d, Infinite -> d
+        | Finite a, Finite b -> (
+          match Symrect.intersect ~min_var a b with
+          | Some r -> Finite r
+          | None ->
+            failwith
+              (Printf.sprintf
+                 "Tdfg.domain: node %d: incomparable/empty intersection %s vs %s"
+                 id (Symrect.to_string a) (Symrect.to_string b))))
+      Infinite inputs
+  | Mv { input; dim; dist } -> (
+    match dom_of input with
+    | Infinite -> Infinite
+    | Finite r -> Finite (Symrect.shift r ~dim ~dist))
+  | Bc { input; dim; lo; hi } -> (
+    match dom_of input with
+    | Infinite -> Infinite
+    | Finite r -> Finite (Symrect.with_range r ~dim ~lo ~hi))
+  | Shrink { rect; _ } -> Finite rect
+  | Reduce { input; dim; _ } -> (
+    match dom_of input with
+    | Infinite -> failwith "Tdfg.domain: reduce over an infinite domain"
+    | Finite r -> Finite (Symrect.collapse r ~dim))
+
+let live_nodes t =
+  let live = Array.make t.count false in
+  let rec mark id =
+    if not live.(id) then begin
+      live.(id) <- true;
+      List.iter mark (inputs_of (kind t id))
+    end
+  in
+  List.iter
+    (function Out_tensor { src; _ } | Out_stream { src; _ } -> mark src)
+    t.outs;
+  List.filter_map
+    (fun (n : node) -> if live.(n.id) then Some n.id else None)
+    (nodes t)
+
+module Sset = Set.Make (String)
+
+let coords_arrays coords =
+  List.filter_map (function Caff _ -> None | Cgather { index; _ } -> Some index) coords
+
+let input_arrays t =
+  let live = live_nodes t in
+  let s =
+    List.fold_left
+      (fun acc id ->
+        match kind t id with
+        | Tensor { array; _ } -> Sset.add array acc
+        | Stream_load { array; coords; _ } ->
+          List.fold_left (fun a x -> Sset.add x a) (Sset.add array acc)
+            (coords_arrays coords)
+        | Const _ | Cmp _ | Mv _ | Bc _ | Shrink _ | Reduce _ -> acc)
+      Sset.empty live
+  in
+  let s =
+    List.fold_left
+      (fun acc o ->
+        match o with
+        | Out_stream { coords; _ } ->
+          List.fold_left (fun a x -> Sset.add x a) acc (coords_arrays coords)
+        | Out_tensor _ -> acc)
+      s t.outs
+  in
+  Sset.elements s
+
+let output_arrays t =
+  List.sort_uniq String.compare
+    (List.map
+       (function Out_tensor { array; _ } | Out_stream { array; _ } -> array)
+       t.outs)
+
+let runtime_scalars t =
+  let s =
+    List.fold_left
+      (fun acc id ->
+        match kind t id with
+        | Const (Runtime r) -> Sset.add r acc
+        | _ -> acc)
+      Sset.empty (live_nodes t)
+  in
+  Sset.elements s
+
+let kind_name = function
+  | Tensor _ -> "tensor"
+  | Const _ -> "const"
+  | Cmp _ -> "cmp"
+  | Mv _ -> "mv"
+  | Bc _ -> "bc"
+  | Shrink _ -> "shrink"
+  | Reduce _ -> "reduce"
+  | Stream_load _ -> "stream_load"
+
+let stats t =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun id ->
+      let k = kind_name (kind t id) in
+      Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+    (live_nodes t);
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+let op_multiset t =
+  let tbl = Hashtbl.create 8 in
+  let bump op =
+    Hashtbl.replace tbl op (1 + Option.value ~default:0 (Hashtbl.find_opt tbl op))
+  in
+  List.iter
+    (fun id ->
+      match kind t id with
+      | Cmp { op; _ } | Reduce { op; _ } -> bump op
+      | Tensor _ | Const _ | Mv _ | Bc _ | Shrink _ | Stream_load _ -> ())
+    (live_nodes t);
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+let validate ?(min_var = 4) t =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let check_node (n : node) =
+    match n.kind with
+    | Tensor { view; axes; array } ->
+      if Symrect.dims view <> t.dims then
+        err "node %d: tensor %s view rank %d, lattice %d" n.id array
+          (Symrect.dims view) t.dims
+      else if List.exists (fun a -> a < 0 || a >= t.dims) axes then
+        err "node %d: axis out of range" n.id
+      else if List.length (List.sort_uniq compare axes) <> List.length axes then
+        err "node %d: duplicate axes" n.id
+      else Ok ()
+    | Cmp { op; inputs } ->
+      if List.length inputs <> Op.arity op then
+        err "node %d: op %s arity %d got %d" n.id (Op.to_string op) (Op.arity op)
+          (List.length inputs)
+      else Ok ()
+    | Mv { dim; _ } | Reduce { dim; _ } ->
+      if dim < 0 || dim >= t.dims then err "node %d: dim out of range" n.id else Ok ()
+    | Bc { input; dim; _ } -> (
+      if dim < 0 || dim >= t.dims then err "node %d: dim out of range" n.id
+      else
+        match domain ~min_var t input with
+        | Infinite -> Ok ()
+        | Finite r ->
+          let l, h = (Symrect.lo r dim, Symrect.hi r dim) in
+          if Symaff.equal (Symaff.add_const l 1) h then Ok ()
+          else err "node %d: bc input extent along dim %d is not 1" n.id dim)
+    | Shrink { rect; _ } ->
+      if Symrect.dims rect <> t.dims then err "node %d: shrink rank mismatch" n.id
+      else Ok ()
+    | Stream_load { view; coords; _ } ->
+      if Symrect.dims view <> t.dims then err "node %d: stream view rank" n.id
+      else if coords = [] then err "node %d: stream with no coords" n.id
+      else Ok ()
+    | Const _ -> Ok ()
+  in
+  let check_output = function
+    | Out_tensor { src; array; axes } -> (
+      match domain ~min_var t src with
+      | Infinite -> err "output to %s has infinite domain" array
+      | Finite _ ->
+        if List.exists (fun a -> a < 0 || a >= t.dims) axes then
+          err "output to %s: axis out of range" array
+        else Ok ())
+    | Out_stream { src; array; coords; _ } -> (
+      match domain ~min_var t src with
+      | Infinite -> err "stream output to %s has infinite domain" array
+      | Finite _ -> if coords = [] then err "stream output with no coords" else Ok ())
+  in
+  try
+    let results = List.map check_node (nodes t) @ List.map check_output (outputs t) in
+    List.fold_left
+      (fun acc r -> match acc with Error _ -> acc | Ok () -> r)
+      (Ok ()) results
+  with Failure msg -> Error msg
+
+let pp_const ppf = function
+  | Lit f -> Format.fprintf ppf "%g" f
+  | Runtime s -> Format.fprintf ppf "$%s" s
+
+let pp_coord ppf = function
+  | Caff a -> Format.fprintf ppf "%s" (Symaff.to_string a)
+  | Cgather { index; at } ->
+    Format.fprintf ppf "%s%s" index
+      (String.concat ""
+         (List.map (fun a -> Printf.sprintf "[%s]" (Symaff.to_string a)) at))
+
+let pp_kind ppf = function
+  | Tensor { array; view; axes } ->
+    Format.fprintf ppf "tensor %s %s axes=[%s]" array (Symrect.to_string view)
+      (String.concat ";" (List.map string_of_int axes))
+  | Const c -> Format.fprintf ppf "const %a" pp_const c
+  | Cmp { op; inputs } ->
+    Format.fprintf ppf "cmp %s (%s)" (Op.to_string op)
+      (String.concat ", " (List.map (Printf.sprintf "%%%d") inputs))
+  | Mv { input; dim; dist } -> Format.fprintf ppf "mv %%%d dim=%d dist=%+d" input dim dist
+  | Bc { input; dim; lo; hi } ->
+    Format.fprintf ppf "bc %%%d dim=%d -> [%s,%s)" input dim (Symaff.to_string lo)
+      (Symaff.to_string hi)
+  | Shrink { input; rect } ->
+    Format.fprintf ppf "shrink %%%d -> %s" input (Symrect.to_string rect)
+  | Reduce { op; input; dim } ->
+    Format.fprintf ppf "reduce %s %%%d dim=%d" (Op.to_string op) input dim
+  | Stream_load { array; view; coords } ->
+    Format.fprintf ppf "strm.ld %s %s coords=(%a)" array (Symrect.to_string view)
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         pp_coord)
+      coords
+
+let pp_output ppf = function
+  | Out_tensor { src; array; axes } ->
+    Format.fprintf ppf "out %s <- %%%d axes=[%s]" array src
+      (String.concat ";" (List.map string_of_int axes))
+  | Out_stream { src; array; coords; accum } ->
+    Format.fprintf ppf "strm.st %s%s <- %%%d coords=(%a)" array
+      (match accum with Some op -> Printf.sprintf " (%s=)" (Op.to_string op) | None -> "")
+      src
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         pp_coord)
+      coords
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>tdfg %s (dims=%d, %s)@," t.gname t.dims
+    (Dtype.to_string t.gdtype);
+  List.iter
+    (fun (n : node) -> Format.fprintf ppf "  %%%d = %a@," n.id pp_kind n.kind)
+    (nodes t);
+  List.iter (fun o -> Format.fprintf ppf "  %a@," pp_output o) (outputs t);
+  Format.fprintf ppf "@]"
+
+let to_string t = Format.asprintf "%a" pp t

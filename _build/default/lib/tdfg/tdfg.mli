@@ -1,0 +1,131 @@
+(** The tensor dataflow graph (tDFG) — the paper's IR (§3.2, Fig. 5).
+
+    A tDFG describes one offloadable kernel region as SSA dataflow over
+    tensors positioned in a global lattice space. Domains are symbolic
+    ({!Symrect.t}) so one graph serves every input size; the JIT resolves
+    them at configuration time.
+
+    Node set (paper Fig. 5): input tensor views ([Tensor]), constants
+    ([Const], broadcast to all lattice cells), element-wise compute ([Cmp],
+    domain = intersection of inputs), explicit alignment ([Mv]/[Bc]), the
+    bookkeeping [Shrink] node from the appendix (lowered to a no-op), the
+    dimension reduction node, and embedded near-memory streams
+    ([Stream_load], §3.3) for strided/indirect accesses that in-memory
+    computing cannot lay out itself. *)
+
+type id = int
+
+type const_value =
+  | Lit of float
+  | Runtime of string
+      (** named runtime scalar passed through [inf_cfg] (Fig. 7's [akk]) *)
+
+(** How one array coordinate of a stream access is produced. Variables
+    [d0..dN-1] denote lattice coordinates. *)
+type coord =
+  | Caff of Symaff.t  (** affine in lattice coordinates and parameters *)
+  | Cgather of { index : string; at : Symaff.t list }
+      (** [index\[at0\]..\[atn\]] — one-level indirection through an
+          index array (multi-dimensional index arrays allowed) *)
+
+type kind =
+  | Tensor of { array : string; view : Symrect.t; axes : int list }
+      (** Unit-stride view of [array]; [axes.(j)] is the lattice dimension
+          carrying array dimension [j]. Non-axis dimensions of [view] must
+          have extent 1. *)
+  | Const of const_value
+  | Cmp of { op : Op.t; inputs : id list }
+  | Mv of { input : id; dim : int; dist : int }
+  | Bc of { input : id; dim : int; lo : Symaff.t; hi : Symaff.t }
+      (** Input must have extent 1 along [dim]; result covers [\[lo,hi)]. *)
+  | Shrink of { input : id; rect : Symrect.t }
+  | Reduce of { op : Op.t; input : id; dim : int }
+      (** Fully reduce [dim] (extent collapses to 1). Lowering splits this
+          into in-memory rounds and, when the tile does not cover the
+          reduced extent, a near-memory final-reduce stream. *)
+  | Stream_load of { array : string; view : Symrect.t; coords : coord list }
+      (** Near-memory load stream depositing data as a tensor over [view];
+          [coords.(j)] gives array coordinate [j] for each lattice point. *)
+
+type output =
+  | Out_tensor of { src : id; array : string; axes : int list }
+      (** In-memory write-back of [src]'s domain into [array]. *)
+  | Out_stream of {
+      src : id;
+      array : string;
+      coords : coord list;
+      accum : Op.t option;
+    }
+      (** Near-memory store stream (strided or indirect scatter); [accum]
+          makes it a read-modify-write (sequential stream semantics). *)
+
+type node = { id : id; kind : kind }
+
+type t
+
+(** Domains: [Const] nodes live at every lattice cell. *)
+type dom = Finite of Symrect.t | Infinite
+
+(** {1 Building} *)
+
+val create : name:string -> dims:int -> dtype:Dtype.t -> t
+(** [dims] is the lattice dimensionality of the region. *)
+
+val name : t -> string
+val lattice_dims : t -> int
+val dtype : t -> Dtype.t
+
+val add : t -> kind -> id
+(** Append a node (inputs must already exist); returns its id. Structurally
+    identical nodes are hash-consed to the same id. *)
+
+val add_output : t -> output -> unit
+
+val tensor : t -> array:string -> view:Symrect.t -> axes:int list -> id
+val const_lit : t -> float -> id
+val const_runtime : t -> string -> id
+val cmp : t -> Op.t -> id list -> id
+val mv : t -> id -> dim:int -> dist:int -> id
+val bc : t -> id -> dim:int -> lo:Symaff.t -> hi:Symaff.t -> id
+val shrink : t -> id -> rect:Symrect.t -> id
+val reduce : t -> Op.t -> id -> dim:int -> id
+
+(** {1 Inspection} *)
+
+val node : t -> id -> node
+val kind : t -> id -> kind
+val nodes : t -> node list
+(** In id order, which is a topological order. *)
+
+val outputs : t -> output list
+val node_count : t -> int
+
+val inputs_of : kind -> id list
+(** Dataflow predecessors. *)
+
+val domain : ?min_var:int -> t -> id -> dom
+(** Symbolic domain per Fig. 5's semantics. [Failure] when an intersection
+    is incomparable (the compiler must align tensors first). Memoized. *)
+
+val live_nodes : t -> id list
+(** Nodes reachable from outputs, in topological (id) order. *)
+
+val input_arrays : t -> string list
+(** Arrays read (tensor views, stream loads, gather indices), sorted. *)
+
+val output_arrays : t -> string list
+
+val runtime_scalars : t -> string list
+
+val stats : t -> (string * int) list
+(** Per-kind live-node counts, for Eq. 2's offload decision hints. *)
+
+val op_multiset : t -> (Op.t * int) list
+(** Live compute/reduce operators with multiplicity. *)
+
+val validate : ?min_var:int -> t -> (unit, string) result
+(** Check arities, axis maps, bc extent-1 inputs, domain computability and
+    output domain finiteness. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

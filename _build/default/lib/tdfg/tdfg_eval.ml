@@ -1,0 +1,145 @@
+type value = Dense of Dense.t | Scalar of float
+
+let lattice_var i = "d" ^ string_of_int i
+
+(* Lookup combining the interpreter environment with lattice coordinates
+   (named d0..dN-1) of the current point. *)
+let point_lookup env point v =
+  let n = Array.length point in
+  let is_lattice =
+    String.length v >= 2 && v.[0] = 'd'
+    && String.for_all (function '0' .. '9' -> true | _ -> false)
+         (String.sub v 1 (String.length v - 1))
+  in
+  if is_lattice then begin
+    let i = int_of_string (String.sub v 1 (String.length v - 1)) in
+    if i < n then point.(i) else failwith (Printf.sprintf "lattice var %s out of rank" v)
+  end
+  else Interp.lookup_int env v
+
+let eval_coord env point = function
+  | Tdfg.Caff a -> Symaff.eval a (point_lookup env point)
+  | Tdfg.Cgather { index; at } ->
+    let at_v = List.map (fun a -> Symaff.eval a (point_lookup env point)) at in
+    int_of_float (Interp.read_cell env index at_v)
+
+let eval_values ?(min_var = 4) g env =
+  let values : (Tdfg.id, value) Hashtbl.t = Hashtbl.create 32 in
+  let value_of id = Hashtbl.find values id in
+  let dense_of id =
+    match value_of id with
+    | Dense d -> d
+    | Scalar _ -> failwith "Tdfg_eval: expected a finite tensor, got a constant"
+  in
+  let eval_node id =
+    let v =
+      match Tdfg.kind g id with
+      | Tdfg.Tensor { array; view; axes } ->
+        let rect = Symrect.resolve view (Interp.lookup_int env) in
+        Dense
+          (Dense.create rect ~f:(fun p ->
+               Interp.read_cell env array (List.map (fun ax -> p.(ax)) axes)))
+      | Tdfg.Const (Lit f) -> Scalar (Dense.fp32 f)
+      | Tdfg.Const (Runtime s) -> Scalar (Dense.fp32 (Interp.get_scalar env s))
+      | Tdfg.Cmp { op; inputs } -> begin
+        let vs = List.map value_of inputs in
+        let denses = List.filter_map (function Dense d -> Some d | Scalar _ -> None) vs in
+        match denses with
+        | [] ->
+          let args = List.map (function Scalar f -> f | Dense _ -> 0.0) vs in
+          Scalar (Dense.fp32 (Op.eval op args))
+        | first :: rest ->
+          let rect =
+            List.fold_left
+              (fun acc d ->
+                match Hyperrect.intersect acc (Dense.domain d) with
+                | Some r -> r
+                | None -> failwith "Tdfg_eval: empty runtime intersection")
+              (Dense.domain first) rest
+          in
+          Dense
+            (Dense.create rect ~f:(fun p ->
+                 Op.eval op
+                   (List.map
+                      (function Scalar f -> f | Dense d -> Dense.get d p)
+                      vs)))
+      end
+      | Tdfg.Mv { input; dim; dist } -> begin
+        match value_of input with
+        | Scalar f -> Scalar f
+        | Dense d ->
+          let moved = Hyperrect.shift (Dense.domain d) ~dim ~dist in
+          Dense (Dense.shift d ~dim ~dist ~bound:moved)
+      end
+      | Tdfg.Bc { input; dim; lo; hi } -> begin
+        match value_of input with
+        | Scalar f -> Scalar f
+        | Dense d ->
+          let lo_v = Symaff.eval lo (Interp.lookup_int env) in
+          let hi_v = Symaff.eval hi (Interp.lookup_int env) in
+          Dense (Dense.broadcast d ~dim ~lo:lo_v ~hi:hi_v)
+      end
+      | Tdfg.Shrink { input; rect } -> begin
+        match value_of input with
+        | Scalar f ->
+          (* shrinking a constant materializes it over the target domain
+             (how the compiler gives constants a finite domain for outputs) *)
+          Dense (Dense.fill (Symrect.resolve rect (Interp.lookup_int env)) f)
+        | Dense d -> Dense (Dense.shrink d (Symrect.resolve rect (Interp.lookup_int env)))
+      end
+      | Tdfg.Reduce { op; input; dim } ->
+        let d = dense_of input in
+        let init =
+          match Op.identity op with
+          | Some v -> v
+          | None -> failwith "Tdfg_eval: reduce with a non-reducing op"
+        in
+        Dense (Dense.reduce d ~dim ~f:(fun a b -> Op.eval op [ a; b ]) ~init)
+      | Tdfg.Stream_load { array; view; coords } ->
+        let rect = Symrect.resolve view (Interp.lookup_int env) in
+        Dense
+          (Dense.create rect ~f:(fun p ->
+               Interp.read_cell env array (List.map (eval_coord env p) coords)))
+    in
+    Hashtbl.replace values id v
+  in
+  List.iter eval_node (Tdfg.live_nodes g);
+  ignore min_var;
+  values
+
+let apply_output ?(min_var = 4) env values o =
+  let value_of id = Hashtbl.find values id in
+  match o with
+  | Tdfg.Out_tensor { src; array; axes } -> begin
+    match value_of src with
+    | Scalar _ -> failwith "Tdfg_eval: tensor output from a constant"
+    | Dense d ->
+      Hyperrect.iter_points (Dense.domain d) ~f:(fun p ->
+          Interp.write_cell env array
+            (List.map (fun ax -> p.(ax)) axes)
+            (Dense.get d p))
+  end
+  | Tdfg.Out_stream { src; array; coords; accum } -> begin
+    match value_of src with
+    | Scalar _ -> failwith "Tdfg_eval: stream output from a constant"
+    | Dense d ->
+      (* Streams are sequential: iterate the domain in row-major order so
+         scatter collisions accumulate deterministically. *)
+      Hyperrect.iter_points (Dense.domain d) ~f:(fun p ->
+          let target = List.map (eval_coord env p) coords in
+          let v = Dense.get d p in
+          match accum with
+          | None -> Interp.write_cell env array target v
+          | Some op ->
+            let old = Interp.read_cell env array target in
+            Interp.write_cell env array target (Op.eval op [ old; v ]))
+  end;
+  ignore min_var
+
+let eval ?min_var g env =
+  let values = eval_values ?min_var g env in
+  List.iter (apply_output ?min_var env values) (Tdfg.outputs g)
+
+let eval_nodes ?min_var g env =
+  let values = eval_values ?min_var g env in
+  List.map (fun id -> (id, Hashtbl.find values id)) (Tdfg.live_nodes g)

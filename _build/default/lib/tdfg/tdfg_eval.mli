@@ -1,0 +1,26 @@
+(** Functional (golden-model) evaluation of a tDFG against an interpreter
+    environment.
+
+    Resolves symbolic domains with the environment's current parameter and
+    host-loop values, materializes every live node as a dense tensor
+    following Fig. 5's semantics, and applies the outputs (in-memory
+    write-backs and near-memory store streams) to the environment's arrays.
+    Used by all simulated paradigms in functional mode and directly by unit
+    tests. *)
+
+type value =
+  | Dense of Dense.t
+  | Scalar of float
+      (** constants are kept unmaterialized (their domain is infinite) *)
+
+val lattice_var : int -> string
+(** Conventional name of lattice coordinate [i] in stream [coords]
+    expressions: ["d0"], ["d1"], ... *)
+
+val eval : ?min_var:int -> Tdfg.t -> Interp.env -> unit
+(** Evaluate the graph and write outputs into the environment's arrays.
+    [Failure] on semantic errors (unbound scalars, gather out of range). *)
+
+val eval_nodes : ?min_var:int -> Tdfg.t -> Interp.env -> (Tdfg.id * value) list
+(** Evaluate and additionally return every live node's value (no outputs
+    applied); intended for tests and debugging. *)

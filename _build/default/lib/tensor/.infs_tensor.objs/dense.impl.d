@@ -1,0 +1,1 @@
+lib/tensor/dense.ml: Array Float Format Hyperrect Int32 List Printf

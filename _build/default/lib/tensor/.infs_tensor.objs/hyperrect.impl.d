@@ -1,0 +1,1 @@
+lib/tensor/hyperrect.ml: Array Format Hashtbl List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/tensor/hyperrect.mli: Format

@@ -1,0 +1,118 @@
+type t = { rect : Hyperrect.t; data : float array }
+
+let fp32 x = Int32.float_of_bits (Int32.bits_of_float x)
+
+let create rect ~f =
+  let data = Array.make (Hyperrect.volume rect) 0.0 in
+  Hyperrect.iter_points rect ~f:(fun p ->
+      data.(Hyperrect.linear_index rect p) <- fp32 (f p));
+  { rect; data }
+
+let fill rect v = { rect; data = Array.make (Hyperrect.volume rect) (fp32 v) }
+
+let domain t = t.rect
+
+let get t p =
+  if not (Hyperrect.mem t.rect p) then
+    invalid_arg
+      (Printf.sprintf "Dense.get: point outside %s" (Hyperrect.to_string t.rect));
+  t.data.(Hyperrect.linear_index t.rect p)
+
+let set t p v =
+  if not (Hyperrect.mem t.rect p) then invalid_arg "Dense.set: point outside domain";
+  t.data.(Hyperrect.linear_index t.rect p) <- fp32 v
+
+let copy t = { rect = t.rect; data = Array.copy t.data }
+
+let map t ~f = { rect = t.rect; data = Array.map (fun x -> fp32 (f x)) t.data }
+
+let map2 a b ~f =
+  match Hyperrect.intersect a.rect b.rect with
+  | None -> invalid_arg "Dense.map2: empty intersection"
+  | Some rect -> create rect ~f:(fun p -> f (get a p) (get b p))
+
+let mapn ts ~f =
+  match ts with
+  | [] -> invalid_arg "Dense.mapn: no inputs"
+  | first :: rest ->
+    let rect =
+      List.fold_left
+        (fun acc t ->
+          match Hyperrect.intersect acc t.rect with
+          | Some r -> r
+          | None -> invalid_arg "Dense.mapn: empty intersection")
+        first.rect rest
+    in
+    create rect ~f:(fun p -> f (List.map (fun t -> get t p) ts))
+
+let shift t ~dim ~dist ~bound =
+  let moved = Hyperrect.shift t.rect ~dim ~dist in
+  match Hyperrect.clip moved ~within:bound with
+  | None -> invalid_arg "Dense.shift: tensor moved entirely out of bounds"
+  | Some rect ->
+    create rect ~f:(fun p ->
+        let src = Array.copy p in
+        src.(dim) <- src.(dim) - dist;
+        get t src)
+
+let broadcast t ~dim ~lo ~hi =
+  if Hyperrect.extent t.rect dim <> 1 then
+    invalid_arg "Dense.broadcast: source extent along dim must be 1";
+  let rect = Hyperrect.with_range t.rect ~dim ~lo ~hi in
+  let src_coord = Hyperrect.lo t.rect dim in
+  create rect ~f:(fun p ->
+      let src = Array.copy p in
+      src.(dim) <- src_coord;
+      get t src)
+
+let shrink t rect =
+  if not (Hyperrect.contains ~outer:t.rect ~inner:rect) then
+    invalid_arg "Dense.shrink: target domain not contained";
+  create rect ~f:(fun p -> get t p)
+
+let reduce t ~dim ~f ~init =
+  let d_lo = Hyperrect.lo t.rect dim and d_hi = Hyperrect.hi t.rect dim in
+  let rect = Hyperrect.with_range t.rect ~dim ~lo:d_lo ~hi:(d_lo + 1) in
+  create rect ~f:(fun p ->
+      let src = Array.copy p in
+      let acc = ref init in
+      for c = d_lo to d_hi - 1 do
+        src.(dim) <- c;
+        acc := fp32 (f !acc (get t src))
+      done;
+      !acc)
+
+let reduce_all t ~f ~init = Array.fold_left (fun acc x -> fp32 (f acc x)) init t.data
+
+let to_array t = Array.copy t.data
+
+let of_array rect data =
+  if Array.length data <> Hyperrect.volume rect then
+    invalid_arg "Dense.of_array: length mismatch";
+  { rect; data = Array.map fp32 data }
+
+let close ~eps a b =
+  let d = Float.abs (a -. b) in
+  d <= eps || d <= eps *. Float.max (Float.abs a) (Float.abs b)
+
+let equal_within ~eps a b =
+  Hyperrect.equal a.rect b.rect
+  && Array.for_all2 (fun x y -> close ~eps x y) a.data b.data
+
+let max_abs_diff a b =
+  if not (Hyperrect.equal a.rect b.rect) then infinity
+  else begin
+    let m = ref 0.0 in
+    Array.iteri (fun i x -> m := Float.max !m (Float.abs (x -. b.data.(i)))) a.data;
+    !m
+  end
+
+let pp ppf t =
+  Format.fprintf ppf "@[<hov 2>Dense %s:" (Hyperrect.to_string t.rect);
+  let n = Array.length t.data in
+  let shown = min n 16 in
+  for i = 0 to shown - 1 do
+    Format.fprintf ppf "@ %g" t.data.(i)
+  done;
+  if n > shown then Format.fprintf ppf "@ ...(%d)" n;
+  Format.fprintf ppf "@]"

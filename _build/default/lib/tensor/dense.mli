@@ -1,0 +1,73 @@
+(** Dense tensors over the lattice space: the functional (golden) model of
+    tDFG execution.
+
+    Every simulated paradigm in this repository also evaluates its kernel
+    functionally through these tensors, so tests can assert that in-memory,
+    near-memory and in-core executions all produce the same values. Values
+    are stored as floats but rounded to fp32 after every operation, matching
+    the paper's fp32 workloads. *)
+
+type t
+
+val create : Hyperrect.t -> f:(int array -> float) -> t
+(** [create rect ~f] fills each lattice point from [f]. *)
+
+val fill : Hyperrect.t -> float -> t
+
+val domain : t -> Hyperrect.t
+
+val get : t -> int array -> float
+(** [Invalid_argument] outside the domain. *)
+
+val set : t -> int array -> float -> unit
+
+val copy : t -> t
+
+val fp32 : float -> float
+(** Round to single precision (the library-wide value semantics). *)
+
+val map : t -> f:(float -> float) -> t
+(** Element-wise unary op over the whole domain; result domain unchanged. *)
+
+val map2 : t -> t -> f:(float -> float -> float) -> t
+(** Element-wise binary op over the {e intersection} of the two domains
+    (paper: compute applies to the intersecting hyperrectangle).
+    [Invalid_argument] when the intersection is empty. *)
+
+val mapn : t list -> f:(float list -> float) -> t
+(** N-ary element-wise op over the intersection of all domains. *)
+
+val shift : t -> dim:int -> dist:int -> bound:Hyperrect.t -> t
+(** [mv] node semantics: translate the tensor; data shifted outside the
+    global bounding hyperrectangle [bound] is discarded. *)
+
+val broadcast : t -> dim:int -> lo:int -> hi:int -> t
+(** [bc] node semantics: replicate the tensor along [dim] so the result
+    covers [\[lo,hi)] in that dimension. The source must have extent 1 in
+    [dim] (the paper broadcasts a row/column/plane along its reuse
+    dimension). *)
+
+val shrink : t -> Hyperrect.t -> t
+(** Restrict to a sub-domain (shrink node). [Invalid_argument] if the
+    requested domain is not contained in the tensor's. *)
+
+val reduce : t -> dim:int -> f:(float -> float -> float) -> init:float -> t
+(** Fold along one dimension; the result has extent 1 in [dim] (anchored at
+    the dimension's low coordinate). Reduction order is lowest-to-highest
+    coordinate. *)
+
+val reduce_all : t -> f:(float -> float -> float) -> init:float -> float
+
+val to_array : t -> float array
+(** Row-major copy of the values. *)
+
+val of_array : Hyperrect.t -> float array -> t
+(** [Invalid_argument] on length mismatch. *)
+
+val equal_within : eps:float -> t -> t -> bool
+(** Same domain and all values within absolute-or-relative [eps]. *)
+
+val max_abs_diff : t -> t -> float
+(** Largest absolute element difference; [infinity] on domain mismatch. *)
+
+val pp : Format.formatter -> t -> unit

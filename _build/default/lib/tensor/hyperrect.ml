@@ -1,0 +1,192 @@
+type t = { lo : int array; hi : int array }
+
+let make ~lo ~hi =
+  if Array.length lo <> Array.length hi then
+    invalid_arg "Hyperrect.make: dimension mismatch";
+  Array.iteri
+    (fun i l -> if l > hi.(i) then invalid_arg "Hyperrect.make: lo > hi")
+    lo;
+  { lo = Array.copy lo; hi = Array.copy hi }
+
+let of_ranges ranges =
+  let lo = Array.of_list (List.map fst ranges) in
+  let hi = Array.of_list (List.map snd ranges) in
+  make ~lo ~hi
+
+let of_shape s = make ~lo:(Array.map (fun _ -> 0) s) ~hi:s
+
+let scalar = { lo = [||]; hi = [||] }
+
+let dims t = Array.length t.lo
+let lo t i = t.lo.(i)
+let hi t i = t.hi.(i)
+let extent t i = t.hi.(i) - t.lo.(i)
+let shape t = Array.init (dims t) (fun i -> extent t i)
+
+let volume t =
+  let v = ref 1 in
+  for i = 0 to dims t - 1 do
+    v := !v * extent t i
+  done;
+  !v
+
+let is_empty t =
+  let rec loop i = i < dims t && (extent t i = 0 || loop (i + 1)) in
+  loop 0
+
+let equal a b = a.lo = b.lo && a.hi = b.hi
+
+let compare a b =
+  match Stdlib.compare a.lo b.lo with 0 -> Stdlib.compare a.hi b.hi | c -> c
+
+let hash t = Hashtbl.hash (t.lo, t.hi)
+
+let mem t point =
+  assert (Array.length point = dims t);
+  let rec loop i =
+    i >= dims t || (point.(i) >= t.lo.(i) && point.(i) < t.hi.(i) && loop (i + 1))
+  in
+  loop 0
+
+let intersect a b =
+  if dims a <> dims b then invalid_arg "Hyperrect.intersect: dimension mismatch";
+  let lo = Array.init (dims a) (fun i -> max a.lo.(i) b.lo.(i)) in
+  let hi = Array.init (dims a) (fun i -> min a.hi.(i) b.hi.(i)) in
+  let rec empty i = i < dims a && (lo.(i) >= hi.(i) || empty (i + 1)) in
+  if empty 0 then None else Some { lo; hi }
+
+let bounding a b =
+  if dims a <> dims b then invalid_arg "Hyperrect.bounding: dimension mismatch";
+  {
+    lo = Array.init (dims a) (fun i -> min a.lo.(i) b.lo.(i));
+    hi = Array.init (dims a) (fun i -> max a.hi.(i) b.hi.(i));
+  }
+
+let contains ~outer ~inner =
+  let rec loop i =
+    i >= dims outer
+    || (inner.lo.(i) >= outer.lo.(i) && inner.hi.(i) <= outer.hi.(i) && loop (i + 1))
+  in
+  dims outer = dims inner && loop 0
+
+let shift t ~dim ~dist =
+  let lo = Array.copy t.lo and hi = Array.copy t.hi in
+  lo.(dim) <- lo.(dim) + dist;
+  hi.(dim) <- hi.(dim) + dist;
+  { lo; hi }
+
+let clip t ~within = intersect t within
+
+let with_range t ~dim ~lo:l ~hi:h =
+  if l > h then invalid_arg "Hyperrect.with_range: lo > hi";
+  let lo = Array.copy t.lo and hi = Array.copy t.hi in
+  lo.(dim) <- l;
+  hi.(dim) <- h;
+  { lo; hi }
+
+let broadcast_extent = with_range
+
+let fold_points t ~init ~f =
+  if is_empty t then init
+  else begin
+    let n = dims t in
+    if n = 0 then f init [||]
+    else begin
+      let point = Array.copy t.lo in
+      let acc = ref init in
+      let continue = ref true in
+      while !continue do
+        acc := f !acc point;
+        (* advance odometer, innermost dimension last *)
+        let rec bump i =
+          if i < 0 then continue := false
+          else begin
+            point.(i) <- point.(i) + 1;
+            if point.(i) >= t.hi.(i) then begin
+              point.(i) <- t.lo.(i);
+              bump (i - 1)
+            end
+          end
+        in
+        bump (n - 1)
+      done;
+      !acc
+    end
+  end
+
+let iter_points t ~f = fold_points t ~init:() ~f:(fun () p -> f p)
+
+let linear_index t point =
+  let n = dims t in
+  let idx = ref 0 in
+  for i = 0 to n - 1 do
+    idx := (!idx * extent t i) + (point.(i) - t.lo.(i))
+  done;
+  !idx
+
+let point_of_linear t idx =
+  let n = dims t in
+  let point = Array.make n 0 in
+  let rem = ref idx in
+  for i = n - 1 downto 0 do
+    let e = extent t i in
+    point.(i) <- t.lo.(i) + (!rem mod e);
+    rem := !rem / e
+  done;
+  point
+
+let to_string t =
+  if dims t = 0 then "[scalar]"
+  else
+    String.concat "x"
+      (List.init (dims t) (fun i -> Printf.sprintf "[%d,%d)" t.lo.(i) t.hi.(i)))
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+(* Paper Algorithm 1, one dimension. [a;b] bracket p down/up to the tile
+   boundary and [c] brackets q down; aligned middle runs are kept whole
+   (possibly spanning several full tiles, cf. Fig 9), while unaligned head
+   and tail intervals are split off. *)
+let decompose_dim ~p ~q ~tile =
+  assert (tile >= 1 && p < q);
+  let fdiv x y = if x >= 0 then x / y else -(((-x) + y - 1) / y) in
+  let a = fdiv p tile * tile in
+  let b = fdiv (p + tile - 1) tile * tile in
+  let c = fdiv q tile * tile in
+  if b <= c then begin
+    let segs =
+      if a < p then (p, b) :: (if b < c then [ (b, c) ] else [])
+      else if a < c then [ (a, c) ]
+      else []
+    in
+    if c < q then segs @ [ (c, q) ] else segs
+  end
+  else [ (p, q) ]
+
+let decompose t ~tile =
+  if Array.length tile <> dims t then
+    invalid_arg "Hyperrect.decompose: tile dimension mismatch";
+  Array.iter (fun ts -> if ts < 1 then invalid_arg "Hyperrect.decompose: tile < 1") tile;
+  if is_empty t then []
+  else begin
+    let n = dims t in
+    let rec go i =
+      if i = n then [ [] ]
+      else
+        let rest = go (i + 1) in
+        let segs = decompose_dim ~p:t.lo.(i) ~q:t.hi.(i) ~tile:tile.(i) in
+        List.concat_map (fun seg -> List.map (fun tl -> seg :: tl) rest) segs
+    in
+    List.map of_ranges (go 0)
+  end
+
+let tile_origin point ~tile =
+  Array.init (Array.length point) (fun i ->
+      let p = point.(i) and ts = tile.(i) in
+      let d = if p >= 0 then p / ts else -(((-p) + ts - 1) / ts) in
+      d * ts)
+
+let tile_index _t ~point ~tile =
+  Array.init (Array.length point) (fun i ->
+      let p = point.(i) and ts = tile.(i) in
+      if p >= 0 then p / ts else -(((-p) + ts - 1) / ts))

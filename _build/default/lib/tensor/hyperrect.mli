@@ -1,0 +1,94 @@
+(** Hyperrectangles in the tDFG's global lattice space (paper §3.2).
+
+    A tensor's domain is a half-open box [\[p0,q0) x ... x \[pN-1,qN-1)].
+    Every tDFG tensor, tile, and shift mask is one of these. The type is
+    immutable; all operations return fresh values. *)
+
+type t
+
+val make : lo:int array -> hi:int array -> t
+(** [make ~lo ~hi] with [lo.(i) <= hi.(i)] required ([Invalid_argument]
+    otherwise). Arrays are copied. *)
+
+val of_ranges : (int * int) list -> t
+(** [of_ranges [(p0,q0); ...]] builds the box from per-dimension ranges. *)
+
+val of_shape : int array -> t
+(** [of_shape s] is the box anchored at the origin: [\[0,s0) x ...]. *)
+
+val scalar : t
+(** The zero-dimensional box holding exactly one point. *)
+
+val dims : t -> int
+val lo : t -> int -> int
+val hi : t -> int -> int
+val extent : t -> int -> int
+(** [extent t i = hi t i - lo t i]. *)
+
+val shape : t -> int array
+(** Extents of every dimension. *)
+
+val volume : t -> int
+(** Number of lattice cells; 0 iff [is_empty]. *)
+
+val is_empty : t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val mem : t -> int array -> bool
+(** Point membership; the point must have [dims t] coordinates. *)
+
+val intersect : t -> t -> t option
+(** Intersection box, [None] when empty. Dimensions must agree. *)
+
+val bounding : t -> t -> t
+(** Smallest box containing both arguments. *)
+
+val contains : outer:t -> inner:t -> bool
+(** [contains ~outer ~inner] whether [inner] is a subset of [outer]. *)
+
+val shift : t -> dim:int -> dist:int -> t
+(** Translate along one dimension ([mv] node semantics). *)
+
+val clip : t -> within:t -> t option
+(** Shift-aware clipping: intersection with a bounding box, used to discard
+    data moved outside the global bounding hyperrectangle. *)
+
+val broadcast_extent : t -> dim:int -> lo:int -> hi:int -> t
+(** Replace the range of [dim] with [\[lo,hi)] ([bc] node target domain). *)
+
+val with_range : t -> dim:int -> lo:int -> hi:int -> t
+(** Same as [broadcast_extent]; the general form used by shrink nodes. *)
+
+val fold_points : t -> init:'a -> f:('a -> int array -> 'a) -> 'a
+(** Row-major fold over every lattice point. The coordinate array is reused
+    between calls; copy it if retained. *)
+
+val iter_points : t -> f:(int array -> unit) -> unit
+
+val linear_index : t -> int array -> int
+(** Row-major index of a point relative to the box origin (innermost
+    dimension is the last one, matching C array layout). *)
+
+val point_of_linear : t -> int -> int array
+(** Inverse of [linear_index]. *)
+
+val to_string : t -> string
+(** E.g. ["[0,4)x[2,3)"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val decompose : t -> tile:int array -> t list
+(** Paper Algorithm 1: split the box along tile boundaries so each returned
+    sub-box lies within a single tile row per dimension: aligned middle runs
+    are kept whole, unaligned head/tail intervals are split off. The result
+    is a partition of the input (disjoint, covering). [tile.(i) >= 1]. *)
+
+val tile_origin : int array -> tile:int array -> int array
+(** Coordinates of the tile-aligned origin containing a point. *)
+
+val tile_index : t -> point:int array -> tile:int array -> int array
+(** Which tile (per-dimension tile counters, relative to the box at the
+    origin) contains [point]. *)

@@ -1,0 +1,46 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+let copy t = { state = t.state }
+
+(* splitmix64 finalizer: xor-shift-multiply avalanche of the counter. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let int t bound =
+  assert (bound > 0);
+  (* keep only 62 positive bits: Int64.to_int of a 63-bit quantity would
+     wrap to negative values *)
+  let bits = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+  bits mod bound
+
+let float t bound =
+  let bits53 = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in
+  bound *. (bits53 /. 9007199254740992.0)
+
+let float_range t lo hi = lo +. float t (hi -. lo)
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let gaussian t =
+  let u1 = Float.max 1e-12 (float t 1.0) in
+  let u2 = float t 1.0 in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let split t = { state = mix (int64 t) }

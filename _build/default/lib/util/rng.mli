@@ -1,0 +1,36 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    All stochastic parts of the library (workload data generation, property
+    tests' fixtures, k-means initialization, PointNet++ point clouds) draw
+    from this generator so that every run is reproducible from a seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh generator. Equal seeds give equal streams. *)
+
+val copy : t -> t
+(** Independent copy continuing from the same state. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val float_range : t -> float -> float -> float
+(** [float_range t lo hi] is uniform in [\[lo, hi)]. *)
+
+val bool : t -> bool
+
+val gaussian : t -> float
+(** Standard normal deviate (Box-Muller). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val split : t -> t
+(** A new generator whose stream is independent of the parent's future. *)

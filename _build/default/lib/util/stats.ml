@@ -1,0 +1,33 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let geomean xs =
+  let xs = List.filter (fun x -> x > 0.0) xs in
+  match xs with
+  | [] -> 0.0
+  | _ ->
+    let log_sum = List.fold_left (fun acc x -> acc +. log x) 0.0 xs in
+    exp (log_sum /. float_of_int (List.length xs))
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let var = mean (List.map (fun x -> (x -. m) *. (x -. m)) xs) in
+    sqrt var
+
+let median xs =
+  match List.sort compare xs with
+  | [] -> 0.0
+  | sorted ->
+    let n = List.length sorted in
+    let nth i = List.nth sorted i in
+    if n mod 2 = 1 then nth (n / 2) else (nth ((n / 2) - 1) +. nth (n / 2)) /. 2.0
+
+let minimum = function [] -> 0.0 | x :: xs -> List.fold_left Float.min x xs
+let maximum = function [] -> 0.0 | x :: xs -> List.fold_left Float.max x xs
+
+let percent ~part ~whole = if whole = 0.0 then 0.0 else 100.0 *. part /. whole
+let ratio a b = if b = 0.0 then 0.0 else a /. b

@@ -1,0 +1,22 @@
+(** Small numeric summaries used across benches and reports. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 on the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean; ignores non-positive entries; 0 if none remain. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0 on lists shorter than 2. *)
+
+val median : float list -> float
+(** Median; 0 on the empty list. *)
+
+val minimum : float list -> float
+val maximum : float list -> float
+
+val percent : part:float -> whole:float -> float
+(** [percent ~part ~whole] is [100 * part / whole]; 0 when [whole = 0]. *)
+
+val ratio : float -> float -> float
+(** [ratio a b] is [a /. b]; 0 when [b = 0]. *)

@@ -1,0 +1,52 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list; (* stored reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t row = t.rows <- row :: t.rows
+
+let fmt_float x =
+  let ax = Float.abs x in
+  if x = 0.0 then "0"
+  else if ax >= 1e7 || ax < 1e-3 then Printf.sprintf "%.3e" x
+  else if Float.is_integer x && ax < 1e6 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.3f" x
+
+let add_float_row t label xs =
+  add_row t (label :: List.map fmt_float xs);
+  t
+
+let pad width s =
+  let n = String.length s in
+  if n >= width then s else s ^ String.make (width - n) ' '
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.columns :: rows in
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let widths = Array.make ncols 0 in
+  let note_widths row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  List.iter note_widths all;
+  let render_row row =
+    let cells = List.mapi (fun i cell -> pad widths.(i) cell) row in
+    "| " ^ String.concat " | " cells ^ " |"
+  in
+  let rule =
+    let dashes = Array.to_list (Array.map (fun w -> String.make w '-') widths) in
+    "|-" ^ String.concat "-|-" dashes ^ "-|"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("## " ^ t.title ^ "\n");
+  Buffer.add_string buf (render_row t.columns ^ "\n");
+  Buffer.add_string buf (rule ^ "\n");
+  List.iter (fun r -> Buffer.add_string buf (render_row r ^ "\n")) rows;
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()

@@ -1,0 +1,25 @@
+(** ASCII table rendering for the benchmark harness output.
+
+    Each figure/table of the paper is re-emitted as one of these tables so
+    the bench binary's stdout is directly comparable with the paper. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+(** A table with a caption line and column headers. *)
+
+val add_row : t -> string list -> unit
+(** Rows may be shorter than the header; missing cells render empty. *)
+
+val add_float_row : t -> string -> float list -> t
+(** [add_float_row t label xs] adds [label] then each float with 3 digits.
+    Returns [t] for chaining. *)
+
+val render : t -> string
+(** Render with column-aligned padding, caption, and rule lines. *)
+
+val print : t -> unit
+(** [render] then [print_string], followed by a blank line. *)
+
+val fmt_float : float -> string
+(** Canonical float cell formatting ("12.345", "0.001", "1.2e+09"). *)

@@ -1,0 +1,1 @@
+lib/workloads/catalog.ml: Conv Dwt2d Gather_mlp Gauss Infinity_stream Kmeans List Mm Stencil

@@ -1,0 +1,1 @@
+lib/workloads/conv.ml: Ast Data Dtype Infinity_stream List Op Printf Stdlib Symaff

@@ -1,0 +1,1 @@
+lib/workloads/conv.mli: Infinity_stream

@@ -1,0 +1,1 @@
+lib/workloads/dwt2d.ml: Ast Data Dtype Infinity_stream Printf Symaff

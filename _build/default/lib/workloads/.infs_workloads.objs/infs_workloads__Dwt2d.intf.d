@@ -1,0 +1,1 @@
+lib/workloads/dwt2d.mli: Infinity_stream

@@ -1,0 +1,1 @@
+lib/workloads/extras.ml: Ast Data Dtype Infinity_stream Op Printf Symaff

@@ -1,0 +1,1 @@
+lib/workloads/gather_mlp.ml: Ast Data Dtype Infinity_stream Op Printf Symaff

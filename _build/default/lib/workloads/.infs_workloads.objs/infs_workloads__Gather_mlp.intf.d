@@ -1,0 +1,1 @@
+lib/workloads/gather_mlp.mli: Infinity_stream

@@ -1,0 +1,1 @@
+lib/workloads/gauss.ml: Ast Data Dtype Infinity_stream Op Printf Symaff

@@ -1,0 +1,1 @@
+lib/workloads/gauss.mli: Infinity_stream

@@ -1,0 +1,1 @@
+lib/workloads/kmeans.ml: Array Ast Data Dtype Infinity_stream Op Printf Symaff

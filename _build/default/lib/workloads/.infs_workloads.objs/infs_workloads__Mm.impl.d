@@ -1,0 +1,1 @@
+lib/workloads/mm.ml: Ast Data Dtype Infinity_stream Op Printf Symaff

@@ -1,0 +1,1 @@
+lib/workloads/mm.mli: Infinity_stream

@@ -1,0 +1,1 @@
+lib/workloads/pointnet.ml: Array Ast Data Dtype Float Infinity_stream List Op Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/workloads/pointnet.mli: Infinity_stream

@@ -1,0 +1,1 @@
+lib/workloads/stencil.ml: Ast Data Dtype Infinity_stream Printf Symaff

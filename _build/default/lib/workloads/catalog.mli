@@ -1,0 +1,18 @@
+(** The benchmark suite registry (paper Table 3 + microbenchmarks +
+    PointNet++), at paper scale and at reduced test scale. *)
+
+type entry = {
+  label : string;  (** Table 3 name, e.g. ["mm"] *)
+  variants : (string * Infinity_stream.Workload.t) list;
+      (** dataflow variants (["in"] / ["out"]) or a single [""] variant *)
+}
+
+val table3 : unit -> entry list
+(** The 10 Table 3 workloads at paper scale. For multi-dataflow entries the
+    harness picks the best variant per paradigm, like the paper. *)
+
+val test_scale : unit -> entry list
+(** The same suite at sizes small enough for functional checking. *)
+
+val all_variants : entry list -> (string * Infinity_stream.Workload.t) list
+(** Flattened [(label/variant, workload)] pairs. *)

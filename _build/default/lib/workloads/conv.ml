@@ -1,0 +1,80 @@
+module W = Infinity_stream.Workload
+
+let conv2d ~n =
+  let prog =
+    let open Ast in
+    let nv = Symaff.var "N" in
+    let a di dj = load "A" [ i "r" +% di; i "j" +% dj ] in
+    (* symmetric 3x3 kernel [c0 c1 c0; c1 c2 c1; c0 c1 c0] (cf. Fig. 6) *)
+    let c0 = fconst 0.0625 and c1 = fconst 0.125 and c2 = fconst 0.25 in
+    program ~name:"conv2d" ~params:[ "N" ]
+      ~arrays:
+        [ array "A" Dtype.Fp32 [ nv; nv ]; array "B" Dtype.Fp32 [ nv; nv ] ]
+      [
+        Kernel
+          (kernel "conv2d"
+             [ loop "r" (c 0) (nv +% -2); loop "j" (c 0) (nv +% -2) ]
+             [
+               store "B" [ i "r"; i "j" ]
+                 ((c0 * a 0 0) + (c1 * a 0 1) + (c0 * a 0 2)
+                 + (c1 * a 1 0) + (c2 * a 1 1) + (c1 * a 1 2)
+                 + (c0 * a 2 0) + (c1 * a 2 1) + (c0 * a 2 2));
+             ]);
+      ]
+  in
+  W.make ~name:(Printf.sprintf "conv2d/%dx%d" n n) ~params:[ ("N", n) ]
+    ~inputs:(lazy [ ("A", Data.uniform ~seed:47 (n * n)) ])
+    prog
+
+let conv3d ~hw ~channels =
+  let prog =
+    let open Ast in
+    let h = Symaff.var "HW" in
+    let ch = Symaff.var "CH" in
+    let inp kx ky = load "In" [ i "ci"; i "x" +% kx; i "y" +% ky ] in
+    let wf kx ky =
+      (* flattened weight index: ci*9 + kx*3 + ky *)
+      load "Wf" [ i "co"; Symaff.scale 9 (i "ci") +% (Stdlib.( + ) (Stdlib.( * ) kx 3) ky) ]
+    in
+    let taps =
+      List.concat_map
+        (fun kx -> List.map (fun ky -> wf kx ky * inp kx ky) [ 0; 1; 2 ])
+        [ 0; 1; 2 ]
+    in
+    let rhs =
+      match taps with
+      | t :: rest -> List.fold_left ( + ) t rest
+      | [] -> assert false
+    in
+    program ~name:"conv3d" ~params:[ "HW"; "CH" ]
+      ~arrays:
+        [
+          array "In" Dtype.Fp32 [ ch; h; h ];
+          array "Wf" Dtype.Fp32 [ ch; c 9 +! Symaff.scale 9 (ch +% -1) ];
+          array "Out" Dtype.Fp32 [ ch; h +% -2; h +% -2 ];
+        ]
+      [
+        Host_loop
+          ( loop "ci" (c 0) ch,
+            [
+              Kernel
+                (kernel "conv3d"
+                   [
+                     loop "co" (c 0) ch;
+                     loop "x" (c 0) (h +% -2);
+                     loop "y" (c 0) (h +% -2);
+                   ]
+                   [ accum Op.Add "Out" [ i "co"; i "x"; i "y" ] rhs ]);
+            ] );
+      ]
+  in
+  W.make
+    ~name:(Printf.sprintf "conv3d/%dx%dx%d" channels hw hw)
+    ~params:[ ("HW", hw); ("CH", channels) ]
+    ~inputs:
+      (lazy
+        [
+          ("In", Data.uniform ~seed:53 (channels * hw * hw));
+          ("Wf", Data.uniform_range ~seed:59 ~lo:(-0.1) ~hi:0.1 (channels * channels * 9));
+        ])
+    prog

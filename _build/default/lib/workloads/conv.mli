@@ -1,0 +1,15 @@
+(** Convolutions (paper Table 3).
+
+    [conv2d]: a 3x3 single-channel convolution with a symmetric kernel
+    written out as constants — the paper's Fig. 6 example, where the
+    e-graph rewrites reuse the shared-coefficient products.
+
+    [conv3d]: multi-channel 2D convolution (paper: H/W=256, K=3x3,
+    I/O=64). Channels beyond the 3-D lattice are handled by a host loop
+    over input channels with weights broadcast to all output positions
+    (Table 3's BC + element-wise pattern); the 4-D weight tensor is
+    flattened to 2-D ([co][ci*9+kx*3+ky]) since the lattice has three
+    dimensions. *)
+
+val conv2d : n:int -> Infinity_stream.Workload.t
+val conv3d : hw:int -> channels:int -> Infinity_stream.Workload.t

@@ -1,0 +1,21 @@
+let uniform ~seed n =
+  let rng = Rng.create seed in
+  Array.init n (fun _ -> Rng.float rng 1.0)
+
+let uniform_range ~seed ~lo ~hi n =
+  let rng = Rng.create seed in
+  Array.init n (fun _ -> Rng.float_range rng lo hi)
+
+let diag_dominant ~seed n =
+  let rng = Rng.create seed in
+  let m = Array.init (n * n) (fun _ -> Rng.float_range rng (-1.0) 1.0) in
+  for i = 0 to n - 1 do
+    m.((i * n) + i) <- float_of_int n +. Rng.float rng 1.0
+  done;
+  m
+
+let indices ~seed ~bound n =
+  let rng = Rng.create seed in
+  Array.init n (fun _ -> float_of_int (Rng.int rng bound))
+
+let iota n = Array.init n float_of_int

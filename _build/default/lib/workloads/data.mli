@@ -1,0 +1,17 @@
+(** Deterministic input-data generators shared by all workloads. *)
+
+val uniform : seed:int -> int -> float array
+(** [uniform ~seed n]: n floats in [\[0,1)]. *)
+
+val uniform_range : seed:int -> lo:float -> hi:float -> int -> float array
+
+val diag_dominant : seed:int -> int -> float array
+(** An [n x n] row-major matrix with a dominant diagonal (so Gaussian
+    elimination never divides by ~0). *)
+
+val indices : seed:int -> bound:int -> int -> float array
+(** Random integer indices in [\[0,bound)], stored as floats (index arrays
+    are regular fp32 arrays in the mini-C programs). *)
+
+val iota : int -> float array
+(** [0.; 1.; ...] *)

@@ -1,0 +1,59 @@
+module W = Infinity_stream.Workload
+
+(* Row pass produces L/H (n x n/2); column pass produces the four n/2 x n/2
+   subbands from L and H. *)
+let dwt2d ~n =
+  let prog =
+    let open Ast in
+    let nv = Symaff.var "N" in
+    let h = Symaff.var "H" in
+    (* H = N/2, passed explicitly since the AST has no division *)
+    let avg a b = fconst 0.5 * (a + b) in
+    let diff a b = fconst 0.5 * (a - b) in
+    let a2 name r cc = load name [ r; cc ] in
+    let col2 j = Symaff.scale 2 (i j) in
+    program ~name:"dwt2d" ~params:[ "N"; "H" ]
+      ~arrays:
+        [
+          array "A" Dtype.Fp32 [ nv; nv ];
+          array "L" Dtype.Fp32 [ nv; h ];
+          array "Hh" Dtype.Fp32 [ nv; h ];
+          array "LL" Dtype.Fp32 [ h; h ];
+          array "LH" Dtype.Fp32 [ h; h ];
+          array "HL" Dtype.Fp32 [ h; h ];
+          array "HH" Dtype.Fp32 [ h; h ];
+        ]
+      [
+        Kernel
+          (kernel "dwt_rows"
+             [ loop "r" (c 0) nv; loop "j" (c 0) h ]
+             [
+               store "L" [ i "r"; i "j" ]
+                 (avg (a2 "A" (i "r") (col2 "j")) (a2 "A" (i "r") (col2 "j" +% 1)));
+               store "Hh" [ i "r"; i "j" ]
+                 (diff (a2 "A" (i "r") (col2 "j")) (a2 "A" (i "r") (col2 "j" +% 1)));
+             ]);
+        Kernel
+          (kernel "dwt_cols_l"
+             [ loop "r" (c 0) h; loop "j" (c 0) h ]
+             [
+               store "LL" [ i "r"; i "j" ]
+                 (avg (a2 "L" (col2 "r") (i "j")) (a2 "L" (col2 "r" +% 1) (i "j")));
+               store "LH" [ i "r"; i "j" ]
+                 (diff (a2 "L" (col2 "r") (i "j")) (a2 "L" (col2 "r" +% 1) (i "j")));
+             ]);
+        Kernel
+          (kernel "dwt_cols_h"
+             [ loop "r" (c 0) h; loop "j" (c 0) h ]
+             [
+               store "HL" [ i "r"; i "j" ]
+                 (avg (a2 "Hh" (col2 "r") (i "j")) (a2 "Hh" (col2 "r" +% 1) (i "j")));
+               store "HH" [ i "r"; i "j" ]
+                 (diff (a2 "Hh" (col2 "r") (i "j")) (a2 "Hh" (col2 "r" +% 1) (i "j")));
+             ]);
+      ]
+  in
+  W.make ~name:(Printf.sprintf "dwt2d/%dx%d" n n)
+    ~params:[ ("N", n); ("H", n / 2) ]
+    ~inputs:(lazy [ ("A", Data.uniform ~seed:37 (n * n)) ])
+    prog

@@ -1,0 +1,10 @@
+(** One level of a 2D Haar wavelet transform (paper Table 3: dwt2d, 2k x 2k,
+    shift + element-wise).
+
+    The strided (stride-2) accesses cannot be unrolled into aligned tensor
+    views; they become embedded load streams that deposit the even/odd
+    subsequences as dense tensors, after which the averaging/differencing
+    is element-wise in-memory — exactly the stream-to-tensor setup of
+    paper §3.3. *)
+
+val dwt2d : n:int -> Infinity_stream.Workload.t

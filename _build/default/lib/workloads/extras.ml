@@ -1,0 +1,67 @@
+module W = Infinity_stream.Workload
+
+let bitscan ~n ~threshold =
+  let prog =
+    let open Ast in
+    let nv = Symaff.var "N" in
+    program ~name:"bitscan" ~params:[ "N" ]
+      ~arrays:[ array "COL" Dtype.Int32 [ nv ]; array "MASK" Dtype.Int32 [ nv ] ]
+      [
+        Kernel
+          (kernel "bitscan"
+             [ loop "i" (c 0) nv ]
+             [
+               store "MASK" [ i "i" ]
+                 (Binop (Op.Lt, load "COL" [ i "i" ], fconst threshold));
+             ]);
+      ]
+  in
+  W.make ~name:(Printf.sprintf "bitscan/%d" n) ~params:[ ("N", n) ]
+    ~inputs:
+      (lazy
+        [ ("COL", Data.uniform_range ~seed:101 ~lo:0.0 ~hi:1000.0 n) ])
+    prog
+
+let saxpy ~n ~a =
+  let prog =
+    let open Ast in
+    let nv = Symaff.var "N" in
+    program ~name:"saxpy" ~params:[ "N" ]
+      ~arrays:[ array "X" Dtype.Fp32 [ nv ]; array "Y" Dtype.Fp32 [ nv ] ]
+      [
+        Kernel
+          (kernel "saxpy"
+             [ loop "i" (c 0) nv ]
+             [
+               store "Y" [ i "i" ]
+                 ((fconst a * load "X" [ i "i" ]) + load "Y" [ i "i" ]);
+             ]);
+      ]
+  in
+  W.make ~name:(Printf.sprintf "saxpy/%d" n) ~params:[ ("N", n) ]
+    ~inputs:
+      (lazy [ ("X", Data.uniform ~seed:103 n); ("Y", Data.uniform ~seed:107 n) ])
+    prog
+
+let histogram ~n ~bins =
+  let prog =
+    let open Ast in
+    let nv = Symaff.var "N" and bv = Symaff.var "B" in
+    program ~name:"histogram" ~params:[ "N"; "B" ]
+      ~arrays:[ array "IXS" Dtype.Fp32 [ nv ]; array "H" Dtype.Fp32 [ bv ] ]
+      [
+        Kernel
+          (kernel "histogram"
+             [ loop "i" (c 0) nv ]
+             [
+               accum_ix Op.Add "H"
+                 [ Indirect { array = "IXS"; indices = [ i "i" ] } ]
+                 (fconst 1.0);
+             ]);
+      ]
+  in
+  W.make ~check_arrays:[ "H" ]
+    ~name:(Printf.sprintf "histogram/%d" n)
+    ~params:[ ("N", n); ("B", bins) ]
+    ~inputs:(lazy [ ("IXS", Data.indices ~seed:109 ~bound:bins n) ])
+    prog

@@ -1,0 +1,17 @@
+(** Extension workloads beyond Table 3, from the paper's §9 discussion of
+    "broader workloads [that] are prime candidates for in-memory
+    computation with infinity stream". *)
+
+val bitscan : n:int -> threshold:float -> Infinity_stream.Workload.t
+(** BitWeaving-style database column scan: a predicate mask
+    [MASK\[i\] = COL\[i\] < threshold] over an int32 column. Bit-serial
+    comparison is O(width), so the scan runs near the Eq. 1 peak. *)
+
+val saxpy : n:int -> a:float -> Infinity_stream.Workload.t
+(** The BLAS level-1 kernel [Y = a*X + Y] — streaming with a broadcast
+    scalar, a minimal test of runtime-constant handling. *)
+
+val histogram : n:int -> bins:int -> Infinity_stream.Workload.t
+(** Indirect scatter-accumulate [H\[B\[i\]\] += 1]: pure near-memory
+    irregularity (the in-memory paradigm contributes nothing here, and the
+    runtime must know it). *)

@@ -1,0 +1,95 @@
+module W = Infinity_stream.Workload
+
+let arrays () =
+  let open Ast in
+  let m = Symaff.var "M" and d = Symaff.var "D" and v = Symaff.var "V" in
+  [
+    array "F" Dtype.Fp32 [ v; d ];
+    array "IX" Dtype.Fp32 [ m ];
+    array "G" Dtype.Fp32 [ m; d ];
+    array "Wt" Dtype.Fp32 [ d; d ];
+    array "OUT" Dtype.Fp32 [ m; d ];
+  ]
+
+let inputs ~rows ~feat ~vocab =
+  lazy
+    [
+      ("F", Data.uniform ~seed:79 (vocab * feat));
+      ("IX", Data.indices ~seed:83 ~bound:vocab rows);
+      ("Wt", Data.uniform_range ~seed:89 ~lo:(-0.2) ~hi:0.2 (feat * feat));
+    ]
+
+let gather_kernel =
+  let open Ast in
+  let m = Symaff.var "M" and d = Symaff.var "D" in
+  Kernel
+    (kernel "gml_gather"
+       [ loop "r" (c 0) m; loop "dd" (c 0) d ]
+       [
+         store "G"
+           [ i "r"; i "dd" ]
+           (load_ix "F"
+              [ Indirect { array = "IX"; indices = [ i "r" ] }; Aff (i "dd") ]);
+       ])
+
+let relu_kernel =
+  let open Ast in
+  let m = Symaff.var "M" and d = Symaff.var "D" in
+  Kernel
+    (kernel "gml_relu"
+       [ loop "r" (c 0) m; loop "nn" (c 0) d ]
+       [ store "OUT" [ i "r"; i "nn" ] (relu (load "OUT" [ i "r"; i "nn" ])) ])
+
+let gather_mlp_inner ~rows ~feat ~vocab =
+  let prog =
+    let open Ast in
+    let m = Symaff.var "M" and d = Symaff.var "D" in
+    program ~name:"gather_mlp_inner" ~params:[ "M"; "D"; "V" ]
+      ~arrays:(arrays ())
+      [
+        gather_kernel;
+        Kernel
+          (kernel "gml_mm"
+             [ loop "r" (c 0) m; loop "nn" (c 0) d; loop "kk" (c 0) d ]
+             [
+               accum Op.Add "OUT"
+                 [ i "r"; i "nn" ]
+                 (load "G" [ i "r"; i "kk" ] * load "Wt" [ i "kk"; i "nn" ]);
+             ]);
+        relu_kernel;
+      ]
+  in
+  W.make ~check_arrays:[ "OUT" ]
+    ~name:(Printf.sprintf "gather_mlp/in/%d" rows)
+    ~params:[ ("M", rows); ("D", feat); ("V", vocab) ]
+    ~inputs:(inputs ~rows ~feat ~vocab)
+    prog
+
+let gather_mlp_outer ~rows ~feat ~vocab =
+  let prog =
+    let open Ast in
+    let m = Symaff.var "M" and d = Symaff.var "D" in
+    program ~name:"gather_mlp_outer" ~params:[ "M"; "D"; "V" ]
+      ~arrays:(arrays ())
+      [
+        gather_kernel;
+        Host_loop
+          ( loop "kk" (c 0) d,
+            [
+              Kernel
+                (kernel "gml_mm"
+                   [ loop "r" (c 0) m; loop "nn" (c 0) d ]
+                   [
+                     accum Op.Add "OUT"
+                       [ i "r"; i "nn" ]
+                       (load "G" [ i "r"; i "kk" ] * load "Wt" [ i "kk"; i "nn" ]);
+                   ]);
+            ] );
+        relu_kernel;
+      ]
+  in
+  W.make ~check_arrays:[ "OUT" ]
+    ~name:(Printf.sprintf "gather_mlp/out/%d" rows)
+    ~params:[ ("M", rows); ("D", feat); ("V", vocab) ]
+    ~inputs:(inputs ~rows ~feat ~vocab)
+    prog

@@ -1,0 +1,13 @@
+(** Gather + MLP layer (paper Table 3: M=32k rows, N=K=128), the paper's
+    motivating hybrid: an indirect gather collects feature rows (a
+    near-memory stream laying data out in tensor form, §3.3) and a dense
+    matrix product with ReLU runs in-memory.
+
+    [inner]: the product reduces over K inside a 3-D lattice.
+    [outer]: a host loop over K accumulates rank-1 updates (the paper's
+    preferred dataflow). *)
+
+val gather_mlp_inner :
+  rows:int -> feat:int -> vocab:int -> Infinity_stream.Workload.t
+
+val gather_mlp_outer : rows:int -> feat:int -> vocab:int -> Infinity_stream.Workload.t

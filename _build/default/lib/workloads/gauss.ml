@@ -1,0 +1,49 @@
+module W = Infinity_stream.Workload
+
+let gauss_elim ~n =
+  let prog =
+    let open Ast in
+    let nv = Symaff.var "N" in
+    let k1 = i "k" +% 1 in
+    program ~name:"gauss_elim" ~params:[ "N" ]
+      ~arrays:
+        [
+          array "A" Dtype.Fp32 [ nv; nv ];
+          array "B" Dtype.Fp32 [ nv ];
+          array "M" Dtype.Fp32 [ nv ];
+        ]
+      [
+        Host_loop
+          ( loop "k" (c 0) (nv +% -1),
+            [
+              Let_scalar ("akk", load "A" [ i "k"; i "k" ]);
+              Let_scalar ("bk", load "B" [ i "k" ]);
+              Kernel
+                (kernel "gauss_m"
+                   [ loop "r" k1 nv ]
+                   [ store "M" [ i "r" ] (load "A" [ i "r"; i "k" ] / scalar "akk") ]);
+              Kernel
+                (kernel "gauss_b"
+                   [ loop "r" k1 nv ]
+                   [ accum Op.Sub "B" [ i "r" ] (load "M" [ i "r" ] * scalar "bk") ]);
+              Kernel
+                (kernel "gauss_a"
+                   [ loop "r" k1 nv; loop "j" k1 nv ]
+                   [
+                     accum Op.Sub "A"
+                       [ i "r"; i "j" ]
+                       (load "A" [ i "k"; i "j" ] * load "M" [ i "r" ]);
+                   ]);
+            ] );
+      ]
+  in
+  W.make ~check_arrays:[ "A"; "B" ]
+    ~name:(Printf.sprintf "gauss_elim/%dx%d" n n)
+    ~params:[ ("N", n) ]
+    ~inputs:
+      (lazy
+        [
+          ("A", Data.diag_dominant ~seed:41 n);
+          ("B", Data.uniform ~seed:43 n);
+        ])
+    prog

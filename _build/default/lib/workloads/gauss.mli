@@ -1,0 +1,9 @@
+(** Gaussian elimination (paper Fig. 4c / Fig. 7: broadcast + element-wise,
+    with the pivot loop on the host and per-iteration runtime scalars).
+
+    The [m] multiplier column is produced by a near-memory stream (low
+    parallelism, column access), then broadcast across the trailing
+    submatrix for the in-memory rank-1 update — the paper's flagship hybrid
+    example. *)
+
+val gauss_elim : n:int -> Infinity_stream.Workload.t

@@ -1,0 +1,159 @@
+module W = Infinity_stream.Workload
+
+let common_arrays ~points:_ ~dim:_ ~centers:_ =
+  let open Ast in
+  let p = Symaff.var "P" and d = Symaff.var "D" and k = Symaff.var "K" in
+  [
+    array "X" Dtype.Fp32 [ p; d ];
+    array "Cc" Dtype.Fp32 [ k; d ];
+    array "DIST" Dtype.Fp32 [ p; k ];
+    array "BEST" Dtype.Fp32 [ p ];
+    array "IDX" Dtype.Fp32 [ p ];
+    array "IOTA" Dtype.Fp32 [ k ];
+    array "CSUM" Dtype.Fp32 [ k; d ];
+    array "CNT" Dtype.Fp32 [ k ];
+    array "CNEW" Dtype.Fp32 [ k; d ];
+  ]
+
+let inputs ~points ~dim ~centers =
+  lazy
+    [
+      ("X", Data.uniform ~seed:71 (points * dim));
+      ("Cc", Data.uniform ~seed:73 (centers * dim));
+      ("BEST", Array.make points 1e30);
+      ("IOTA", Data.iota centers);
+    ]
+
+(* Shared tail: argmin extraction and the indirect centroid update. *)
+let update_kernels =
+  let open Ast in
+  let p = Symaff.var "P" and d = Symaff.var "D" and k = Symaff.var "K" in
+  [
+    (* idx+1 = max over centers of (dist < best + eps) * (iota+1) *)
+    Kernel
+      (kernel "km_idx"
+         [ loop "pp" (c 0) p; loop "cc" (c 0) k ]
+         [
+           accum Op.Max "IDX" [ i "pp" ]
+             (Binop
+                ( Op.Lt,
+                  load "DIST" [ i "pp"; i "cc" ],
+                  load "BEST" [ i "pp" ] + fconst 1e-6 )
+             * (load "IOTA" [ i "cc" ] + fconst 1.0));
+         ]);
+    Kernel
+      (kernel "km_idxfix"
+         [ loop "pp" (c 0) p ]
+         [ store "IDX" [ i "pp" ] (load "IDX" [ i "pp" ] - fconst 1.0) ]);
+    (* indirect scatter-accumulate: near-memory streams *)
+    Kernel
+      (kernel "km_update"
+         [ loop "pp" (c 0) p; loop "dd" (c 0) d ]
+         [
+           accum_ix Op.Add "CSUM"
+             [ Indirect { array = "IDX"; indices = [ i "pp" ] }; Aff (i "dd") ]
+             (load "X" [ i "pp"; i "dd" ]);
+         ]);
+    Kernel
+      (kernel "km_count"
+         [ loop "pp" (c 0) p ]
+         [
+           accum_ix Op.Add "CNT"
+             [ Indirect { array = "IDX"; indices = [ i "pp" ] } ]
+             (fconst 1.0);
+         ]);
+    Kernel
+      (kernel "km_new"
+         [ loop "cc" (c 0) k; loop "dd" (c 0) d ]
+         [
+           store "CNEW"
+             [ i "cc"; i "dd" ]
+             (load "CSUM" [ i "cc"; i "dd" ]
+             / max_ (load "CNT" [ i "cc" ]) (fconst 1.0));
+         ]);
+  ]
+
+let kmeans_inner ~points ~dim ~centers =
+  let prog =
+    let open Ast in
+    let p = Symaff.var "P" and d = Symaff.var "D" and k = Symaff.var "K" in
+    program ~name:"kmeans_inner" ~params:[ "P"; "D"; "K" ]
+      ~arrays:(common_arrays ~points ~dim ~centers)
+      ([
+         Kernel
+           (kernel "km_dist"
+              [ loop "pp" (c 0) p; loop "cc" (c 0) k; loop "dd" (c 0) d ]
+              [
+                accum Op.Add "DIST"
+                  [ i "pp"; i "cc" ]
+                  ((load "X" [ i "pp"; i "dd" ] - load "Cc" [ i "cc"; i "dd" ])
+                  * (load "X" [ i "pp"; i "dd" ] - load "Cc" [ i "cc"; i "dd" ]));
+              ]);
+         Kernel
+           (kernel "km_best"
+              [ loop "pp" (c 0) p; loop "cc" (c 0) k ]
+              [ accum Op.Min "BEST" [ i "pp" ] (load "DIST" [ i "pp"; i "cc" ]) ]);
+       ]
+      @ update_kernels)
+  in
+  W.make
+    ~check_arrays:[ "IDX"; "CNEW"; "BEST" ]
+    ~name:(Printf.sprintf "kmeans/in/%dp" points)
+    ~params:[ ("P", points); ("D", dim); ("K", centers) ]
+    ~inputs:(inputs ~points ~dim ~centers)
+    prog
+
+let kmeans_outer ~points ~dim ~centers =
+  let prog =
+    let open Ast in
+    let p = Symaff.var "P" and d = Symaff.var "D" and k = Symaff.var "K" in
+    program ~name:"kmeans_outer" ~params:[ "P"; "D"; "K" ]
+      ~arrays:
+        (common_arrays ~points ~dim ~centers
+        @ [ Ast.array "TMP" Dtype.Fp32 [ p; d ]; Ast.array "DC" Dtype.Fp32 [ p ] ])
+      ([
+         Host_loop
+           ( loop "cc0" (c 0) k,
+             [
+               (* squared differences against one broadcast center row *)
+               Kernel
+                 (kernel "km_diff"
+                    [ loop "pp" (c 0) p; loop "dd" (c 0) d ]
+                    [
+                      store "TMP"
+                        [ i "pp"; i "dd" ]
+                        ((load "X" [ i "pp"; i "dd" ]
+                         - load "Cc" [ i "cc0"; i "dd" ])
+                        * (load "X" [ i "pp"; i "dd" ]
+                          - load "Cc" [ i "cc0"; i "dd" ]));
+                    ]);
+               Kernel
+                 (kernel "km_dsum"
+                    [ loop "pp" (c 0) p; loop "dd" (c 0) d ]
+                    [ accum Op.Add "DC" [ i "pp" ] (load "TMP" [ i "pp"; i "dd" ]) ]);
+               (* write this center's distance column (a one-iteration
+                  loop keeps the target index loop-carried) *)
+               Kernel
+                 (kernel "km_scatter"
+                    [ loop "pp" (c 0) p; loop "jj" (i "cc0") (i "cc0" +% 1) ]
+                    [ store "DIST" [ i "pp"; i "jj" ] (load "DC" [ i "pp" ]) ]);
+               Kernel
+                 (kernel "km_minup"
+                    [ loop "pp" (c 0) p ]
+                    [
+                      accum Op.Min "BEST" [ i "pp" ] (load "DC" [ i "pp" ]);
+                    ]);
+               Kernel
+                 (kernel "km_dczero"
+                    [ loop "pp" (c 0) p ]
+                    [ store "DC" [ i "pp" ] (fconst 0.0) ]);
+             ] );
+       ]
+      @ update_kernels)
+  in
+  W.make
+    ~check_arrays:[ "IDX"; "CNEW"; "BEST" ]
+    ~name:(Printf.sprintf "kmeans/out/%dp" points)
+    ~params:[ ("P", points); ("D", dim); ("K", centers) ]
+    ~inputs:(inputs ~points ~dim ~centers)
+    prog

@@ -1,0 +1,17 @@
+(** One k-means iteration: assignment + centroid update (paper Table 3,
+    32k points, 128 dimensions, 128 centers; Fig. 15's in/out dataflows).
+
+    Assignment computes point-to-center distances and an argmin; the
+    centroid update is an indirect scatter-accumulate that only near-memory
+    streams can execute (paper §3.3's irregularity example). The argmin is
+    built from Lt/Mul/Max tensor ops against an iota input (the mini-C has
+    no ternary select), and both the golden model and every paradigm follow
+    the same formulation, so results stay comparable.
+
+    [inner]: a 3-D (point, center, dim) lattice with an in-memory reduction
+    over the feature dimension, executed in waves over the tile space.
+    [outer]: a host loop over centers with element-wise 2-D kernels
+    (broadcast + element-wise). *)
+
+val kmeans_inner : points:int -> dim:int -> centers:int -> Infinity_stream.Workload.t
+val kmeans_outer : points:int -> dim:int -> centers:int -> Infinity_stream.Workload.t

@@ -1,0 +1,68 @@
+module W = Infinity_stream.Workload
+
+let vec_add ~n =
+  let prog =
+    let open Ast in
+    let nv = Symaff.var "N" in
+    program ~name:"vec_add" ~params:[ "N" ]
+      ~arrays:
+        [
+          array "A" Dtype.Fp32 [ nv ];
+          array "B" Dtype.Fp32 [ nv ];
+          array "C" Dtype.Fp32 [ nv ];
+        ]
+      [
+        Kernel
+          (kernel "vec_add"
+             [ loop "i" (c 0) nv ]
+             [ store "C" [ i "i" ] (load "A" [ i "i" ] + load "B" [ i "i" ]) ]);
+      ]
+  in
+  W.make ~name:(Printf.sprintf "vec_add/%d" n) ~params:[ ("N", n) ]
+    ~inputs:
+      (lazy [ ("A", Data.uniform ~seed:11 n); ("B", Data.uniform ~seed:13 n) ])
+    prog
+
+let array_sum ~n =
+  let prog =
+    let open Ast in
+    let nv = Symaff.var "N" in
+    program ~name:"array_sum" ~params:[ "N" ]
+      ~arrays:[ array "A" Dtype.Fp32 [ nv ]; array "S" Dtype.Fp32 [ c 1 ] ]
+      [
+        Kernel
+          (kernel "array_sum"
+             [ loop "i" (c 0) nv ]
+             [ accum Op.Add "S" [ c 0 ] (load "A" [ i "i" ]) ]);
+      ]
+  in
+  W.make ~name:(Printf.sprintf "array_sum/%d" n) ~params:[ ("N", n) ]
+    ~inputs:(lazy [ ("A", Data.uniform ~seed:17 n) ])
+    prog
+
+let vec_add_dtype ~dtype ~n =
+  let prog =
+    let open Ast in
+    let nv = Symaff.var "N" in
+    program ~name:"vec_add" ~params:[ "N" ]
+      ~arrays:
+        [
+          array "A" dtype [ nv ];
+          array "B" dtype [ nv ];
+          array "C" dtype [ nv ];
+        ]
+      [
+        Kernel
+          (kernel "vec_add"
+             [ loop "i" (c 0) nv ]
+             [ store "C" [ i "i" ] (load "A" [ i "i" ] + load "B" [ i "i" ]) ]);
+      ]
+  in
+  W.make
+    ~name:(Printf.sprintf "vec_add/%s/%d" (Dtype.to_string dtype) n)
+    ~params:[ ("N", n) ]
+    ~inputs:
+      (lazy [ ("A", Data.uniform ~seed:11 n); ("B", Data.uniform ~seed:13 n) ])
+    prog
+
+let fig2_sizes = [ 16_384; 65_536; 262_144; 1_048_576; 4_194_304 ]

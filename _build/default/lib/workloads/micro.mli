@@ -1,0 +1,15 @@
+(** Microbenchmarks of paper Fig. 2: element-wise vector addition and a
+    full reduction, across input sizes. *)
+
+val vec_add : n:int -> Infinity_stream.Workload.t
+(** [C\[i\] = A\[i\] + B\[i\]]. *)
+
+val array_sum : n:int -> Infinity_stream.Workload.t
+(** [S\[0\] += A\[i\]] — a reduction to a scalar cell. *)
+
+val vec_add_dtype : dtype:Dtype.t -> n:int -> Infinity_stream.Workload.t
+(** [vec_add] over a narrower element type — bit-serial latency is O(width),
+    so int8/int16 close the gap to the Eq. 1 peak (dtype ablation). *)
+
+val fig2_sizes : int list
+(** 16k .. 4M, the x-axis of Fig. 2. *)

@@ -1,0 +1,59 @@
+module W = Infinity_stream.Workload
+
+let inputs_for n =
+  lazy
+    [
+      ("A", Data.uniform_range ~seed:61 ~lo:(-1.0) ~hi:1.0 (n * n));
+      ("B", Data.uniform_range ~seed:67 ~lo:(-1.0) ~hi:1.0 (n * n));
+    ]
+
+let arrays_mm nv =
+  let open Ast in
+  [
+    array "A" Dtype.Fp32 [ nv; nv ];
+    array "B" Dtype.Fp32 [ nv; nv ];
+    array "C" Dtype.Fp32 [ nv; nv ];
+  ]
+
+let mm_outer ~n =
+  let prog =
+    let open Ast in
+    let nv = Symaff.var "N" in
+    program ~name:"mm_outer" ~params:[ "N" ] ~arrays:(arrays_mm nv)
+      [
+        Host_loop
+          ( loop "k" (c 0) nv,
+            [
+              Kernel
+                (kernel "mm_outer"
+                   [ loop "m" (c 0) nv; loop "nn" (c 0) nv ]
+                   [
+                     accum Op.Add "C"
+                       [ i "m"; i "nn" ]
+                       (load "A" [ i "m"; i "k" ] * load "B" [ i "k"; i "nn" ]);
+                   ]);
+            ] );
+      ]
+  in
+  W.make ~name:(Printf.sprintf "mm/out/%d" n) ~params:[ ("N", n) ]
+    ~inputs:(inputs_for n) prog
+
+let mm_inner ~n =
+  let prog =
+    let open Ast in
+    let nv = Symaff.var "N" in
+    program ~name:"mm_inner" ~params:[ "N" ] ~arrays:(arrays_mm nv)
+      [
+        Kernel
+          (kernel "mm_inner"
+             [ loop "m" (c 0) nv; loop "nn" (c 0) nv; loop "kc" (c 0) nv ]
+             [
+               accum Op.Add "C"
+                 [ i "m"; i "nn" ]
+                 (load "A" [ i "m"; i "kc" ] * load "B" [ i "kc"; i "nn" ]);
+             ]);
+      ]
+  in
+  W.make ~name:(Printf.sprintf "mm/in/%d" n)
+    ~params:[ ("N", n) ]
+    ~inputs:(inputs_for n) prog

@@ -1,0 +1,12 @@
+(** Dense matrix multiply, both dataflows (paper Fig. 8 / Fig. 15).
+
+    [mm_outer] — the paper's preferred in-memory dataflow: the host loop
+    walks [k]; each round broadcasts a column of A and a row of B across
+    the whole C and accumulates element-wise.
+
+    [mm_inner] — inner-product dataflow: one 3-D (m, n, k) lattice with an
+    in-memory reduction over k; far larger than the bitline capacity, so it
+    executes in waves over the tile space. *)
+
+val mm_outer : n:int -> Infinity_stream.Workload.t
+val mm_inner : n:int -> Infinity_stream.Workload.t

@@ -1,0 +1,397 @@
+module W = Infinity_stream.Workload
+open Ast
+
+(* [open Ast] rebinds the arithmetic operators to expression builders;
+   integer arithmetic below uses the $-suffixed aliases. *)
+let ( +$ ) = Stdlib.( + )
+let ( -$ ) = Stdlib.( - )
+let ( *$ ) = Stdlib.( * )
+
+type sa_params = {
+  sa_k : int;
+  sa_n : int;
+  sa_r : float;
+  sa_dims : int list;
+}
+
+let table4 =
+  [
+    ("SA1", { sa_k = 512; sa_n = 32; sa_r = 0.2; sa_dims = [ 64; 64; 128 ] });
+    ("SA2", { sa_k = 128; sa_n = 64; sa_r = 0.4; sa_dims = [ 128; 128; 256 ] });
+    ("SA3", { sa_k = 1; sa_n = 128; sa_r = infinity; sa_dims = [ 256; 512; 1024 ] });
+    ("SA4", { sa_k = 512; sa_n = 16; sa_r = 0.1; sa_dims = [ 32; 32; 64 ] });
+    ("SA5", { sa_k = 512; sa_n = 32; sa_r = 0.2; sa_dims = [ 64; 64; 128 ] });
+    ("SA6", { sa_k = 512; sa_n = 128; sa_r = 0.4; sa_dims = [ 64; 96; 128 ] });
+    ("SA7", { sa_k = 128; sa_n = 16; sa_r = 0.2; sa_dims = [ 64; 64; 128 ] });
+    ("SA8", { sa_k = 128; sa_n = 32; sa_r = 0.4; sa_dims = [ 128; 128; 256 ] });
+    ("SA9", { sa_k = 128; sa_n = 128; sa_r = 0.8; sa_dims = [ 128; 128; 256 ] });
+  ]
+
+(* ---- program builder ---- *)
+
+type builder = {
+  mutable arrays : array_decl list; (* reversed *)
+  mutable stmts : host_stmt list; (* reversed *)
+  mutable inputs : (string * (unit -> float array)) list;
+  mutable iotas : (int * string) list;
+  mutable seed : int;
+}
+
+let fresh_builder () = { arrays = []; stmts = []; inputs = []; iotas = []; seed = 1000 }
+
+let next_seed b =
+  b.seed <- b.seed +$ 1;
+  b.seed
+
+let decl b name dims ?init () =
+  b.arrays <- array name Dtype.Fp32 (List.map c dims) :: b.arrays;
+  match init with
+  | Some f -> b.inputs <- (name, f) :: b.inputs
+  | None -> ()
+
+let push b s = b.stmts <- s :: b.stmts
+
+let iota_for b p =
+  match List.assoc_opt p b.iotas with
+  | Some name -> name
+  | None ->
+    let name = Printf.sprintf "IOTA%d" p in
+    decl b name [ p ] ~init:(fun () -> Data.iota p) ();
+    b.iotas <- (p, name) :: b.iotas;
+    name
+
+let sq e = e * e
+
+(* A dense layer OUT[.][.][nn] += IN[.][.][kk] * W[kk][nn], outer-product
+   dataflow (host loop over kk), followed by ReLU. Lattice (k2, j, nn). *)
+let mlp_layer b ~prefix ~layer ~k ~n ~din ~dout ~src =
+  let wname = Printf.sprintf "%s_W%d" prefix layer in
+  let aname = Printf.sprintf "%s_A%d" prefix layer in
+  decl b wname [ din; dout ]
+    ~init:(fun () ->
+      Data.uniform_range ~seed:(next_seed b) ~lo:(-0.2) ~hi:0.2 (din *$ dout))
+    ();
+  decl b aname [ k; n; dout ] ();
+  push b
+    (Host_loop
+       ( loop "kk" (c 0) (c din),
+         [
+           Kernel
+             (kernel
+                (Printf.sprintf "%s_mlp%d" prefix layer)
+                [ loop "k2" (c 0) (c k); loop "j" (c 0) (c n); loop "nn" (c 0) (c dout) ]
+                [
+                  accum Op.Add aname
+                    [ i "k2"; i "j"; i "nn" ]
+                    (load src [ i "k2"; i "j"; i "kk" ] * load wname [ i "kk"; i "nn" ]);
+                ]);
+         ] ));
+  push b
+    (Kernel
+       (kernel
+          (Printf.sprintf "%s_relu%d" prefix layer)
+          [ loop "k2" (c 0) (c k); loop "j" (c 0) (c n); loop "nn" (c 0) (c dout) ]
+          [
+            store aname [ i "k2"; i "j"; i "nn" ]
+              (relu (load aname [ i "k2"; i "j"; i "nn" ]));
+          ]));
+  aname
+
+(* Furthest-point sampling over [np] points with coords [cin] (np x 3):
+   produces [prefix_SAMP] (k indices). Iterative, scalar-coordinated —
+   the near-memory phase of Fig. 19. *)
+let furthest_sample b ~prefix ~np ~k ~cin =
+  let d2 = prefix ^ "_D2" in
+  let last = prefix ^ "_LAST" in
+  let mx = prefix ^ "_MX" in
+  let samp = prefix ^ "_SAMP" in
+  let iota = iota_for b np in
+  decl b d2 [ np ] ~init:(fun () -> Array.make np 1e30) ();
+  decl b last [ 1 ] ();
+  decl b mx [ k ] ();
+  decl b samp [ k ] ();
+  let coord cc = load_ix cin [ Indirect { array = last; indices = [ c 0 ] }; Aff (c cc) ] in
+  push b
+    (Host_loop
+       ( loop "ss" (c 0) (c k),
+         [
+           Let_scalar ("lx", coord 0);
+           Let_scalar ("ly", coord 1);
+           Let_scalar ("lz", coord 2);
+           Kernel
+             (kernel (prefix ^ "_fps_upd")
+                [ loop "p" (c 0) (c np) ]
+                [
+                  store d2 [ i "p" ]
+                    (min_ (load d2 [ i "p" ])
+                       (sq (load cin [ i "p"; c 0 ] - scalar "lx")
+                       + sq (load cin [ i "p"; c 1 ] - scalar "ly")
+                       + sq (load cin [ i "p"; c 2 ] - scalar "lz")));
+                ]);
+           Kernel
+             (kernel (prefix ^ "_fps_max")
+                [ loop "j" (i "ss") (i "ss" +% 1); loop "p" (c 0) (c np) ]
+                [ accum Op.Max mx [ i "j" ] (load d2 [ i "p" ]) ]);
+           Kernel
+             (kernel (prefix ^ "_fps_win")
+                [ loop "j" (i "ss") (i "ss" +% 1); loop "p" (c 0) (c np) ]
+                [
+                  accum Op.Max samp [ i "j" ]
+                    (Binop
+                       ( Op.Lt,
+                         load mx [ i "j" ] - fconst 1e-6,
+                         load d2 [ i "p" ] )
+                    * (load iota [ i "p" ] + fconst 1.0));
+                ]);
+           Kernel
+             (kernel (prefix ^ "_fps_fix")
+                [ loop "j" (i "ss") (i "ss" +% 1) ]
+                [ store samp [ i "j" ] (load samp [ i "j" ] - fconst 1.0) ]);
+           Kernel
+             (kernel (prefix ^ "_fps_last")
+                [ loop "jz" (c 0) (c 1) ]
+                [
+                  store last [ i "jz" ]
+                    (load samp [ i "jz" +! i "ss" ]);
+                ]);
+         ] ));
+  samp
+
+(* One set-abstraction stage. [fin]: feature array (np x din); [cin]:
+   coordinates (np x 3). Returns (out features (k x dout), centroid coords
+   (k x 3), dout). [samp]: reuse an existing sample (MSG shares samples). *)
+let sa_stage b ~prefix ~(params : sa_params) ~np ~din ~fin ~cin ?samp () =
+  let { sa_k = k; sa_n = n; sa_r = r; sa_dims } = params in
+  let samp =
+    match samp with
+    | Some s -> s
+    | None -> furthest_sample b ~prefix ~np ~k ~cin
+  in
+  let cxyz = prefix ^ "_CXYZ" in
+  let bqd = prefix ^ "_BQD" in
+  let mask = prefix ^ "_MASK" in
+  let nb = prefix ^ "_NB" in
+  let nbf = prefix ^ "_NBF" in
+  let g = prefix ^ "_G" in
+  decl b cxyz [ k; 3 ] ();
+  decl b bqd [ k; np ] ();
+  decl b mask [ k; np ] ();
+  decl b nb [ k; n ]
+    ~init:
+      (let seed = next_seed b in
+       fun () -> Data.indices ~seed ~bound:np (k *$ n))
+    ();
+  decl b nbf [ k; n ] ();
+  decl b g [ k; n; din ] ();
+  (* centroid coordinates: indirect gather through the sample *)
+  push b
+    (Kernel
+       (kernel (prefix ^ "_bq_cxyz")
+          [ loop "k2" (c 0) (c k); loop "cc" (c 0) (c 3) ]
+          [
+            store_ix cxyz
+              [ Aff (i "k2"); Aff (i "cc") ]
+              (load_ix cin
+                 [ Indirect { array = samp; indices = [ i "k2" ] }; Aff (i "cc") ]);
+          ]));
+  (* ball query: distance matrix + radius mask (in-memory element-wise) *)
+  let dist_term cc =
+    sq (load cin [ i "p"; c cc ] - load cxyz [ i "k2"; c cc ])
+  in
+  push b
+    (Kernel
+       (kernel (prefix ^ "_bq_dist")
+          [ loop "k2" (c 0) (c k); loop "p" (c 0) (c np) ]
+          [
+            store bqd [ i "k2"; i "p" ] (dist_term 0 + dist_term 1 + dist_term 2);
+          ]));
+  let r2 = if Float.is_finite r then r *. r else 1e30 in
+  push b
+    (Kernel
+       (kernel (prefix ^ "_bq_mask")
+          [ loop "k2" (c 0) (c k); loop "p" (c 0) (c np) ]
+          [
+            store mask [ i "k2"; i "p" ]
+              (Binop (Op.Lt, load bqd [ i "k2"; i "p" ], fconst r2));
+          ]));
+  (* neighbor list: synthetic table (see DESIGN.md substitution); the
+     selection write is the near-memory stream the paper describes *)
+  push b
+    (Kernel
+       (kernel (prefix ^ "_bq_sel")
+          [ loop "k2" (c 0) (c k); loop "j" (c 0) (c n) ]
+          [ store nbf [ i "k2"; i "j" ] (load nb [ i "k2"; i "j" ]) ]));
+  (* gather neighbor features *)
+  push b
+    (Kernel
+       (kernel (prefix ^ "_gather")
+          [ loop "k2" (c 0) (c k); loop "j" (c 0) (c n); loop "dd" (c 0) (c din) ]
+          [
+            store_ix g
+              [ Aff (i "k2"); Aff (i "j"); Aff (i "dd") ]
+              (load_ix fin
+                 [
+                   Indirect { array = nbf; indices = [ i "k2"; i "j" ] };
+                   Aff (i "dd");
+                 ]);
+          ]));
+  (* 3-layer MLP *)
+  let _, last_a =
+    List.fold_left
+      (fun (layer, src) dout ->
+        let din = if layer = 1 then din else List.nth sa_dims (layer -$ 2) in
+        let a = mlp_layer b ~prefix ~layer ~k ~n ~din ~dout ~src in
+        (layer +$ 1, a))
+      (1, g) sa_dims
+  in
+  let dout = List.nth sa_dims (List.length sa_dims -$ 1) in
+  (* aggregate: max over neighbors (in-memory reduction) *)
+  let out = prefix ^ "_OUT" in
+  decl b out [ k; dout ] ();
+  push b
+    (Kernel
+       (kernel (prefix ^ "_agg")
+          [ loop "k2" (c 0) (c k); loop "j" (c 0) (c n); loop "dd" (c 0) (c dout) ]
+          [ accum Op.Max out [ i "k2"; i "dd" ] (load last_a [ i "k2"; i "j"; i "dd" ]) ]));
+  (out, cxyz, dout)
+
+(* Fully-connected classifier head: OUT[0][nn] += IN[0][kk] * W[kk][nn]. *)
+let fc_layer b ~layer ~din ~dout ~src =
+  let wname = Printf.sprintf "fc_W%d" layer in
+  let aname = Printf.sprintf "fc_A%d" layer in
+  decl b wname [ din; dout ]
+    ~init:
+      (let seed = next_seed b in
+       fun () -> Data.uniform_range ~seed ~lo:(-0.2) ~hi:0.2 (din *$ dout))
+    ();
+  decl b aname [ 1; dout ] ();
+  push b
+    (Host_loop
+       ( loop "kk" (c 0) (c din),
+         [
+           Kernel
+             (kernel
+                (Printf.sprintf "fc_mlp%d" layer)
+                [ loop "k2" (c 0) (c 1); loop "nn" (c 0) (c dout) ]
+                [
+                  accum Op.Add aname
+                    [ i "k2"; i "nn" ]
+                    (load src [ i "k2"; i "kk" ] * load wname [ i "kk"; i "nn" ]);
+                ]);
+         ] ));
+  push b
+    (Kernel
+       (kernel
+          (Printf.sprintf "fc_relu%d" layer)
+          [ loop "k2" (c 0) (c 1); loop "nn" (c 0) (c dout) ]
+          [ store aname [ i "k2"; i "nn" ] (relu (load aname [ i "k2"; i "nn" ])) ]));
+  aname
+
+let finish b ~name ~check =
+  let prog =
+    program ~name ~params:[] ~arrays:(List.rev b.arrays) (List.rev b.stmts)
+  in
+  let inputs = List.rev b.inputs in
+  W.make ~check_arrays:check ~name
+    ~params:[]
+    ~inputs:(lazy (List.map (fun (n, f) -> (n, f ())) inputs))
+    prog
+
+let base_cloud b ~points =
+  decl b "P0XYZ" [ points; 3 ]
+    ~init:(fun () -> Data.uniform ~seed:97 (points *$ 3))
+    ();
+  "P0XYZ"
+
+let sa p = List.assoc p table4
+
+let ssg ?(points = 4096) () =
+  let b = fresh_builder () in
+  let cin = base_cloud b ~points in
+  let f1, c1, d1 = sa_stage b ~prefix:"sa1" ~params:(sa "SA1") ~np:points ~din:3 ~fin:cin ~cin () in
+  let f2, c2, d2 = sa_stage b ~prefix:"sa2" ~params:(sa "SA2") ~np:(sa "SA1").sa_k ~din:d1 ~fin:f1 ~cin:c1 () in
+  let f3, _c3, d3 = sa_stage b ~prefix:"sa3" ~params:(sa "SA3") ~np:(sa "SA2").sa_k ~din:d2 ~fin:f2 ~cin:c2 () in
+  let a1 = fc_layer b ~layer:1 ~din:d3 ~dout:512 ~src:f3 in
+  let a2 = fc_layer b ~layer:2 ~din:512 ~dout:256 ~src:a1 in
+  let a3 = fc_layer b ~layer:3 ~din:256 ~dout:10 ~src:a2 in
+  finish b ~name:"pointnet/ssg" ~check:[ a3 ]
+
+let concat2d b ~name ~parts ~k =
+  let total = List.fold_left (fun acc (_, d) -> acc +$ d) 0 parts in
+  decl b name [ k; total ] ();
+  let _ =
+    List.fold_left
+      (fun off (src, d) ->
+        push b
+          (Kernel
+             (kernel
+                (Printf.sprintf "%s_cat%d" src off)
+                [ loop "k2" (c 0) (c k); loop "dd" (c 0) (c d) ]
+                [ store name [ i "k2"; i "dd" +% off ] (load src [ i "k2"; i "dd" ]) ]));
+        off +$ d)
+      0 parts
+  in
+  (name, total)
+
+let msg ?(points = 4096) () =
+  let b = fresh_builder () in
+  let cin = base_cloud b ~points in
+  (* first MSG level: SA4/5/6 share the sampled centroids *)
+  let samp1 = furthest_sample b ~prefix:"msg1" ~np:points ~k:(sa "SA4").sa_k ~cin in
+  let stage prefix name =
+    sa_stage b ~prefix ~params:(sa name) ~np:points ~din:3 ~fin:cin ~cin
+      ~samp:samp1 ()
+  in
+  let f4, c4, d4 = stage "sa4" "SA4" in
+  let f5, _, d5 = stage "sa5" "SA5" in
+  let f6, _, d6 = stage "sa6" "SA6" in
+  let cat1, dcat1 =
+    concat2d b ~name:"msg1_CAT" ~parts:[ (f4, d4); (f5, d5); (f6, d6) ] ~k:(sa "SA4").sa_k
+  in
+  (* second MSG level on the 512 centroids *)
+  let np2 = (sa "SA4").sa_k in
+  let samp2 = furthest_sample b ~prefix:"msg2" ~np:np2 ~k:(sa "SA7").sa_k ~cin:c4 in
+  let stage2 prefix name =
+    sa_stage b ~prefix ~params:(sa name) ~np:np2 ~din:dcat1 ~fin:cat1 ~cin:c4
+      ~samp:samp2 ()
+  in
+  let f7, c7, d7 = stage2 "sa7" "SA7" in
+  let f8, _, d8 = stage2 "sa8" "SA8" in
+  let f9, _, d9 = stage2 "sa9" "SA9" in
+  let cat2, dcat2 =
+    concat2d b ~name:"msg2_CAT" ~parts:[ (f7, d7); (f8, d8); (f9, d9) ] ~k:(sa "SA7").sa_k
+  in
+  let f3, _, d3 =
+    sa_stage b ~prefix:"sa3m" ~params:(sa "SA3") ~np:(sa "SA7").sa_k ~din:dcat2
+      ~fin:cat2 ~cin:c7 ()
+  in
+  let a1 = fc_layer b ~layer:1 ~din:d3 ~dout:512 ~src:f3 in
+  let a2 = fc_layer b ~layer:2 ~din:512 ~dout:256 ~src:a1 in
+  let a3 = fc_layer b ~layer:3 ~din:256 ~dout:10 ~src:a2 in
+  finish b ~name:"pointnet/msg" ~check:[ a3 ]
+
+let tiny () =
+  let b = fresh_builder () in
+  let points = 64 in
+  let cin = base_cloud b ~points in
+  let p1 = { sa_k = 8; sa_n = 4; sa_r = 0.5; sa_dims = [ 4; 4; 8 ] } in
+  let p2 = { sa_k = 1; sa_n = 8; sa_r = infinity; sa_dims = [ 8; 8; 16 ] } in
+  let f1, c1, d1 = sa_stage b ~prefix:"sa1" ~params:p1 ~np:points ~din:3 ~fin:cin ~cin () in
+  let f2, _, d2 = sa_stage b ~prefix:"sa2" ~params:p2 ~np:p1.sa_k ~din:d1 ~fin:f1 ~cin:c1 () in
+  let a1 = fc_layer b ~layer:1 ~din:d2 ~dout:8 ~src:f2 in
+  finish b ~name:"pointnet/tiny" ~check:[ a1 ]
+
+let stage_of_kernel name =
+  let has sub =
+    let ls = String.length sub and ln = String.length name in
+    let rec go k = k +$ ls <= ln && (String.sub name k ls = sub || go (k +$ 1)) in
+    go 0
+  in
+  if has "_fps" then "Furthest Sample"
+  else if has "_bq" then "Ball Query"
+  else if has "_gather" then "Gather"
+  else if has "_mlp" || has "_relu" then "MLP Layer"
+  else if has "_agg" then "Aggregate"
+  else if has "fc_" then "FC"
+  else if has "_cat" then "Concat"
+  else "Other"

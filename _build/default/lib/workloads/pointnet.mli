@@ -1,0 +1,37 @@
+(** PointNet++ set-abstraction pipeline (paper §8 case study, Table 4,
+    Fig. 19).
+
+    Each set-abstraction (SA) stage chains: furthest-point sampling (an
+    iterative, low-parallelism phase — near-memory territory), ball query
+    (distance matrix + radius mask in-memory; the sequential first-N
+    neighbor selection is substituted by a precomputed synthetic neighbor
+    table, see DESIGN.md — the gather over it is still executed), an
+    indirect gather of neighbor features, a 3-layer MLP (outer-product
+    dataflow), and a max aggregation (in-memory reduction). SSG chains SA
+    stages; MSG applies three radii to shared samples and concatenates.
+
+    The input point cloud is 4k uniform points in [0,1)^3 with coordinates
+    as initial features, like the paper's randomly generated input. *)
+
+type sa_params = {
+  sa_k : int;  (** centroids sampled *)
+  sa_n : int;  (** neighbors per centroid *)
+  sa_r : float;  (** ball radius (Inf = all) *)
+  sa_dims : int list;  (** the 3 MLP layer widths *)
+}
+
+val table4 : (string * sa_params) list
+(** SA1..SA9 parameters from Table 4. *)
+
+val ssg : ?points:int -> unit -> Infinity_stream.Workload.t
+(** SA1 -> SA2 -> SA3 -> FCx3 classifier (default 4096 points). *)
+
+val msg : ?points:int -> unit -> Infinity_stream.Workload.t
+(** [SA4,SA5,SA6] -> [SA7,SA8,SA9] -> SA3 -> FCx3. *)
+
+val tiny : unit -> Infinity_stream.Workload.t
+(** A drastically scaled-down SSG instance for functional tests. *)
+
+val stage_of_kernel : string -> string
+(** Map a kernel name to its Fig. 19 stage label (Furthest Sample / Ball
+    Query / Gather / MLP Layer / Aggregate / FC). *)

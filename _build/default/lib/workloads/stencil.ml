@@ -1,0 +1,114 @@
+module W = Infinity_stream.Workload
+
+(* Each outer iteration applies the stencil A->B and copies the interior
+   back B->A, keeping both buffers resident. *)
+
+let stencil1d ~iters ~n =
+  let prog =
+    let open Ast in
+    let nv = Symaff.var "N" in
+    let a ix = load "A" [ ix ] in
+    program ~name:"stencil1d" ~params:[ "N"; "T" ]
+      ~arrays:[ array "A" Dtype.Fp32 [ nv ]; array "B" Dtype.Fp32 [ nv ] ]
+      [
+        Host_loop
+          ( loop "t" (c 0) (Symaff.var "T"),
+            [
+              Kernel
+                (kernel "stencil1d"
+                   [ loop "i" (c 1) (nv +% -1) ]
+                   [
+                     store "B" [ i "i" ]
+                       (fconst 0.33
+                       * (a (i "i" +% -1) + a (i "i") + a (i "i" +% 1)));
+                   ]);
+              Kernel
+                (kernel "stencil1d_copy"
+                   [ loop "i" (c 1) (nv +% -1) ]
+                   [ store "A" [ i "i" ] (load "B" [ i "i" ]) ]);
+            ] );
+      ]
+  in
+  W.make ~name:(Printf.sprintf "stencil1d/%d" n)
+    ~params:[ ("N", n); ("T", iters) ]
+    ~inputs:(lazy [ ("A", Data.uniform ~seed:23 n) ])
+    prog
+
+let stencil2d ~iters ~n =
+  let prog =
+    let open Ast in
+    let nv = Symaff.var "N" in
+    let a di dj = load "A" [ i "i" +% di; i "j" +% dj ] in
+    program ~name:"stencil2d" ~params:[ "N"; "T" ]
+      ~arrays:
+        [ array "A" Dtype.Fp32 [ nv; nv ]; array "B" Dtype.Fp32 [ nv; nv ] ]
+      [
+        Host_loop
+          ( loop "t" (c 0) (Symaff.var "T"),
+            [
+              Kernel
+                (kernel "stencil2d"
+                   [ loop "i" (c 1) (nv +% -1); loop "j" (c 1) (nv +% -1) ]
+                   [
+                     store "B"
+                       [ i "i"; i "j" ]
+                       (fconst 0.2
+                       * (a (-1) 0 + a 1 0 + a 0 (-1) + a 0 1 + a 0 0));
+                   ]);
+              Kernel
+                (kernel "stencil2d_copy"
+                   [ loop "i" (c 1) (nv +% -1); loop "j" (c 1) (nv +% -1) ]
+                   [ store "A" [ i "i"; i "j" ] (load "B" [ i "i"; i "j" ]) ]);
+            ] );
+      ]
+  in
+  W.make ~name:(Printf.sprintf "stencil2d/%dx%d" n n)
+    ~params:[ ("N", n); ("T", iters) ]
+    ~inputs:(lazy [ ("A", Data.uniform ~seed:29 (n * n)) ])
+    prog
+
+let stencil3d ~iters ~nx ~ny ~nz =
+  let prog =
+    let open Ast in
+    let x = Symaff.var "NX" and y = Symaff.var "NY" and z = Symaff.var "NZ" in
+    let a di dj dk = load "A" [ i "i" +% di; i "j" +% dj; i "k" +% dk ] in
+    program ~name:"stencil3d" ~params:[ "NX"; "NY"; "NZ"; "T" ]
+      ~arrays:
+        [ array "A" Dtype.Fp32 [ x; y; z ]; array "B" Dtype.Fp32 [ x; y; z ] ]
+      [
+        Host_loop
+          ( loop "t" (c 0) (Symaff.var "T"),
+            [
+              Kernel
+                (kernel "stencil3d"
+                   [
+                     loop "i" (c 1) (x +% -1);
+                     loop "j" (c 1) (y +% -1);
+                     loop "k" (c 1) (z +% -1);
+                   ]
+                   [
+                     store "B"
+                       [ i "i"; i "j"; i "k" ]
+                       (fconst 0.14
+                       * (a (-1) 0 0 + a 1 0 0 + a 0 (-1) 0 + a 0 1 0
+                         + a 0 0 (-1) + a 0 0 1 + a 0 0 0));
+                   ]);
+              Kernel
+                (kernel "stencil3d_copy"
+                   [
+                     loop "i" (c 1) (x +% -1);
+                     loop "j" (c 1) (y +% -1);
+                     loop "k" (c 1) (z +% -1);
+                   ]
+                   [
+                     store "A"
+                       [ i "i"; i "j"; i "k" ]
+                       (load "B" [ i "i"; i "j"; i "k" ]);
+                   ]);
+            ] );
+      ]
+  in
+  W.make ~name:(Printf.sprintf "stencil3d/%dx%dx%d" nx ny nz)
+    ~params:[ ("NX", nx); ("NY", ny); ("NZ", nz); ("T", iters) ]
+    ~inputs:(lazy [ ("A", Data.uniform ~seed:31 (nx * ny * nz)) ])
+    prog

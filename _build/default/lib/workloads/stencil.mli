@@ -1,0 +1,13 @@
+(** Iterative stencils (paper Table 3: stencil1d/2d/3d, shift + element-wise
+    compute). Each iteration ping-pongs between the two buffers, so data
+    stays resident and transposed across iterations — the access pattern the
+    paper's delayed-release policy is designed for. *)
+
+val stencil1d : iters:int -> n:int -> Infinity_stream.Workload.t
+(** 3-point 1D filter, paper size 4M entries, 10 iterations. *)
+
+val stencil2d : iters:int -> n:int -> Infinity_stream.Workload.t
+(** 5-point 2D stencil on an [n x n] grid, paper size 2k x 2k. *)
+
+val stencil3d : iters:int -> nx:int -> ny:int -> nz:int -> Infinity_stream.Workload.t
+(** 7-point 3D stencil, paper size 512 x 512 x 16. *)

@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_compiler Test_edge Test_egraph Test_engine Test_fidelity Test_isa Test_lang Test_runtime Test_sdfg Test_sim Test_tdfg Test_tensor Test_util Test_workloads

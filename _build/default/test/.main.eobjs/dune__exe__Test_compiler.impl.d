@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Ast Dtype Fat_binary Frontend Infinity_stream Infs_workloads Jit Kernel_info Layout List Machine_config Op Printf Result Schedule Symaff Tdfg

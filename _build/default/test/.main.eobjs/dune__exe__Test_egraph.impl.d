@@ -1,0 +1,1 @@
+test/test_egraph.ml: Alcotest Array Ast Dtype Egraph Extract Float Frontend Infinity_stream Infs_workloads Interp List Op Printf Rules Symaff Symrect Tdfg Tdfg_eval

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Ast Dtype Infinity_stream Infs_workloads List Machine_config Printf Result Symaff

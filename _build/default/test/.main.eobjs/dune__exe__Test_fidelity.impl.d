@@ -1,0 +1,1 @@
+test/test_fidelity.ml: Alcotest Array Command Dtype Fun Hashtbl Hyperrect Jit Layout List Machine_config Option Pattern QCheck QCheck_alcotest Schedule Symrect Tdfg

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Bitserial Command Dtype Float Hyperrect List Machine_config Op Option Pattern QCheck QCheck_alcotest

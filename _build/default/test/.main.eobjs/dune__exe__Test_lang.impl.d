@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Array Ast Dtype Hashtbl Hyperrect Interp List Op QCheck QCheck_alcotest Result Symaff Symrect

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Command Decision Dtype Fat_binary Hyperrect Infinity_stream Infs_workloads Jit Layout List Machine_config Op QCheck QCheck_alcotest Result Schedule Symrect Tdfg

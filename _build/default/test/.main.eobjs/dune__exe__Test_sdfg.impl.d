@@ -1,0 +1,1 @@
+test/test_sdfg.ml: Alcotest Ast Egraph Infinity_stream Infs_workloads List Op Rules Sdfg String Symaff Symrect Tdfg

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Area Ast Bitserial Breakdown Command Corem Dram Dtype Energy Float Hyperrect Imc Infinity_stream Infs_workloads Kernel_info List Machine_config Near Op Traffic Workset

@@ -1,0 +1,1 @@
+test/test_tdfg.ml: Alcotest Array Ast Dtype Interp List Op Result Symaff Symrect Tdfg Tdfg_eval

@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Dense Float Fun Hyperrect List Printf QCheck QCheck_alcotest String

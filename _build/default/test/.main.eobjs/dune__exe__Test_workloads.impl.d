@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Ast Dtype Extract Float Frontend Fun Infinity_stream Infs_workloads Interp List Option Printf QCheck QCheck_alcotest Stdlib String Symaff Tdfg_eval

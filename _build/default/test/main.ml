@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "infinity-stream"
+    [
+      ("util", Test_util.suite);
+      ("tensor", Test_tensor.suite);
+      ("isa", Test_isa.suite);
+      ("lang", Test_lang.suite);
+      ("tdfg", Test_tdfg.suite);
+      ("egraph", Test_egraph.suite);
+      ("compiler", Test_compiler.suite);
+      ("runtime", Test_runtime.suite);
+      ("sim", Test_sim.suite);
+      ("engine", Test_engine.suite);
+      ("workloads", Test_workloads.suite);
+      ("edge", Test_edge.suite);
+      ("sdfg+rules", Test_sdfg.suite);
+      ("fidelity", Test_fidelity.suite);
+    ]

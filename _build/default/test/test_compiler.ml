@@ -1,0 +1,308 @@
+(* Frontend extraction, stream analysis, scheduling, fat binary. *)
+
+let n = Symaff.var "N"
+
+let extract_one prog =
+  match Frontend.extract prog (List.hd (Ast.kernels prog)) with
+  | Ok g -> g
+  | Error e -> Alcotest.fail (Frontend.error_to_string e)
+
+let count_kind g pred =
+  List.length (List.filter (fun id -> pred (Tdfg.kind g id)) (Tdfg.live_nodes g))
+
+let test_stencil_extraction_shape () =
+  let w = Infs_workloads.Stencil.stencil1d ~iters:1 ~n:64 in
+  let g = extract_one w.Infinity_stream.Workload.prog in
+  Alcotest.(check int) "three tensor views" 3
+    (count_kind g (function Tdfg.Tensor _ -> true | _ -> false));
+  Alcotest.(check int) "two mv alignments" 2
+    (count_kind g (function Tdfg.Mv _ -> true | _ -> false));
+  Alcotest.(check int) "no streams" 0
+    (count_kind g (function Tdfg.Stream_load _ -> true | _ -> false))
+
+let test_mv_direction_matches_paper () =
+  (* Fig 4(a): A[i-1] unrolls to A[0,N-2) moved by +1. *)
+  let open Ast in
+  let prog =
+    program ~name:"p" ~params:[ "N" ]
+      ~arrays:[ array "A" Dtype.Fp32 [ n ]; array "B" Dtype.Fp32 [ n ] ]
+      [
+        Kernel
+          (kernel "k"
+             [ loop "i" (c 1) n ]
+             [ store "B" [ i "i" ] (load "A" [ i "i" +% -1 ]) ]);
+      ]
+  in
+  let g = extract_one prog in
+  let found =
+    List.exists
+      (fun id ->
+        match Tdfg.kind g id with
+        | Tdfg.Mv { dim = 0; dist = 1; _ } -> true
+        | _ -> false)
+      (Tdfg.live_nodes g)
+  in
+  Alcotest.(check bool) "mv dist +1" true found
+
+let test_strided_becomes_stream () =
+  let w = Infs_workloads.Dwt2d.dwt2d ~n:16 in
+  let g = extract_one w.Infinity_stream.Workload.prog in
+  Alcotest.(check bool) "stride-2 loads become streams" true
+    (count_kind g (function Tdfg.Stream_load _ -> true | _ -> false) > 0)
+
+let test_outer_product_broadcasts () =
+  let w = Infs_workloads.Mm.mm_outer ~n:64 in
+  let g = extract_one w.Infinity_stream.Workload.prog in
+  Alcotest.(check int) "two broadcasts (A column, B row)" 2
+    (count_kind g (function Tdfg.Bc _ -> true | _ -> false))
+
+let test_reduction_detected () =
+  let w = Infs_workloads.Mm.mm_inner ~n:64 in
+  let g = extract_one w.Infinity_stream.Workload.prog in
+  Alcotest.(check int) "reduce over k" 1
+    (count_kind g (function Tdfg.Reduce _ -> true | _ -> false))
+
+let test_indirect_target_becomes_out_stream () =
+  let w = Infs_workloads.Kmeans.kmeans_inner ~points:64 ~dim:8 ~centers:4 in
+  let prog = w.Infinity_stream.Workload.prog in
+  let update =
+    List.find (fun (k : Ast.kernel) -> k.kname = "km_update") (Ast.kernels prog)
+  in
+  match Frontend.extract prog update with
+  | Error e -> Alcotest.fail (Frontend.error_to_string e)
+  | Ok g ->
+    let has_stream_out =
+      List.exists
+        (function Tdfg.Out_stream { accum = Some Op.Add; _ } -> true | _ -> false)
+        (Tdfg.outputs g)
+    in
+    Alcotest.(check bool) "scatter accumulate" true has_stream_out
+
+let test_reject_non_hyperrect () =
+  let open Ast in
+  let prog =
+    program ~name:"p" ~params:[ "N" ]
+      ~arrays:[ array "A" Dtype.Fp32 [ n; n ] ]
+      [
+        Kernel
+          (kernel "tri"
+             [ loop "i" (c 0) n; loop "j" (i "i") n ]
+             [ store "A" [ i "i"; i "j" ] (fconst 1.0) ]);
+      ]
+  in
+  match Frontend.extract prog (List.hd (Ast.kernels prog)) with
+  | Error (Frontend.Unsupported _) -> ()
+  | Error (Frontend.Invalid e) -> Alcotest.failf "wrong error: %s" e
+  | Ok _ -> Alcotest.fail "triangular domain must be rejected"
+
+let test_reject_race_store () =
+  let open Ast in
+  (* storing without accumulation while ignoring a loop is a race *)
+  let prog =
+    program ~name:"p" ~params:[ "N" ]
+      ~arrays:[ array "A" Dtype.Fp32 [ n ]; array "B" Dtype.Fp32 [ n; n ] ]
+      [
+        Kernel
+          (kernel "race"
+             [ loop "i" (c 0) n; loop "j" (c 0) n ]
+             [ store "A" [ i "i" ] (load "B" [ i "i"; i "j" ]) ]);
+      ]
+  in
+  Alcotest.(check bool) "race rejected" true
+    (Result.is_error (Frontend.extract prog (List.hd (Ast.kernels prog))))
+
+let test_kernel_info_reuse () =
+  let w = Infs_workloads.Mm.mm_outer ~n:64 in
+  let prog = w.Infinity_stream.Workload.prog in
+  let info = Kernel_info.analyze prog (List.hd (Ast.kernels prog)) in
+  Alcotest.(check int) "three streams" 3 (List.length info.Kernel_info.streams);
+  let env = function "N" -> 64 | "k" -> 0 | _ -> Alcotest.fail "unexpected var" in
+  Alcotest.(check int) "iterations" 4096 (Kernel_info.iterations info env);
+  let a_stream =
+    List.find (fun (s : Kernel_info.stream) -> s.array = "A") info.streams
+  in
+  (* the A column (64 distinct elements) is referenced 4096 times *)
+  Alcotest.(check int) "distinct elems" 64
+    (Kernel_info.stream_distinct_elems a_stream env ~arrays:[ ("A", [ 64; 64 ]) ])
+
+let test_kernel_info_indirect () =
+  let w = Infs_workloads.Gather_mlp.gather_mlp_inner ~rows:32 ~feat:8 ~vocab:64 in
+  let prog = w.Infinity_stream.Workload.prog in
+  let gather =
+    List.find (fun (k : Ast.kernel) -> k.kname = "gml_gather") (Ast.kernels prog)
+  in
+  let info = Kernel_info.analyze prog gather in
+  Alcotest.(check bool) "indirect flagged" true info.Kernel_info.has_indirect;
+  let f = List.find (fun (s : Kernel_info.stream) -> s.array = "F") info.streams in
+  Alcotest.(check bool) "indirect stream" true f.indirect
+
+let test_schedule_no_spill_suite () =
+  (* every Table 3 kernel must fit the 8 fp32 wordline registers *)
+  List.iter
+    (fun (name, w) ->
+      match Fat_binary.compile w.Infinity_stream.Workload.prog with
+      | Error e -> Alcotest.failf "%s: %s" name e
+      | Ok fb ->
+        List.iter
+          (fun (r : Fat_binary.region) ->
+            if r.fallback = None then
+              Alcotest.(check bool)
+                (Printf.sprintf "%s/%s has a 256-wordline schedule" name
+                   r.kernel.Ast.kname)
+                true
+                (List.mem_assoc 256 r.schedules))
+          fb.regions)
+    (Infs_workloads.Catalog.all_variants (Infs_workloads.Catalog.test_scale ()))
+
+let test_schedule_slots_reused () =
+  let w = Infs_workloads.Conv.conv3d ~hw:12 ~channels:4 in
+  let g = extract_one w.Infinity_stream.Workload.prog in
+  match Schedule.compile ~wordlines:256 g with
+  | Error e -> Alcotest.fail e
+  | Ok s ->
+    Alcotest.(check bool) "fits capacity" true (s.Schedule.slots_used <= s.capacity);
+    Alcotest.(check int) "capacity 8 regs" 8 s.capacity
+
+let test_hints () =
+  let w = Infs_workloads.Mm.mm_outer ~n:64 in
+  let g = extract_one w.Infinity_stream.Workload.prog in
+  let h = Fat_binary.derive_hints g in
+  Alcotest.(check (list int)) "bc dims" [ 0; 1 ] h.Fat_binary.bc_dims;
+  Alcotest.(check (list int)) "no shifts" [] h.shift_dims;
+  Alcotest.(check (option string)) "primary is output" (Some "C") h.primary_array
+
+let test_fat_binary_compiles_catalog () =
+  List.iter
+    (fun (name, w) ->
+      match Fat_binary.compile w.Infinity_stream.Workload.prog with
+      | Error e -> Alcotest.failf "%s failed to compile: %s" name e
+      | Ok fb ->
+        Alcotest.(check bool)
+          (name ^ " has regions")
+          true
+          (List.length fb.Fat_binary.regions > 0))
+    (Infs_workloads.Catalog.all_variants (Infs_workloads.Catalog.test_scale ()))
+
+let test_fat_binary_geometries () =
+  Alcotest.(check (list int)) "fat binary geometries" [ 256; 512 ]
+    Fat_binary.sram_geometries
+
+
+let test_spill_extension () =
+  (* a kernel reading 10 distinct arrays exceeds the 8 fp32 registers; the
+     spilling scheduler (the §6 limitation-3 extension) must still produce
+     a 256-wordline schedule, marking overflow temporaries as spilled *)
+  let open Ast in
+  let n = Symaff.var "N" in
+  let names = List.init 10 (fun idx -> Printf.sprintf "A%d" idx) in
+  let arrays =
+    array "OUT" Dtype.Fp32 [ n ]
+    :: List.map (fun a -> array a Dtype.Fp32 [ n ]) names
+  in
+  let rhs =
+    (* pairwise products keep many operands live at once *)
+    let rec pairs = function
+      | a :: b :: rest -> (load a [ i "r" ] * load b [ i "r" ]) :: pairs rest
+      | [ a ] -> [ load a [ i "r" ] ]
+      | [] -> []
+    in
+    match pairs names with
+    | t :: rest -> List.fold_left ( + ) t rest
+    | [] -> assert false
+  in
+  let prog =
+    program ~name:"spilly" ~params:[ "N" ] ~arrays
+      [ Kernel (kernel "spilly" [ loop "r" (c 0) n ] [ store "OUT" [ i "r" ] rhs ]) ]
+  in
+  let g =
+    match Frontend.extract prog (List.hd (Ast.kernels prog)) with
+    | Ok g -> g
+    | Error e -> Alcotest.fail (Frontend.error_to_string e)
+  in
+  (match Schedule.compile ~wordlines:256 g with
+  | Ok _ -> Alcotest.fail "expected a spill without allow_spill"
+  | Error _ -> ());
+  match Schedule.compile ~allow_spill:true ~wordlines:256 g with
+  | Error e -> Alcotest.fail e
+  | Ok s ->
+    Alcotest.(check bool) "within capacity" true (s.Schedule.slots_used <= s.capacity);
+    Alcotest.(check bool) "something spilled" true (s.spilled <> []);
+    (* lowering charges the spill streams *)
+    let layout =
+      match Layout.of_tile Machine_config.default ~shape:[| 4096 |] ~tile:[| 256 |] with
+      | Ok l -> l
+      | Error e -> Alcotest.fail e
+    in
+    let _, stats =
+      Jit.lower Machine_config.default g ~schedule:s ~layout
+        ~env:(function "N" -> 4096 | _ -> 0)
+    in
+    Alcotest.(check bool) "spill elements charged" true (stats.Jit.spill_elems > 0.0)
+
+let test_spill_region_still_runs () =
+  (* end-to-end: the fat binary uses a spilling schedule rather than
+     falling back to near-memory-only *)
+  let open Ast in
+  let n = Symaff.var "N" in
+  let names = List.init 10 (fun idx -> Printf.sprintf "A%d" idx) in
+  let arrays =
+    array "OUT" Dtype.Fp32 [ n ]
+    :: List.map (fun a -> array a Dtype.Fp32 [ n ]) names
+  in
+  let rhs =
+    let rec pairs = function
+      | a :: b :: rest -> (load a [ i "r" ] * load b [ i "r" ]) :: pairs rest
+      | [ a ] -> [ load a [ i "r" ] ]
+      | [] -> []
+    in
+    match pairs names with
+    | t :: rest -> List.fold_left ( + ) t rest
+    | [] -> assert false
+  in
+  let prog =
+    program ~name:"spilly" ~params:[ "N" ] ~arrays
+      [ Kernel (kernel "spilly" [ loop "r" (c 0) n ] [ store "OUT" [ i "r" ] rhs ]) ]
+  in
+  match Fat_binary.compile prog with
+  | Error e -> Alcotest.fail e
+  | Ok fb ->
+    let r = List.hd fb.Fat_binary.regions in
+    Alcotest.(check (option string)) "no fallback" None r.fallback;
+    let w =
+      Infinity_stream.Workload.make ~name:"spilly" ~params:[ ("N", 512) ]
+        ~inputs:
+          (lazy
+            (List.mapi
+               (fun idx a -> (a, Infs_workloads.Data.uniform ~seed:idx 512))
+               names))
+        prog
+    in
+    let r =
+      Infinity_stream.Engine.run_exn
+        ~options:{ Infinity_stream.Engine.default_options with functional = true }
+        Infinity_stream.Engine.In_l3 w
+    in
+    match r.Infinity_stream.Report.correctness with
+    | `Checked err -> Alcotest.(check bool) "correct with spills" true (err < 1e-4)
+    | `Skipped -> Alcotest.fail "expected check"
+
+let suite =
+  [
+    ("stencil extraction shape", `Quick, test_stencil_extraction_shape);
+    ("mv direction matches paper", `Quick, test_mv_direction_matches_paper);
+    ("strided becomes stream", `Quick, test_strided_becomes_stream);
+    ("outer product broadcasts", `Quick, test_outer_product_broadcasts);
+    ("reduction detected", `Quick, test_reduction_detected);
+    ("indirect scatter output", `Quick, test_indirect_target_becomes_out_stream);
+    ("reject non-hyperrect domain", `Quick, test_reject_non_hyperrect);
+    ("reject racy store", `Quick, test_reject_race_store);
+    ("kernel info: reuse analysis", `Quick, test_kernel_info_reuse);
+    ("kernel info: indirection", `Quick, test_kernel_info_indirect);
+    ("schedule: suite never spills", `Quick, test_schedule_no_spill_suite);
+    ("schedule: slots within capacity", `Quick, test_schedule_slots_reused);
+    ("layout hints", `Quick, test_hints);
+    ("fat binary compiles catalog", `Quick, test_fat_binary_compiles_catalog);
+    ("fat binary geometries", `Quick, test_fat_binary_geometries);
+    ("spill extension (schedule + lowering)", `Quick, test_spill_extension);
+    ("spill region runs end-to-end", `Quick, test_spill_region_still_runs);
+  ]

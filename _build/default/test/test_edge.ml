@@ -1,0 +1,233 @@
+(* Second-round coverage: negative coordinates, residency pressure, warm
+   options, report utilities, JIT details. *)
+
+module E = Infinity_stream.Engine
+module R = Infinity_stream.Report
+module W = Infinity_stream.Workload
+
+let cfg = Machine_config.default
+
+let test_decompose_negative_coords () =
+  (* tile boundaries below zero: floor semantics, still a partition *)
+  let r = Hyperrect.of_ranges [ (-5, 7) ] in
+  let pieces = Hyperrect.decompose r ~tile:[| 4 |] in
+  let vol = List.fold_left (fun a p -> a + Hyperrect.volume p) 0 pieces in
+  Alcotest.(check int) "volume preserved" 12 vol;
+  List.iter
+    (fun p ->
+      let lo = Hyperrect.lo p 0 and hi = Hyperrect.hi p 0 in
+      let fdiv x = if x >= 0 then x / 4 else -(((-x) + 3) / 4) in
+      Alcotest.(check bool) "piece aligned or within one tile" true
+        ((lo mod 4 = 0 && hi mod 4 = 0) || fdiv lo = fdiv (hi - 1)))
+    pieces
+
+let test_hyperrect_scalar () =
+  Alcotest.(check int) "scalar volume" 1 (Hyperrect.volume Hyperrect.scalar);
+  Alcotest.(check int) "scalar dims" 0 (Hyperrect.dims Hyperrect.scalar);
+  let count = Hyperrect.fold_points Hyperrect.scalar ~init:0 ~f:(fun a _ -> a + 1) in
+  Alcotest.(check int) "one point" 1 count
+
+let test_symaff_subst_composes () =
+  let open Symaff in
+  let e = add (term 3 "i") (add (term 2 "j") (const 1)) in
+  let s = subst (subst e "i" (add (var "k") (const 2))) "j" (const 5) in
+  (* 3(k+2) + 2*5 + 1 = 3k + 17 *)
+  Alcotest.(check int) "composed subst" 47 (eval s (fun _ -> 10))
+
+let test_machine_config_small () =
+  let s = Machine_config.small in
+  Alcotest.(check bool) "smaller machine" true
+    (Machine_config.total_bitlines s < Machine_config.total_bitlines cfg);
+  Alcotest.(check int) "4 banks" 4 s.l3_banks
+
+let test_report_utilities () =
+  Alcotest.(check string) "where names" "in-L3" (R.where_to_string R.In_mem);
+  Alcotest.(check string) "near" "near-L3" (R.where_to_string R.Near_mem)
+
+let test_workload_scaled () =
+  let w = Infs_workloads.Micro.vec_add ~n:1024 in
+  let w2 = W.scaled w ~params:[ ("N", 64) ] ~inputs:(lazy []) in
+  Alcotest.(check (option int)) "params replaced" (Some 64)
+    (List.assoc_opt "N" w2.W.params);
+  Alcotest.(check string) "program shared" w.W.prog.Ast.name w2.W.prog.Ast.name
+
+let test_interp_on_kernel_hook () =
+  let w = Infs_workloads.Micro.vec_add ~n:16 in
+  match Interp.create w.W.prog ~params:w.W.params with
+  | Error e -> Alcotest.fail e
+  | Ok env ->
+    let count = ref 0 in
+    Interp.run ~on_kernel:(fun _ _ -> incr count) env;
+    Alcotest.(check int) "hook replaces execution" 1 !count;
+    (* the kernel did not run: C stays zero *)
+    Alcotest.(check (float 0.0)) "untouched" 0.0 (Interp.get_array env "C").(0)
+
+let test_jit_reduce_width_clamped () =
+  (* reducing a dimension larger than the tile leaves cross-tile partials
+     for the near-memory final reduce *)
+  let g = Tdfg.create ~name:"t" ~dims:1 ~dtype:Dtype.Fp32 in
+  let view = Symrect.of_hyperrect (Hyperrect.of_ranges [ (0, 1024) ]) in
+  let a = Tdfg.tensor g ~array:"A" ~view ~axes:[ 0 ] in
+  let r = Tdfg.reduce g Op.Add a ~dim:0 in
+  Tdfg.add_output g (Tdfg.Out_tensor { src = r; array = "S"; axes = [ 0 ] });
+  let schedule =
+    match Schedule.compile ~wordlines:256 g with Ok s -> s | Error e -> Alcotest.fail e
+  in
+  let layout =
+    match Layout.of_tile cfg ~shape:[| 1024 |] ~tile:[| 256 |] with
+    | Ok l -> l
+    | Error e -> Alcotest.fail e
+  in
+  let cmds, stats = Jit.lower cfg g ~schedule ~layout ~env:(fun _ -> 0) in
+  let widths =
+    List.filter_map
+      (fun (c : Command.t) ->
+        match c.kind with Command.Reduce { width; _ } -> Some width | _ -> None)
+      cmds
+  in
+  Alcotest.(check (list int)) "width clamped to tile" [ 256 ] widths;
+  (* 4 tiles worth of partials *)
+  Alcotest.(check (float 0.1)) "final reduce partials" 4.0 stats.Jit.final_reduce_elems
+
+let test_jit_writeback_copy_emitted () =
+  (* when the result lands in a temporary slot, a copy command moves it to
+     the array's persistent wordlines *)
+  let g = Tdfg.create ~name:"t" ~dims:1 ~dtype:Dtype.Fp32 in
+  let view = Symrect.of_hyperrect (Hyperrect.of_ranges [ (0, 256) ]) in
+  let a = Tdfg.tensor g ~array:"A" ~view ~axes:[ 0 ] in
+  let s = Tdfg.cmp g Op.Mul [ a; a ] in
+  Tdfg.add_output g (Tdfg.Out_tensor { src = s; array = "B"; axes = [ 0 ] });
+  let schedule =
+    match Schedule.compile ~wordlines:256 g with Ok s -> s | Error e -> Alcotest.fail e
+  in
+  let layout =
+    match Layout.of_tile cfg ~shape:[| 256 |] ~tile:[| 256 |] with
+    | Ok l -> l
+    | Error e -> Alcotest.fail e
+  in
+  let cmds, _ = Jit.lower cfg g ~schedule ~layout ~env:(fun _ -> 0) in
+  let copies =
+    List.filter
+      (fun (c : Command.t) ->
+        match c.kind with
+        | Command.Compute { op = Op.Copy; _ } -> true
+        | _ -> false)
+      cmds
+  in
+  Alcotest.(check int) "one writeback copy" 1 (List.length copies)
+
+let test_residency_pressure_causes_dram () =
+  (* a workload bigger than the L3 must pay DRAM even on re-touch *)
+  let open Ast in
+  let n = Symaff.var "N" in
+  let names = List.init 12 (fun i -> Printf.sprintf "BIG%d" i) in
+  (* 12 arrays x 16MB = 192MB > 144MB L3 *)
+  let arrays = List.map (fun a -> array a Dtype.Fp32 [ n ]) names in
+  let stmts =
+    List.map
+      (fun a ->
+        Kernel
+          (kernel ("k_" ^ a)
+             [ loop "r" (c 0) n ]
+             [ store a [ i "r" ] (load a [ i "r" ] + fconst 1.0) ]))
+      names
+  in
+  let prog = program ~name:"big" ~params:[ "N" ] ~arrays (stmts @ stmts) in
+  let w = W.make ~name:"big" ~params:[ ("N", 4_194_304) ] ~inputs:(lazy []) prog in
+  let r = E.run_exn E.Base w in
+  (* first pass loads 12 x 16MB; second pass cannot all hit *)
+  Alcotest.(check bool) "dram beyond one pass" true
+    (r.R.breakdown.Breakdown.dram
+    > Dram.load_cycles cfg ~bytes:(12.0 *. 16.0 *. 1024.0 *. 1024.0) *. 1.2)
+
+let test_warm_data_removes_dram () =
+  let w = Infs_workloads.Stencil.stencil2d ~iters:2 ~n:2048 in
+  let cold = E.run_exn E.Base w in
+  let warm = E.run_exn ~options:{ E.default_options with warm_data = true } E.Base w in
+  Alcotest.(check bool) "cold pays dram" true (cold.R.breakdown.Breakdown.dram > 0.0);
+  Alcotest.(check (float 0.0)) "warm pays none" 0.0 warm.R.breakdown.Breakdown.dram
+
+let test_pre_transposed_removes_transpose () =
+  let w = Infs_workloads.Micro.vec_add ~n:4_194_304 in
+  let warm = { E.default_options with warm_data = true } in
+  let pre = { warm with pre_transposed = true } in
+  let a = E.run_exn ~options:warm E.In_l3 w in
+  let b = E.run_exn ~options:pre E.In_l3 w in
+  Alcotest.(check bool) "transposition charged when not pre-transposed" true
+    (a.R.breakdown.Breakdown.dram > b.R.breakdown.Breakdown.dram)
+
+let test_optimize_off_option () =
+  let w = Infs_workloads.Conv.conv2d ~n:2048 in
+  let on = E.run_exn E.Inf_s w in
+  let off =
+    E.run_exn ~options:{ E.default_options with optimize = false } E.Inf_s w
+  in
+  Alcotest.(check bool) "optimizer helps conv2d" true (on.R.cycles <= off.R.cycles)
+
+let test_energy_of_traffic () =
+  let t = Traffic.create cfg in
+  Traffic.add t Traffic.Data ~bytes:100.0 ~hops:2.0;
+  Traffic.add_local t `Intra_tile ~bytes:64.0;
+  let e = Energy.fresh () in
+  Energy.of_traffic e t;
+  Alcotest.(check (float 1e-9)) "byte-hops folded" 200.0 e.Energy.noc_byte_hops;
+  Alcotest.(check (float 1e-9)) "intra folded" 64.0 e.intra_tile_bytes;
+  let labels = List.map fst (Energy.breakdown e) in
+  Alcotest.(check int) "8 energy classes" 8 (List.length labels)
+
+let test_command_pp () =
+  let c =
+    Command.make
+      (Command.Inter_shift { dim = 1; tile_dist = 2; intra_dist = -3 })
+      ~bitline_pat:(Pattern.make ~start:1 ~stride:2 ~count:2)
+      ~dtype:Dtype.Fp32
+      ~tile_box:(Hyperrect.of_ranges [ (0, 2); (0, 2) ])
+      ~lanes_per_tile:8
+  in
+  let s = Command.to_string c in
+  Alcotest.(check bool) "mentions pattern" true
+    (String.length s > 0
+    && String.split_on_char ' ' s |> List.exists (fun w -> w = "pat=1:2:2"))
+
+let test_fig7_gauss_structure () =
+  (* the compiled gauss program matches Fig. 7: the multiplier column is a
+     stream (near-memory), the trailing update is broadcast + elementwise *)
+  let w = Infs_workloads.Gauss.gauss_elim ~n:64 in
+  match Fat_binary.compile w.W.prog with
+  | Error e -> Alcotest.fail e
+  | Ok fb ->
+    let m = Option.get (Fat_binary.region_of fb "gauss_m") in
+    let has_stream =
+      List.exists
+        (fun id ->
+          match Tdfg.kind m.optimized id with
+          | Tdfg.Stream_load { array = "A"; _ } -> true
+          | _ -> false)
+        (Tdfg.live_nodes m.optimized)
+    in
+    Alcotest.(check bool) "Aik is a stream" true has_stream;
+    let a = Option.get (Fat_binary.region_of fb "gauss_a") in
+    Alcotest.(check bool) "update broadcasts both dims" true
+      (List.length a.hints.Fat_binary.bc_dims = 2);
+    Alcotest.(check (list string)) "runtime scalars via inf_cfg" [ "akk" ]
+      (Tdfg.runtime_scalars m.optimized)
+
+let suite =
+  [
+    ("decompose negative coords", `Quick, test_decompose_negative_coords);
+    ("hyperrect scalar", `Quick, test_hyperrect_scalar);
+    ("symaff subst composes", `Quick, test_symaff_subst_composes);
+    ("machine config small", `Quick, test_machine_config_small);
+    ("report utilities", `Quick, test_report_utilities);
+    ("workload scaled", `Quick, test_workload_scaled);
+    ("interp kernel hook", `Quick, test_interp_on_kernel_hook);
+    ("jit reduce width clamped", `Quick, test_jit_reduce_width_clamped);
+    ("jit writeback copy", `Quick, test_jit_writeback_copy_emitted);
+    ("residency pressure pays dram", `Quick, test_residency_pressure_causes_dram);
+    ("warm data removes dram", `Quick, test_warm_data_removes_dram);
+    ("pre-transposed removes transpose", `Quick, test_pre_transposed_removes_transpose);
+    ("optimize-off option", `Quick, test_optimize_off_option);
+    ("energy of traffic", `Quick, test_energy_of_traffic);
+    ("command printing", `Quick, test_command_pp);
+    ("Fig 7 gauss structure", `Quick, test_fig7_gauss_structure);
+  ]

@@ -1,0 +1,173 @@
+(* E-graph: congruence closure, rewrite soundness, compute-reuse benefits. *)
+
+let n = Symaff.var "N"
+let sr ranges = Symrect.make ranges
+
+let test_union_find () =
+  let g = Egraph.create ~dims:1 () in
+  let a = Egraph.add g (Egraph.E_tensor { array = "A"; view = sr [ (Symaff.zero, n) ]; axes = [ 0 ] }) in
+  let b = Egraph.add g (Egraph.E_tensor { array = "B"; view = sr [ (Symaff.zero, n) ]; axes = [ 0 ] }) in
+  Alcotest.(check bool) "distinct" true (Egraph.find g a <> Egraph.find g b);
+  Alcotest.(check bool) "union merges" true (Egraph.union g a b);
+  Egraph.rebuild g;
+  Alcotest.(check int) "same class" (Egraph.find g a) (Egraph.find g b);
+  Alcotest.(check bool) "re-union is no-op" false (Egraph.union g a b)
+
+let test_congruence () =
+  let g = Egraph.create ~dims:1 () in
+  let a = Egraph.add g (Egraph.E_tensor { array = "A"; view = sr [ (Symaff.zero, n) ]; axes = [ 0 ] }) in
+  let b = Egraph.add g (Egraph.E_tensor { array = "B"; view = sr [ (Symaff.zero, n) ]; axes = [ 0 ] }) in
+  let k = Egraph.add g (Egraph.E_const (Tdfg.Lit 2.0)) in
+  let fa = Egraph.add g (Egraph.E_cmp (Op.Mul, [ a; k ])) in
+  let fb = Egraph.add g (Egraph.E_cmp (Op.Mul, [ b; k ])) in
+  Alcotest.(check bool) "f(a) <> f(b)" true (Egraph.find g fa <> Egraph.find g fb);
+  ignore (Egraph.union g a b);
+  Egraph.rebuild g;
+  Alcotest.(check int) "congruence: f(a) = f(b)" (Egraph.find g fa) (Egraph.find g fb)
+
+let test_union_domain_mismatch_rejected () =
+  let g = Egraph.create ~dims:1 () in
+  let a = Egraph.add g (Egraph.E_tensor { array = "A"; view = sr [ (Symaff.zero, n) ]; axes = [ 0 ] }) in
+  let b =
+    Egraph.add g
+      (Egraph.E_tensor { array = "A"; view = sr [ (Symaff.one, n) ]; axes = [ 0 ] })
+  in
+  Alcotest.(check bool) "domain mismatch fails" true
+    (try
+       ignore (Egraph.union g a b);
+       false
+     with Failure _ -> true)
+
+(* Rewrite soundness: optimizing a program's tDFG must not change its
+   evaluation. Exercised on the 1D filter and symmetric conv2d. *)
+
+let eval_with g prog params inputs =
+  match Interp.create prog ~params with
+  | Error e -> Alcotest.fail e
+  | Ok env ->
+    List.iter (fun (name, d) -> Interp.set_array env name d) inputs;
+    Interp.run ~on_kernel:(fun env _ -> Tdfg_eval.eval g env) env;
+    env
+
+let check_optimize_preserves prog params inputs out_array =
+  let k = List.hd (Ast.kernels prog) in
+  let g =
+    match Frontend.extract prog k with
+    | Ok g -> g
+    | Error e -> Alcotest.fail (Frontend.error_to_string e)
+  in
+  let opt, stats = Extract.optimize ~arrays:(Frontend.array_extents prog) g in
+  let env1 = eval_with g prog params inputs in
+  let env2 = eval_with opt prog params inputs in
+  let a = Interp.get_array env1 out_array and b = Interp.get_array env2 out_array in
+  Array.iteri
+    (fun idx v ->
+      if Float.abs (v -. b.(idx)) > 1e-4 *. Float.max 1.0 (Float.abs v) then
+        Alcotest.failf "mismatch at %d: %f vs %f" idx v b.(idx))
+    a;
+  stats
+
+let test_optimize_preserves_stencil () =
+  let w = Infs_workloads.Stencil.stencil1d ~iters:1 ~n:64 in
+  let prog = w.Infinity_stream.Workload.prog in
+  let inputs = [ ("A", Infs_workloads.Data.uniform ~seed:5 64) ] in
+  ignore (check_optimize_preserves prog [ ("N", 64); ("T", 1) ] inputs "B")
+
+let test_optimize_preserves_conv2d () =
+  let w = Infs_workloads.Conv.conv2d ~n:16 in
+  let prog = w.Infinity_stream.Workload.prog in
+  let inputs = [ ("A", Infs_workloads.Data.uniform ~seed:6 256) ] in
+  ignore (check_optimize_preserves prog [ ("N", 16) ] inputs "B")
+
+(* The paper's headline rewrite benefit: the symmetric 3x3 convolution
+   shares coefficient products, so the optimized tDFG must be cheaper. *)
+let test_conv2d_reuse_lowers_cost () =
+  let w = Infs_workloads.Conv.conv2d ~n:256 in
+  let prog = w.Infinity_stream.Workload.prog in
+  let k = List.hd (Ast.kernels prog) in
+  let g =
+    match Frontend.extract prog k with
+    | Ok g -> g
+    | Error e -> Alcotest.fail (Frontend.error_to_string e)
+  in
+  let _, stats = Extract.optimize ~arrays:(Frontend.array_extents prog) g in
+  Alcotest.(check bool)
+    (Printf.sprintf "cost decreased (%.3g -> %.3g)" stats.Extract.cost_before
+       stats.cost_after)
+    true
+    (stats.cost_after < stats.cost_before *. 0.95)
+
+(* Fig. 20's pattern: cmp(+, cmp(xV, mv A_l), cmp(xV, mv A_r)) discovers the
+   shared product via expand/shrink/commute rewrites. *)
+let test_fig20_shared_product () =
+  let open Ast in
+  let prog =
+    program ~name:"fig20" ~params:[ "N" ]
+      ~arrays:[ array "A" Dtype.Fp32 [ n ]; array "B" Dtype.Fp32 [ n ] ]
+      [
+        Kernel
+          (kernel "k"
+             [ loop "i" (c 1) (n +% -1) ]
+             [
+               store "B" [ i "i" ]
+                 ((fconst 3.0 * load "A" [ i "i" +% -1 ])
+                 + (fconst 3.0 * load "A" [ i "i" +% 1 ]));
+             ]);
+      ]
+  in
+  let k = List.hd (Ast.kernels prog) in
+  let g =
+    match Frontend.extract prog k with
+    | Ok g -> g
+    | Error e -> Alcotest.fail (Frontend.error_to_string e)
+  in
+  let opt, stats = Extract.optimize ~arrays:(Frontend.array_extents prog) g in
+  (* the optimized graph computes (x 3.0) once *)
+  let muls =
+    List.length
+      (List.filter
+         (fun id ->
+           match Tdfg.kind opt id with
+           | Tdfg.Cmp { op = Op.Mul; _ } -> true
+           | _ -> false)
+         (Tdfg.live_nodes opt))
+  in
+  Alcotest.(check int) "single shared multiply" 1 muls;
+  Alcotest.(check bool) "cost strictly better" true
+    (stats.Extract.cost_after < stats.cost_before);
+  (* and it still evaluates correctly (up to fp32 reassociation) *)
+  let inputs = [ ("A", Infs_workloads.Data.uniform ~seed:7 32) ] in
+  let env1 = eval_with g prog [ ("N", 32) ] inputs in
+  let env2 = eval_with opt prog [ ("N", 32) ] inputs in
+  let a = Interp.get_array env1 "B" and b = Interp.get_array env2 "B" in
+  Array.iteri
+    (fun idx v ->
+      if Float.abs (v -. b.(idx)) > 1e-5 then
+        Alcotest.failf "mismatch at %d: %f vs %f" idx v b.(idx))
+    a
+
+let test_saturation_terminates () =
+  let w = Infs_workloads.Conv.conv2d ~n:64 in
+  let prog = w.Infinity_stream.Workload.prog in
+  let k = List.hd (Ast.kernels prog) in
+  let g =
+    match Frontend.extract prog k with
+    | Ok g -> g
+    | Error e -> Alcotest.fail (Frontend.error_to_string e)
+  in
+  let eg, _ = Egraph.of_tdfg g in
+  let rounds = Rules.saturate ~max_iters:4 ~node_limit:5000 ~arrays:(Frontend.array_extents prog) eg in
+  Alcotest.(check bool) "bounded rounds" true (rounds <= 4);
+  Alcotest.(check bool) "classes exist" true (Egraph.class_count eg > 0)
+
+let suite =
+  [
+    ("union-find", `Quick, test_union_find);
+    ("congruence closure", `Quick, test_congruence);
+    ("union domain mismatch", `Quick, test_union_domain_mismatch_rejected);
+    ("optimize preserves stencil", `Quick, test_optimize_preserves_stencil);
+    ("optimize preserves conv2d", `Quick, test_optimize_preserves_conv2d);
+    ("conv2d reuse lowers cost", `Slow, test_conv2d_reuse_lowers_cost);
+    ("Fig 20 shared product", `Quick, test_fig20_shared_product);
+    ("saturation terminates", `Quick, test_saturation_terminates);
+  ]

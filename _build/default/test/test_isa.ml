@@ -1,0 +1,133 @@
+(* Data types, operators, bit-serial latencies, patterns, commands. *)
+
+let test_dtype () =
+  Alcotest.(check int) "fp32 bits" 32 (Dtype.bits Dtype.Fp32);
+  Alcotest.(check int) "int8 bytes" 1 (Dtype.bytes Dtype.Int8);
+  Alcotest.(check bool) "float" true (Dtype.is_float Dtype.Fp32);
+  List.iter
+    (fun d ->
+      Alcotest.(check (option string))
+        "roundtrip"
+        (Some (Dtype.to_string d))
+        (Option.map Dtype.to_string (Dtype.of_string (Dtype.to_string d))))
+    Dtype.all
+
+let feq = Alcotest.float 1e-9
+
+let test_op_eval () =
+  Alcotest.check feq "add" 3.0 (Op.eval Op.Add [ 1.0; 2.0 ]);
+  Alcotest.check feq "sub order" (-1.0) (Op.eval Op.Sub [ 1.0; 2.0 ]);
+  Alcotest.check feq "lt true" 1.0 (Op.eval Op.Lt [ 1.0; 2.0 ]);
+  Alcotest.check feq "lt false" 0.0 (Op.eval Op.Lt [ 2.0; 1.0 ]);
+  Alcotest.check feq "select" 5.0 (Op.eval Op.Select [ 1.0; 5.0; 7.0 ]);
+  Alcotest.check feq "relu" 0.0 (Op.eval Op.Relu [ -3.0 ]);
+  Alcotest.check feq "min" 1.0 (Op.eval Op.Min [ 1.0; 2.0 ])
+
+let test_op_arity_enforced () =
+  Alcotest.(check bool) "wrong arity raises" true
+    (try
+       ignore (Op.eval Op.Add [ 1.0 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_op_algebra () =
+  Alcotest.(check bool) "add assoc" true (Op.is_associative Op.Add);
+  Alcotest.(check bool) "sub not assoc" false (Op.is_associative Op.Sub);
+  Alcotest.(check bool) "mul distributes over add" true
+    (Op.distributes_over Op.Mul Op.Add);
+  Alcotest.(check (option (float 0.0))) "add identity" (Some 0.0) (Op.identity Op.Add);
+  List.iter
+    (fun op ->
+      Alcotest.(check (option string))
+        "roundtrip"
+        (Some (Op.to_string op))
+        (Option.map Op.to_string (Op.of_string (Op.to_string op))))
+    Op.all
+
+(* The paper's stated latencies: O(n) integer add, n^2+5n integer multiply. *)
+let test_bitserial_paper_latencies () =
+  Alcotest.(check int) "int32 mul = n^2+5n" (1024 + 160)
+    (Bitserial.op_cycles Op.Mul Dtype.Int32);
+  Alcotest.(check bool) "int32 add is O(n)" true
+    (Bitserial.op_cycles Op.Add Dtype.Int32 <= 40);
+  Alcotest.(check bool) "fp add costs more than fp cmp" true
+    (Bitserial.op_cycles Op.Add Dtype.Fp32 > Bitserial.op_cycles Op.Max Dtype.Fp32)
+
+let test_bitserial_reduction_rounds () =
+  Alcotest.(check int) "256 lanes" 8 (Bitserial.reduction_rounds ~width:256);
+  Alcotest.(check int) "1 lane" 0 (Bitserial.reduction_rounds ~width:1);
+  Alcotest.(check int) "3 lanes" 2 (Bitserial.reduction_rounds ~width:3)
+
+(* Equation 1: 64 banks x 256 arrays/bank x 256 bitlines / 32-cycle add =
+   about 131072 int32 adds per cycle (we charge n+1, the paper n). *)
+let test_eq1_peak_throughput () =
+  let cfg = Machine_config.default in
+  let t = Machine_config.peak_imc_ops_per_cycle cfg ~dtype:Dtype.Int32 ~op:Op.Add in
+  Alcotest.(check bool) "within 5% of 131072" true
+    (Float.abs ((t /. 131072.0) -. 1.0) < 0.05)
+
+let test_pattern_roundtrip () =
+  let p = Pattern.make ~start:1 ~stride:2 ~count:3 in
+  Alcotest.(check string) "syntax" "1:2:3" (Pattern.to_string p);
+  Alcotest.(check (option string))
+    "roundtrip" (Some "1:2:3")
+    (Option.map Pattern.to_string (Pattern.of_string "1:2:3"));
+  Alcotest.(check (list int)) "indices" [ 1; 3; 5 ] (Pattern.indices p);
+  Alcotest.(check bool) "mem" true (Pattern.mem p 3);
+  Alcotest.(check bool) "not mem" false (Pattern.mem p 4)
+
+let prop_pattern_intersect =
+  QCheck.Test.make ~name:"pattern intersect_range = filtered indices" ~count:300
+    QCheck.(
+      quad (int_range 0 10) (int_range 1 5) (int_range 0 10)
+        (pair (int_range 0 15) (int_range 0 15)))
+    (fun (start, stride, count, (a, b)) ->
+      let lo = min a b and hi = max a b in
+      let p = Pattern.make ~start ~stride ~count in
+      let expect = List.filter (fun i -> i >= lo && i < hi) (Pattern.indices p) in
+      match Pattern.intersect_range p ~lo ~hi with
+      | None -> expect = []
+      | Some q -> Pattern.indices q = expect)
+
+let test_command_accounting () =
+  let box = Hyperrect.of_ranges [ (0, 4); (0, 2) ] in
+  let c =
+    Command.make
+      (Command.Compute { op = Op.Add; const_operands = 1 })
+      ~dtype:Dtype.Fp32 ~tile_box:box ~lanes_per_tile:64
+  in
+  Alcotest.(check int) "tiles" 8 (Command.tiles_touched c);
+  Alcotest.(check int) "elements" 512 (Command.elements_touched c);
+  Alcotest.(check bool) "not sync" false (Command.is_sync c);
+  Alcotest.(check bool) "compute does not move" false (Command.moves_data c);
+  Alcotest.(check bool) "sync is sync" true (Command.is_sync Command.sync)
+
+let test_command_cycles_monotonic () =
+  let box = Hyperrect.of_ranges [ (0, 1) ] in
+  let mk distance =
+    Command.make (Command.Intra_shift { dim = 0; distance }) ~dtype:Dtype.Fp32
+      ~tile_box:box ~lanes_per_tile:1
+  in
+  Alcotest.(check bool) "longer shifts cost more" true
+    (Command.array_cycles (mk 8) > Command.array_cycles (mk 1));
+  let red w =
+    Command.make (Command.Reduce { op = Op.Add; width = w }) ~dtype:Dtype.Fp32
+      ~tile_box:box ~lanes_per_tile:256
+  in
+  Alcotest.(check bool) "wider reduce costs more" true
+    (Command.array_cycles (red 256) > Command.array_cycles (red 16))
+
+let suite =
+  [
+    ("dtype", `Quick, test_dtype);
+    ("op eval", `Quick, test_op_eval);
+    ("op arity", `Quick, test_op_arity_enforced);
+    ("op algebra", `Quick, test_op_algebra);
+    ("bit-serial paper latencies", `Quick, test_bitserial_paper_latencies);
+    ("reduction rounds", `Quick, test_bitserial_reduction_rounds);
+    ("Eq.1 peak throughput", `Quick, test_eq1_peak_throughput);
+    ("pattern roundtrip", `Quick, test_pattern_roundtrip);
+    QCheck_alcotest.to_alcotest prop_pattern_intersect;
+    ("command accounting", `Quick, test_command_accounting);
+    ("command cycles monotonic", `Quick, test_command_cycles_monotonic);
+  ]

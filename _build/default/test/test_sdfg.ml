@@ -1,0 +1,243 @@
+(* The sDFG view (§3.1) and individual e-graph rewrite rules. *)
+
+let sdfg_of w kname =
+  let prog = (w : Infinity_stream.Workload.t).prog in
+  let k = List.find (fun (k : Ast.kernel) -> k.kname = kname) (Ast.kernels prog) in
+  Sdfg.of_kernel prog k
+
+let test_sdfg_stencil () =
+  let s = sdfg_of (Infs_workloads.Stencil.stencil1d ~iters:1 ~n:64) "stencil1d" in
+  Alcotest.(check int) "three loads" 3 (List.length (Sdfg.loads s));
+  Alcotest.(check int) "one store" 1 (List.length (Sdfg.stores s));
+  let store = List.hd (Sdfg.stores s) in
+  Alcotest.(check int) "store depends on all loads" 3
+    (List.length store.Sdfg.depends_on);
+  Alcotest.(check bool) "regular accesses" true
+    (List.for_all (fun st -> not (Sdfg.is_irregular st)) s.Sdfg.streams);
+  Alcotest.(check bool) "mentions mul/add ops" true
+    (List.mem Op.Add s.Sdfg.ops)
+
+let test_sdfg_indirect () =
+  let s =
+    sdfg_of
+      (Infs_workloads.Gather_mlp.gather_mlp_outer ~rows:32 ~feat:8 ~vocab:64)
+      "gml_gather"
+  in
+  let f = List.find (fun st -> st.Sdfg.array = "F") s.Sdfg.streams in
+  Alcotest.(check bool) "gather is irregular" true (Sdfg.is_irregular f);
+  (match f.Sdfg.access with
+  | Sdfg.Indexed { index; _ } -> Alcotest.(check string) "via IX" "IX" index
+  | Sdfg.Affine _ -> Alcotest.fail "expected indexed access")
+
+let test_sdfg_accum_is_reduce_stream () =
+  let s = sdfg_of (Infs_workloads.Micro.array_sum ~n:64) "array_sum" in
+  let store = List.hd (Sdfg.stores s) in
+  Alcotest.(check bool) "reduction stream" true (store.Sdfg.direction = Sdfg.Reduce_s)
+
+let test_sdfg_pp () =
+  let s = sdfg_of (Infs_workloads.Micro.vec_add ~n:64) "vec_add" in
+  let txt = Sdfg.to_string s in
+  Alcotest.(check bool) "prints streams" true
+    (String.length txt > 40
+    && String.split_on_char '\n' txt
+       |> List.exists (fun l -> String.trim l <> ""))
+
+(* ---- individual rewrite rules ---- *)
+
+let n = Symaff.var "N"
+let sr r = Symrect.make r
+let full = sr [ (Symaff.zero, n) ]
+
+let mk_graph_with f =
+  let g = Egraph.create ~dims:1 () in
+  let a = Egraph.add g (Egraph.E_tensor { array = "A"; view = full; axes = [ 0 ] }) in
+  let root = f g a in
+  (g, a, root)
+
+let apply_rule g rule =
+  let unions = rule.Rules.apply g in
+  List.iter (fun (x, y) -> try ignore (Egraph.union g x y) with Failure _ -> ()) unions;
+  Egraph.rebuild g;
+  List.length unions
+
+let class_has g cls pred = List.exists pred (Egraph.nodes_of g cls)
+
+let test_rule_comm () =
+  let g, a, root =
+    mk_graph_with (fun g a ->
+        let b = Egraph.add g (Egraph.E_tensor { array = "B"; view = full; axes = [ 0 ] }) in
+        Egraph.add g (Egraph.E_cmp (Op.Add, [ a; b ])))
+  in
+  ignore a;
+  let rules = Rules.all_rules ~arrays:[] in
+  let comm = List.find (fun r -> r.Rules.rname = "comm") rules in
+  ignore (apply_rule g comm);
+  Alcotest.(check bool) "swapped operand order present" true
+    (class_has g root (function
+      | Egraph.E_cmp (Op.Add, [ x; _ ]) ->
+        class_has g x (function
+          | Egraph.E_tensor { array = "B"; _ } -> true
+          | _ -> false)
+      | _ -> false))
+
+let test_rule_mv_fuse () =
+  let g, _, root =
+    mk_graph_with (fun g a ->
+        let m1 = Egraph.add g (Egraph.E_mv { input = a; dim = 0; dist = 2 }) in
+        Egraph.add g (Egraph.E_mv { input = m1; dim = 0; dist = 3 }))
+  in
+  let rules = Rules.all_rules ~arrays:[] in
+  let r = List.find (fun r -> r.Rules.rname = "mv-simplify") rules in
+  ignore (apply_rule g r);
+  Alcotest.(check bool) "fused mv(+5)" true
+    (class_has g root (function
+      | Egraph.E_mv { dist = 5; _ } -> true
+      | _ -> false))
+
+let test_rule_mv_zero_identity () =
+  let g, a, root =
+    mk_graph_with (fun g a -> Egraph.add g (Egraph.E_mv { input = a; dim = 0; dist = 0 }))
+  in
+  let rules = Rules.all_rules ~arrays:[] in
+  let r = List.find (fun r -> r.Rules.rname = "mv-simplify") rules in
+  ignore (apply_rule g r);
+  Alcotest.(check int) "mv 0 = identity" (Egraph.find g a) (Egraph.find g root)
+
+let test_rule_expand_tensor () =
+  let g = Egraph.create ~dims:1 () in
+  let view = sr [ (Symaff.one, Symaff.add_const n (-1)) ] in
+  let cls = Egraph.add g (Egraph.E_tensor { array = "A"; view; axes = [ 0 ] }) in
+  let rules = Rules.all_rules ~arrays:[ ("A", [ n ]) ] in
+  let r = List.find (fun r -> r.Rules.rname = "expand-tensor") rules in
+  ignore (apply_rule g r);
+  Alcotest.(check bool) "shrink-of-full added" true
+    (class_has g cls (function
+      | Egraph.E_shrink { input; _ } ->
+        class_has g input (function
+          | Egraph.E_tensor { view = v; _ } -> Symrect.equal v full
+          | _ -> false)
+      | _ -> false))
+
+let test_rule_hoist_mv () =
+  (* cmp(add, mv(A,+1), mv(B,+1)) gains mv(cmp(add, A, B), +1) *)
+  let g = Egraph.create ~dims:1 () in
+  let a = Egraph.add g (Egraph.E_tensor { array = "A"; view = full; axes = [ 0 ] }) in
+  let b = Egraph.add g (Egraph.E_tensor { array = "B"; view = full; axes = [ 0 ] }) in
+  let ma = Egraph.add g (Egraph.E_mv { input = a; dim = 0; dist = 1 }) in
+  let mb = Egraph.add g (Egraph.E_mv { input = b; dim = 0; dist = 1 }) in
+  let root = Egraph.add g (Egraph.E_cmp (Op.Add, [ ma; mb ])) in
+  let rules = Rules.all_rules ~arrays:[] in
+  let r = List.find (fun r -> r.Rules.rname = "hoist-mv") rules in
+  ignore (apply_rule g r);
+  Alcotest.(check bool) "hoisted form present" true
+    (class_has g root (function
+      | Egraph.E_mv { input; dim = 0; dist = 1 } ->
+        class_has g input (function Egraph.E_cmp (Op.Add, _) -> true | _ -> false)
+      | _ -> false))
+
+let test_rule_factor () =
+  (* a*k + b*k => (a+b)*k *)
+  let g = Egraph.create ~dims:1 () in
+  let a = Egraph.add g (Egraph.E_tensor { array = "A"; view = full; axes = [ 0 ] }) in
+  let b = Egraph.add g (Egraph.E_tensor { array = "B"; view = full; axes = [ 0 ] }) in
+  let k = Egraph.add g (Egraph.E_const (Tdfg.Lit 3.0)) in
+  let ak = Egraph.add g (Egraph.E_cmp (Op.Mul, [ a; k ])) in
+  let bk = Egraph.add g (Egraph.E_cmp (Op.Mul, [ b; k ])) in
+  let root = Egraph.add g (Egraph.E_cmp (Op.Add, [ ak; bk ])) in
+  let rules = Rules.all_rules ~arrays:[] in
+  let r = List.find (fun r -> r.Rules.rname = "factor") rules in
+  ignore (apply_rule g r);
+  Alcotest.(check bool) "factored form present" true
+    (class_has g root (function
+      | Egraph.E_cmp (Op.Mul, [ s; _ ]) ->
+        class_has g s (function Egraph.E_cmp (Op.Add, _) -> true | _ -> false)
+      | _ -> false))
+
+let test_rule_shrink_cmp () =
+  (* cmp(f, shrink(r, A)) <=> shrink(r, cmp(f, A)) both ways *)
+  let g = Egraph.create ~dims:1 () in
+  let a = Egraph.add g (Egraph.E_tensor { array = "A"; view = full; axes = [ 0 ] }) in
+  let r1 = sr [ (Symaff.one, Symaff.add_const n (-1)) ] in
+  let sh = Egraph.add g (Egraph.E_shrink { input = a; rect = r1 }) in
+  let k = Egraph.add g (Egraph.E_const (Tdfg.Lit 2.0)) in
+  let root = Egraph.add g (Egraph.E_cmp (Op.Mul, [ sh; k ])) in
+  let rules = Rules.all_rules ~arrays:[] in
+  let r = List.find (fun r -> r.Rules.rname = "shrink-cmp") rules in
+  ignore (apply_rule g r);
+  Alcotest.(check bool) "shrink hoisted over cmp" true
+    (class_has g root (function
+      | Egraph.E_shrink { input; _ } ->
+        class_has g input (function Egraph.E_cmp (Op.Mul, _) -> true | _ -> false)
+      | _ -> false))
+
+
+
+let test_rule_hoist_bc () =
+  let g = Egraph.create ~dims:2 () in
+  let row = sr [ (Symaff.zero, n); (Symaff.zero, Symaff.one) ] in
+  let a = Egraph.add g (Egraph.E_tensor { array = "A"; view = row; axes = [ 0; 1 ] }) in
+  let b = Egraph.add g (Egraph.E_tensor { array = "B"; view = row; axes = [ 0; 1 ] }) in
+  let ba = Egraph.add g (Egraph.E_bc { input = a; dim = 1; lo = Symaff.zero; hi = n }) in
+  let bb = Egraph.add g (Egraph.E_bc { input = b; dim = 1; lo = Symaff.zero; hi = n }) in
+  let root = Egraph.add g (Egraph.E_cmp (Op.Mul, [ ba; bb ])) in
+  let rules = Rules.all_rules ~arrays:[] in
+  let r = List.find (fun r -> r.Rules.rname = "hoist-bc") rules in
+  ignore (apply_rule g r);
+  Alcotest.(check bool) "bc hoisted over cmp" true
+    (class_has g root (function
+      | Egraph.E_bc { input; dim = 1; _ } ->
+        class_has g input (function Egraph.E_cmp (Op.Mul, _) -> true | _ -> false)
+      | _ -> false))
+
+let test_rule_shrink_shrink () =
+  let g = Egraph.create ~dims:1 () in
+  let a = Egraph.add g (Egraph.E_tensor { array = "A"; view = full; axes = [ 0 ] }) in
+  let outer = sr [ (Symaff.one, Symaff.add_const n (-1)) ] in
+  let inner = sr [ (Symaff.const 2, Symaff.add_const n (-2)) ] in
+  let s1 = Egraph.add g (Egraph.E_shrink { input = a; rect = outer }) in
+  let root = Egraph.add g (Egraph.E_shrink { input = s1; rect = inner }) in
+  let rules = Rules.all_rules ~arrays:[] in
+  let r = List.find (fun r -> r.Rules.rname = "shrink-shrink") rules in
+  ignore (apply_rule g r);
+  Alcotest.(check bool) "collapsed to a single shrink of A" true
+    (class_has g root (function
+      | Egraph.E_shrink { input; rect } ->
+        Symrect.equal rect inner
+        && class_has g input (function Egraph.E_tensor _ -> true | _ -> false)
+      | _ -> false))
+
+let test_rule_shrink_mv () =
+  (* mv(shrink(r, A)) <=> shrink(shift r, mv(A)) (Eq 7b) *)
+  let g = Egraph.create ~dims:1 () in
+  let a = Egraph.add g (Egraph.E_tensor { array = "A"; view = full; axes = [ 0 ] }) in
+  let r1 = sr [ (Symaff.one, Symaff.add_const n (-1)) ] in
+  let sh = Egraph.add g (Egraph.E_shrink { input = a; rect = r1 }) in
+  let root = Egraph.add g (Egraph.E_mv { input = sh; dim = 0; dist = 2 }) in
+  let rules = Rules.all_rules ~arrays:[] in
+  let r = List.find (fun r -> r.Rules.rname = "shrink-mv") rules in
+  ignore (apply_rule g r);
+  let shifted = Symrect.shift r1 ~dim:0 ~dist:2 in
+  Alcotest.(check bool) "commuted form present" true
+    (class_has g root (function
+      | Egraph.E_shrink { input; rect } ->
+        Symrect.equal rect shifted
+        && class_has g input (function Egraph.E_mv { dist = 2; _ } -> true | _ -> false)
+      | _ -> false))
+
+let suite =
+  [
+    ("sdfg: stencil decoupling", `Quick, test_sdfg_stencil);
+    ("sdfg: indirect access", `Quick, test_sdfg_indirect);
+    ("sdfg: accumulation is a reduce stream", `Quick, test_sdfg_accum_is_reduce_stream);
+    ("sdfg: printing", `Quick, test_sdfg_pp);
+    ("rule: commutativity", `Quick, test_rule_comm);
+    ("rule: mv fusion", `Quick, test_rule_mv_fuse);
+    ("rule: mv-0 identity", `Quick, test_rule_mv_zero_identity);
+    ("rule: tensor expansion (Eq 5)", `Quick, test_rule_expand_tensor);
+    ("rule: hoist mv (Eq 4a)", `Quick, test_rule_hoist_mv);
+    ("rule: factor constant (Eq 3c)", `Quick, test_rule_factor);
+    ("rule: shrink/cmp commute (Eq 9)", `Quick, test_rule_shrink_cmp);
+    ("rule: hoist bc (Eq 4b)", `Quick, test_rule_hoist_bc);
+    ("rule: shrink/shrink (Eq 6b)", `Quick, test_rule_shrink_shrink);
+    ("rule: shrink/mv commute (Eq 7)", `Quick, test_rule_shrink_mv);
+  ]

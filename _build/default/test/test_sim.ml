@@ -1,0 +1,260 @@
+(* Machine config, traffic accounting, NoC geometry, engines. *)
+
+let cfg = Machine_config.default
+
+let test_config_table2 () =
+  Alcotest.(check int) "64 banks" 64 cfg.l3_banks;
+  Alcotest.(check int) "256 compute arrays per bank" 256
+    (Machine_config.compute_arrays_per_bank cfg);
+  Alcotest.(check int) "4M bitlines" 4_194_304 (Machine_config.total_bitlines cfg);
+  Alcotest.(check (Alcotest.float 1e-9)) "dram B/cycle" 12.8
+    (Machine_config.dram_bytes_per_cycle cfg);
+  Alcotest.(check (Alcotest.float 1e-9)) "peak simd" 1024.0
+    (Machine_config.peak_simd_flops_per_cycle cfg)
+
+let test_mesh_geometry () =
+  Alcotest.(check int) "corner to corner" 14 (Machine_config.hops cfg 0 63);
+  Alcotest.(check int) "self" 0 (Machine_config.hops cfg 5 5);
+  Alcotest.(check int) "links" 224 (Machine_config.noc_links cfg);
+  let ah = Machine_config.avg_hops cfg in
+  Alcotest.(check bool) "avg hops ~5.25" true (Float.abs (ah -. 5.25) < 0.01)
+
+let test_traffic_accounting () =
+  let t = Traffic.create cfg in
+  Traffic.add t Traffic.Data ~bytes:100.0 ~hops:3.0;
+  Traffic.add t Traffic.Control ~bytes:10.0 ~hops:2.0;
+  Traffic.add_local t `Htree ~bytes:50.0;
+  Alcotest.(check (Alcotest.float 1e-9)) "bytes" 100.0 (Traffic.bytes t Traffic.Data);
+  Alcotest.(check (Alcotest.float 1e-9)) "byte-hops" 300.0
+    (Traffic.byte_hops t Traffic.Data);
+  Alcotest.(check (Alcotest.float 1e-9)) "total" 110.0 (Traffic.total_bytes t);
+  Alcotest.(check (Alcotest.float 1e-9)) "local" 50.0 (Traffic.local_bytes t `Htree);
+  let t2 = Traffic.create cfg in
+  Traffic.add t2 Traffic.Data ~bytes:1.0 ~hops:1.0;
+  Traffic.merge_into ~dst:t2 t;
+  Alcotest.(check (Alcotest.float 1e-9)) "merged" 101.0 (Traffic.bytes t2 Traffic.Data);
+  Traffic.reset t;
+  Alcotest.(check (Alcotest.float 1e-9)) "reset" 0.0 (Traffic.total_bytes t)
+
+let test_utilization_bounded () =
+  let t = Traffic.create cfg in
+  Traffic.add t Traffic.Data ~bytes:1e6 ~hops:5.0;
+  let u = Traffic.utilization t ~cycles:1e4 in
+  Alcotest.(check bool) "sensible" true (u > 0.0 && u < 1.0)
+
+let test_bulk_cycles_monotonic () =
+  let c1 = Traffic.bulk_cycles cfg ~bytes:1e6 ~avg_hops:5.0 in
+  let c2 = Traffic.bulk_cycles cfg ~bytes:2e6 ~avg_hops:5.0 in
+  Alcotest.(check bool) "more bytes, more cycles" true (c2 > c1);
+  Alcotest.(check (Alcotest.float 1e-9)) "zero bytes free" 0.0
+    (Traffic.bulk_cycles cfg ~bytes:0.0 ~avg_hops:5.0)
+
+let test_breakdown () =
+  let b = Breakdown.zero () in
+  b.Breakdown.compute <- 10.0;
+  b.move <- 5.0;
+  Alcotest.(check (Alcotest.float 1e-9)) "total" 15.0 (Breakdown.total b);
+  let b2 = Breakdown.add b (Breakdown.scale b 2.0) in
+  Alcotest.(check (Alcotest.float 1e-9)) "add+scale" 45.0 (Breakdown.total b2);
+  Alcotest.(check int) "assoc 8 categories" 8 (List.length (Breakdown.to_assoc b))
+
+let test_dram () =
+  let c = Dram.load_cycles cfg ~bytes:12.8e6 in
+  Alcotest.(check (Alcotest.float 1.0)) "1M cycles for 12.8MB" 1e6 c;
+  Alcotest.(check bool) "transpose parallel over banks" true
+    (Dram.transpose_cycles cfg ~bytes:1e6 < Dram.load_cycles cfg ~bytes:1e6);
+  Alcotest.(check (Alcotest.float 1e-9)) "resident fill has no dram" 0.0
+    (Dram.fill_transposed_cycles cfg ~bytes:0.0 ~resident:true)
+
+let mk_cmd ?(lanes = 256) ?(tiles = (0, 64)) kind =
+  Command.make kind ~dtype:Dtype.Fp32
+    ~tile_box:(Hyperrect.of_ranges [ tiles ])
+    ~lanes_per_tile:lanes
+
+let test_imc_compute () =
+  let t = Traffic.create cfg in
+  let layout = { Imc.grid = [| 16384 |]; tile = [| 256 |] } in
+  let cmds = [ mk_cmd (Command.Compute { op = Op.Add; const_operands = 0 }) ] in
+  let r = Imc.execute cfg t ~layout cmds in
+  Alcotest.(check bool) "compute cycles = op latency + dispatch" true
+    (r.Imc.compute_cycles
+     = float_of_int (Bitserial.op_cycles Op.Add Dtype.Fp32 + cfg.cmd_dispatch_cycles));
+  Alcotest.(check (Alcotest.float 1e-9)) "elements" (256.0 *. 64.0)
+    r.elements_computed
+
+let test_imc_waves () =
+  let t = Traffic.create cfg in
+  let layout = { Imc.grid = [| 32768 |]; tile = [| 256 |] } in
+  let small = [ mk_cmd ~tiles:(0, 16384) (Command.Compute { op = Op.Add; const_operands = 0 }) ] in
+  let big = [ mk_cmd ~tiles:(0, 32768) (Command.Compute { op = Op.Add; const_operands = 0 }) ] in
+  let r1 = Imc.execute cfg (Traffic.create cfg) ~layout small in
+  let r2 = Imc.execute cfg t ~layout big in
+  Alcotest.(check bool) "2x tiles -> ~2x cycles (waves)" true
+    (r2.Imc.compute_cycles > r1.Imc.compute_cycles *. 1.5)
+
+let test_imc_intra_vs_inter_shift () =
+  let layout = { Imc.grid = [| 64; 256 |]; tile = [| 16; 16 |] } in
+  let mk2 kind =
+    Command.make kind ~dtype:Dtype.Fp32
+      ~tile_box:(Hyperrect.of_ranges [ (0, 64); (0, 256) ])
+      ~lanes_per_tile:16
+  in
+  let t1 = Traffic.create cfg in
+  let _ = Imc.execute cfg t1 ~layout [ mk2 (Command.Intra_shift { dim = 1; distance = 1 }) ] in
+  Alcotest.(check (Alcotest.float 1e-9)) "intra stays off the NoC" 0.0
+    (Traffic.total_bytes t1);
+  Alcotest.(check bool) "intra moves bytes locally" true
+    (Traffic.local_bytes t1 `Intra_tile > 0.0);
+  let t2 = Traffic.create cfg in
+  let _ =
+    Imc.execute cfg t2 ~layout
+      [ mk2 (Command.Inter_shift { dim = 1; tile_dist = 1; intra_dist = 0 }) ]
+  in
+  Alcotest.(check bool) "inter-tile crosses the NoC" true
+    (Traffic.bytes t2 Traffic.Inter_tile > 0.0)
+
+let test_imc_sync_flushes () =
+  let layout = { Imc.grid = [| 64; 256 |]; tile = [| 16; 16 |] } in
+  let mk2 kind =
+    Command.make kind ~dtype:Dtype.Fp32
+      ~tile_box:(Hyperrect.of_ranges [ (0, 64); (0, 256) ])
+      ~lanes_per_tile:16
+  in
+  let t = Traffic.create cfg in
+  let r =
+    Imc.execute cfg t ~layout
+      [
+        mk2 (Command.Inter_shift { dim = 1; tile_dist = 1; intra_dist = 0 });
+        Command.sync;
+      ]
+  in
+  Alcotest.(check bool) "sync has cost" true (r.Imc.sync_cycles > 0.0);
+  Alcotest.(check bool) "sync sends offload messages" true
+    (Traffic.bytes t Traffic.Offload > 0.0)
+
+let mk_workset ~flops ~bytes =
+  {
+    Workset.name = "w";
+    iters = flops;
+    flops_per_iter = 1.0;
+    flops;
+    streams =
+      [
+        {
+          Workset.array = "A";
+          direction = Kernel_info.Read;
+          indirect = false;
+          elem_bytes = 4.0;
+          accesses = bytes /. 4.0;
+          distinct_bytes = bytes;
+        };
+      ];
+    has_indirect = false;
+  }
+
+let test_corem_scaling () =
+  let w = mk_workset ~flops:1e7 ~bytes:1e5 in
+  let r1 = Corem.run cfg (Traffic.create cfg) w ~threads:1 ~cold_bytes:0.0 ~first_invocation:true in
+  let r64 = Corem.run cfg (Traffic.create cfg) w ~threads:64 ~cold_bytes:0.0 ~first_invocation:true in
+  Alcotest.(check bool) "64 threads much faster" true
+    (r64.Corem.cycles < r1.Corem.cycles /. 10.0)
+
+let test_near_reuse_traffic () =
+  (* a broadcast table too big for the SEL3 buffer but reused from every
+     bank generates NoC refetch traffic near-memory (kmeans centroids) *)
+  let reuse_stream =
+    {
+      Workset.array = "C";
+      direction = Kernel_info.Read;
+      indirect = false;
+      elem_bytes = 4.0;
+      accesses = 1e6;
+      distinct_bytes = 131072.0;
+    }
+  in
+  let w =
+    { (mk_workset ~flops:1e6 ~bytes:4e6) with Workset.streams = [ reuse_stream ] }
+  in
+  let t = Traffic.create cfg in
+  let _ = Near.run cfg t w ~cold_bytes:0.0 in
+  Alcotest.(check bool) "reuse refetch traffic" true
+    (Traffic.bytes t Traffic.Data > 1e6);
+  (* the same table inside the 64kB buffer stays local *)
+  let small =
+    { (mk_workset ~flops:1e6 ~bytes:4e6) with
+      Workset.streams = [ { reuse_stream with distinct_bytes = 8192.0 } ] }
+  in
+  let t2 = Traffic.create cfg in
+  let _ = Near.run cfg t2 small ~cold_bytes:0.0 in
+  Alcotest.(check (Alcotest.float 1e-9)) "buffered operand stays local" 0.0
+    (Traffic.bytes t2 Traffic.Data)
+
+let test_near_sequential_no_data_traffic () =
+  let w = mk_workset ~flops:1e6 ~bytes:4e6 in
+  let t = Traffic.create cfg in
+  let _ = Near.run cfg t w ~cold_bytes:0.0 in
+  Alcotest.(check (Alcotest.float 1e-9)) "no core-L3 data traffic" 0.0
+    (Traffic.bytes t Traffic.Data);
+  Alcotest.(check bool) "offload management traffic" true
+    (Traffic.bytes t Traffic.Offload > 0.0)
+
+let test_energy_model () =
+  let e = Energy.fresh () in
+  e.Energy.core_flops <- 1.0;
+  let core = Energy.total e in
+  let e2 = Energy.fresh () in
+  e2.Energy.sram_array_cycles <- 1.0;
+  Alcotest.(check bool) "core op far costlier than sram cycle" true
+    (core > 10.0 *. Energy.total e2);
+  let e3 = Energy.fresh () in
+  e3.Energy.dram_bytes <- 1.0;
+  Alcotest.(check bool) "dram byte costlier than noc hop" true
+    (Energy.total e3
+    > Energy.total
+        (let x = Energy.fresh () in
+         x.Energy.noc_byte_hops <- 1.0;
+         x))
+
+let test_area_model () =
+  let a = Area.default in
+  Alcotest.(check bool) "paper 6.52% overhead" true
+    (Float.abs (Area.overhead_fraction a -. 0.0652) < 1e-4);
+  Alcotest.(check int) "table rows" 4 (List.length (Area.table a))
+
+
+
+let test_workset_resolve () =
+  let w = Infs_workloads.Mm.mm_outer ~n:64 in
+  let prog = w.Infinity_stream.Workload.prog in
+  let info = Kernel_info.analyze prog (List.hd (Ast.kernels prog)) in
+  let env = function "N" -> 64 | "k" -> 0 | v -> failwith v in
+  let ws = Workset.resolve info ~env ~arrays:[ ("A", [ 64; 64 ]); ("B", [ 64; 64 ]); ("C", [ 64; 64 ]) ] in
+  Alcotest.(check (Alcotest.float 0.5)) "iterations" 4096.0 ws.Workset.iters;
+  Alcotest.(check (Alcotest.float 0.5)) "flops" 8192.0 ws.flops;
+  let a = List.find (fun (s : Workset.stream) -> s.array = "A") ws.streams in
+  Alcotest.(check (Alcotest.float 0.5)) "A column bytes" 256.0 a.distinct_bytes;
+  Alcotest.(check bool) "A has heavy reuse" true (Workset.reuse_factor a > 50.0);
+  Alcotest.(check (Alcotest.float 1.0)) "touched = 3 regions"
+    (256.0 +. 256.0 +. 16384.0)
+    (Workset.touched_bytes ws)
+
+let suite =
+  [
+    ("config: Table 2 derived", `Quick, test_config_table2);
+    ("mesh geometry", `Quick, test_mesh_geometry);
+    ("traffic accounting", `Quick, test_traffic_accounting);
+    ("utilization bounded", `Quick, test_utilization_bounded);
+    ("bulk cycles monotonic", `Quick, test_bulk_cycles_monotonic);
+    ("breakdown", `Quick, test_breakdown);
+    ("dram + ttu", `Quick, test_dram);
+    ("imc: compute", `Quick, test_imc_compute);
+    ("imc: waves", `Quick, test_imc_waves);
+    ("imc: intra vs inter shift", `Quick, test_imc_intra_vs_inter_shift);
+    ("imc: sync barrier", `Quick, test_imc_sync_flushes);
+    ("corem: thread scaling", `Quick, test_corem_scaling);
+    ("near: reuse refetch", `Quick, test_near_reuse_traffic);
+    ("near: streaming stays local", `Quick, test_near_sequential_no_data_traffic);
+    ("energy model ordering", `Quick, test_energy_model);
+    ("area model", `Quick, test_area_model);
+    ("workset resolve", `Quick, test_workset_resolve);
+  ]

@@ -1,0 +1,190 @@
+(* tDFG IR: construction, hash-consing, domains, validation, evaluation. *)
+
+let n = Symaff.var "N"
+
+let sr ranges = Symrect.make ranges
+
+let mk_graph () = Tdfg.create ~name:"g" ~dims:1 ~dtype:Dtype.Fp32
+
+let test_hashcons () =
+  let g = mk_graph () in
+  let a1 = Tdfg.tensor g ~array:"A" ~view:(sr [ (Symaff.zero, n) ]) ~axes:[ 0 ] in
+  let a2 = Tdfg.tensor g ~array:"A" ~view:(sr [ (Symaff.zero, n) ]) ~axes:[ 0 ] in
+  Alcotest.(check int) "identical nodes share id" a1 a2;
+  let b = Tdfg.tensor g ~array:"B" ~view:(sr [ (Symaff.zero, n) ]) ~axes:[ 0 ] in
+  Alcotest.(check bool) "distinct nodes differ" true (a1 <> b);
+  Alcotest.(check int) "count" 2 (Tdfg.node_count g)
+
+let test_domains () =
+  let g = mk_graph () in
+  let a = Tdfg.tensor g ~array:"A" ~view:(sr [ (Symaff.const 2, n) ]) ~axes:[ 0 ] in
+  let m = Tdfg.mv g a ~dim:0 ~dist:(-1) in
+  (match Tdfg.domain g m with
+  | Tdfg.Finite r -> Alcotest.(check string) "moved" "[1,N-1)" (Symrect.to_string r)
+  | Tdfg.Infinite -> Alcotest.fail "finite expected");
+  let k = Tdfg.const_lit g 3.0 in
+  Alcotest.(check bool) "const infinite" true (Tdfg.domain g k = Tdfg.Infinite);
+  let s = Tdfg.cmp g Op.Mul [ m; k ] in
+  (match Tdfg.domain g s with
+  | Tdfg.Finite r ->
+    Alcotest.(check string) "cmp with const keeps finite side" "[1,N-1)"
+      (Symrect.to_string r)
+  | Tdfg.Infinite -> Alcotest.fail "finite expected");
+  let red = Tdfg.reduce g Op.Add s ~dim:0 in
+  match Tdfg.domain g red with
+  | Tdfg.Finite r -> Alcotest.(check string) "collapsed" "[1,2)" (Symrect.to_string r)
+  | Tdfg.Infinite -> Alcotest.fail "finite expected"
+
+let test_cmp_domain_intersection () =
+  let g = mk_graph () in
+  let a = Tdfg.tensor g ~array:"A" ~view:(sr [ (Symaff.zero, Symaff.add_const n (-1)) ]) ~axes:[ 0 ] in
+  let b = Tdfg.tensor g ~array:"A" ~view:(sr [ (Symaff.one, n) ]) ~axes:[ 0 ] in
+  let s = Tdfg.cmp g Op.Add [ a; b ] in
+  match Tdfg.domain g s with
+  | Tdfg.Finite r -> Alcotest.(check string) "intersect" "[1,N-1)" (Symrect.to_string r)
+  | Tdfg.Infinite -> Alcotest.fail "finite expected"
+
+let test_validate_bc_extent () =
+  let g = Tdfg.create ~name:"g" ~dims:2 ~dtype:Dtype.Fp32 in
+  let a =
+    Tdfg.tensor g ~array:"A" ~view:(sr [ (Symaff.zero, n); (Symaff.zero, n) ]) ~axes:[ 0; 1 ]
+  in
+  let bad = Tdfg.bc g a ~dim:1 ~lo:Symaff.zero ~hi:n in
+  Tdfg.add_output g (Tdfg.Out_tensor { src = bad; array = "A"; axes = [ 0; 1 ] });
+  Alcotest.(check bool) "bc of extent>1 rejected" true
+    (Result.is_error (Tdfg.validate g))
+
+let test_validate_arity () =
+  let g = mk_graph () in
+  let a = Tdfg.tensor g ~array:"A" ~view:(sr [ (Symaff.zero, n) ]) ~axes:[ 0 ] in
+  let bad = Tdfg.cmp g Op.Add [ a ] in
+  Tdfg.add_output g (Tdfg.Out_tensor { src = bad; array = "A"; axes = [ 0 ] });
+  Alcotest.(check bool) "arity" true (Result.is_error (Tdfg.validate g))
+
+let test_live_and_stats () =
+  let g = mk_graph () in
+  let a = Tdfg.tensor g ~array:"A" ~view:(sr [ (Symaff.zero, n) ]) ~axes:[ 0 ] in
+  let _dead = Tdfg.tensor g ~array:"D" ~view:(sr [ (Symaff.zero, n) ]) ~axes:[ 0 ] in
+  let s = Tdfg.cmp g Op.Mul [ a; Tdfg.const_lit g 2.0 ] in
+  Tdfg.add_output g (Tdfg.Out_tensor { src = s; array = "B"; axes = [ 0 ] });
+  Alcotest.(check int) "live excludes dead" 3 (List.length (Tdfg.live_nodes g));
+  Alcotest.(check (list string)) "inputs" [ "A" ] (Tdfg.input_arrays g);
+  Alcotest.(check (list string)) "outputs" [ "B" ] (Tdfg.output_arrays g);
+  Alcotest.(check (list (pair string int)))
+    "stats" [ ("cmp", 1); ("const", 1); ("tensor", 1) ] (Tdfg.stats g);
+  Alcotest.(check (list (pair string int)))
+    "ops"
+    [ ("mul", 1) ]
+    (List.map (fun (op, c) -> (Op.to_string op, c)) (Tdfg.op_multiset g))
+
+let test_runtime_scalars () =
+  let g = mk_graph () in
+  let a = Tdfg.tensor g ~array:"A" ~view:(sr [ (Symaff.zero, n) ]) ~axes:[ 0 ] in
+  let s = Tdfg.cmp g Op.Div [ a; Tdfg.const_runtime g "akk" ] in
+  Tdfg.add_output g (Tdfg.Out_tensor { src = s; array = "A"; axes = [ 0 ] });
+  Alcotest.(check (list string)) "scalars" [ "akk" ] (Tdfg.runtime_scalars g)
+
+(* Evaluation against the interpreter store. *)
+
+let feq = Alcotest.float 1e-5
+
+let with_env arrays params f =
+  let open Ast in
+  let decls = List.map (fun (name, dims) -> array name Dtype.Fp32 dims) arrays in
+  let prog = program ~name:"t" ~params ~arrays:decls [] in
+  match Interp.create prog ~params:(List.map (fun p -> (p, 8)) params) with
+  | Error e -> Alcotest.fail e
+  | Ok env -> f env
+
+let test_eval_stencil_semantics () =
+  with_env [ ("A", [ n ]); ("B", [ n ]) ] [ "N" ] (fun env ->
+      Interp.set_array env "A" (Array.init 8 float_of_int);
+      let g = mk_graph () in
+      (* B[1..7) = A[i-1] + A[i+1] *)
+      let a0 = Tdfg.tensor g ~array:"A" ~view:(sr [ (Symaff.zero, Symaff.add_const n (-2)) ]) ~axes:[ 0 ] in
+      let a0m = Tdfg.mv g a0 ~dim:0 ~dist:1 in
+      let a2 = Tdfg.tensor g ~array:"A" ~view:(sr [ (Symaff.const 2, n) ]) ~axes:[ 0 ] in
+      let a2m = Tdfg.mv g a2 ~dim:0 ~dist:(-1) in
+      let s = Tdfg.cmp g Op.Add [ a0m; a2m ] in
+      Tdfg.add_output g (Tdfg.Out_tensor { src = s; array = "B"; axes = [ 0 ] });
+      Tdfg_eval.eval g env;
+      let b = Interp.get_array env "B" in
+      Alcotest.check feq "B[1] = A[0]+A[2]" 2.0 b.(1);
+      Alcotest.check feq "B[6] = A[5]+A[7]" 12.0 b.(6);
+      Alcotest.check feq "B[0] untouched" 0.0 b.(0))
+
+let test_eval_bc_and_reduce () =
+  with_env [ ("A", [ n ]); ("S", [ Ast.c 1 ]) ] [ "N" ] (fun env ->
+      Interp.set_array env "A" (Array.make 8 2.0);
+      let g = mk_graph () in
+      let a = Tdfg.tensor g ~array:"A" ~view:(sr [ (Symaff.zero, n) ]) ~axes:[ 0 ] in
+      let sq = Tdfg.cmp g Op.Mul [ a; a ] in
+      let red = Tdfg.reduce g Op.Add sq ~dim:0 in
+      Tdfg.add_output g (Tdfg.Out_tensor { src = red; array = "S"; axes = [ 0 ] });
+      Tdfg_eval.eval g env;
+      Alcotest.check feq "sum of squares" 32.0 (Interp.get_array env "S").(0))
+
+let test_eval_gather_stream () =
+  with_env [ ("A", [ n ]); ("IX", [ n ]); ("G", [ n ]) ] [ "N" ] (fun env ->
+      Interp.set_array env "A" (Array.init 8 (fun i -> float_of_int (i * 10)));
+      Interp.set_array env "IX" [| 3.; 1.; 0.; 2.; 4.; 5.; 6.; 7. |];
+      let g = mk_graph () in
+      let sl =
+        Tdfg.add g
+          (Tdfg.Stream_load
+             {
+               array = "A";
+               view = sr [ (Symaff.zero, n) ];
+               coords = [ Tdfg.Cgather { index = "IX"; at = [ Symaff.var "d0" ] } ];
+             })
+      in
+      Tdfg.add_output g (Tdfg.Out_tensor { src = sl; array = "G"; axes = [ 0 ] });
+      Tdfg_eval.eval g env;
+      let got = Interp.get_array env "G" in
+      Alcotest.check feq "g0" 30.0 got.(0);
+      Alcotest.check feq "g1" 10.0 got.(1))
+
+let test_eval_scatter_accum () =
+  with_env [ ("SRC", [ n ]); ("IX", [ n ]); ("ACC", [ n ]) ] [ "N" ] (fun env ->
+      Interp.set_array env "SRC" (Array.make 8 1.0);
+      Interp.set_array env "IX" [| 0.; 0.; 1.; 1.; 1.; 2.; 2.; 2. |];
+      let g = mk_graph () in
+      let s = Tdfg.tensor g ~array:"SRC" ~view:(sr [ (Symaff.zero, n) ]) ~axes:[ 0 ] in
+      Tdfg.add_output g
+        (Tdfg.Out_stream
+           {
+             src = s;
+             array = "ACC";
+             coords = [ Tdfg.Cgather { index = "IX"; at = [ Symaff.var "d0" ] } ];
+             accum = Some Op.Add;
+           });
+      Tdfg_eval.eval g env;
+      let acc = Interp.get_array env "ACC" in
+      Alcotest.check feq "bucket 0" 2.0 acc.(0);
+      Alcotest.check feq "bucket 1" 3.0 acc.(1);
+      Alcotest.check feq "bucket 2" 3.0 acc.(2))
+
+let test_eval_shrink_of_const () =
+  with_env [ ("O", [ n ]) ] [ "N" ] (fun env ->
+      let g = mk_graph () in
+      let k = Tdfg.const_lit g 7.0 in
+      let s = Tdfg.shrink g k ~rect:(sr [ (Symaff.zero, n) ]) in
+      Tdfg.add_output g (Tdfg.Out_tensor { src = s; array = "O"; axes = [ 0 ] });
+      Tdfg_eval.eval g env;
+      Alcotest.check feq "materialized" 7.0 (Interp.get_array env "O").(5))
+
+let suite =
+  [
+    ("hashcons", `Quick, test_hashcons);
+    ("domains", `Quick, test_domains);
+    ("cmp domain intersection", `Quick, test_cmp_domain_intersection);
+    ("validate bc extent", `Quick, test_validate_bc_extent);
+    ("validate arity", `Quick, test_validate_arity);
+    ("live nodes and stats", `Quick, test_live_and_stats);
+    ("runtime scalars", `Quick, test_runtime_scalars);
+    ("eval: stencil semantics", `Quick, test_eval_stencil_semantics);
+    ("eval: bc and reduce", `Quick, test_eval_bc_and_reduce);
+    ("eval: gather stream", `Quick, test_eval_gather_stream);
+    ("eval: scatter accumulate", `Quick, test_eval_scatter_accum);
+    ("eval: shrink of const", `Quick, test_eval_shrink_of_const);
+  ]

@@ -1,0 +1,213 @@
+(* Hyperrectangles (incl. paper Algorithm 1) and the dense evaluator. *)
+
+let rect ranges = Hyperrect.of_ranges ranges
+
+let test_basics () =
+  let r = rect [ (0, 4); (2, 5) ] in
+  Alcotest.(check int) "dims" 2 (Hyperrect.dims r);
+  Alcotest.(check int) "volume" 12 (Hyperrect.volume r);
+  Alcotest.(check (array int)) "shape" [| 4; 3 |] (Hyperrect.shape r);
+  Alcotest.(check bool) "mem" true (Hyperrect.mem r [| 3; 4 |]);
+  Alcotest.(check bool) "not mem" false (Hyperrect.mem r [| 4; 4 |]);
+  Alcotest.(check string) "to_string" "[0,4)x[2,5)" (Hyperrect.to_string r)
+
+let test_make_invalid () =
+  Alcotest.check_raises "lo > hi" (Invalid_argument "Hyperrect.make: lo > hi")
+    (fun () -> ignore (Hyperrect.make ~lo:[| 2 |] ~hi:[| 1 |]))
+
+let test_intersect () =
+  let a = rect [ (0, 4) ] and b = rect [ (2, 6) ] in
+  (match Hyperrect.intersect a b with
+  | Some r -> Alcotest.(check string) "overlap" "[2,4)" (Hyperrect.to_string r)
+  | None -> Alcotest.fail "expected overlap");
+  let c = rect [ (4, 6) ] in
+  Alcotest.(check bool) "disjoint" true (Hyperrect.intersect a c = None)
+
+let test_bounding_contains () =
+  let a = rect [ (0, 2); (0, 2) ] and b = rect [ (3, 5); (1, 4) ] in
+  let bb = Hyperrect.bounding a b in
+  Alcotest.(check string) "bounding" "[0,5)x[0,4)" (Hyperrect.to_string bb);
+  Alcotest.(check bool) "contains a" true (Hyperrect.contains ~outer:bb ~inner:a);
+  Alcotest.(check bool) "not contains" false (Hyperrect.contains ~outer:a ~inner:bb)
+
+let test_shift () =
+  let a = rect [ (1, 3) ] in
+  Alcotest.(check string) "shift" "[3,5)"
+    (Hyperrect.to_string (Hyperrect.shift a ~dim:0 ~dist:2))
+
+let test_linear_index_roundtrip () =
+  let r = rect [ (1, 4); (2, 6) ] in
+  Hyperrect.iter_points r ~f:(fun p ->
+      let i = Hyperrect.linear_index r p in
+      Alcotest.(check (array int)) "roundtrip" p (Hyperrect.point_of_linear r i))
+
+let test_fold_points_order () =
+  let r = rect [ (0, 2); (0, 2) ] in
+  let pts = Hyperrect.fold_points r ~init:[] ~f:(fun acc p -> Array.copy p :: acc) in
+  Alcotest.(check int) "count" 4 (List.length pts);
+  Alcotest.(check (array int)) "row-major first" [| 0; 0 |] (List.nth pts 3);
+  Alcotest.(check (array int)) "row-major second" [| 0; 1 |] (List.nth pts 2)
+
+(* Paper Fig. 9's example: [0,4)x[0,3) with 2x2 tiles decomposes into the
+   aligned block [0,4)x[0,2) and the boundary [0,4)x[2,3). *)
+let test_decompose_fig9 () =
+  let pieces =
+    Hyperrect.decompose (rect [ (0, 4); (0, 3) ]) ~tile:[| 2; 2 |]
+    |> List.map Hyperrect.to_string
+    |> List.sort compare
+  in
+  Alcotest.(check (list string)) "fig 9" [ "[0,4)x[0,2)"; "[0,4)x[2,3)" ] pieces
+
+let test_decompose_aligned_kept_whole () =
+  let pieces = Hyperrect.decompose (rect [ (0, 8) ]) ~tile:[| 4 |] in
+  Alcotest.(check int) "aligned middle runs stay whole" 1 (List.length pieces)
+
+let test_decompose_head_middle_tail () =
+  let pieces =
+    Hyperrect.decompose (rect [ (1, 11) ]) ~tile:[| 4 |]
+    |> List.map Hyperrect.to_string
+  in
+  Alcotest.(check (list string)) "h/m/t" [ "[1,4)"; "[4,8)"; "[8,11)" ] pieces
+
+let test_decompose_within_tile () =
+  let pieces = Hyperrect.decompose (rect [ (1, 3) ]) ~tile:[| 4 |] in
+  Alcotest.(check int) "single piece" 1 (List.length pieces)
+
+let rect_gen =
+  QCheck.Gen.(
+    let range = pair (int_range 0 20) (int_range 1 15) in
+    map
+      (fun ranges ->
+        List.map (fun (lo, len) -> (lo, lo + len)) ranges)
+      (list_size (int_range 1 3) range))
+
+let tile_gen n = QCheck.Gen.(list_size (return n) (int_range 1 6))
+
+let decompose_case =
+  QCheck.make
+    ~print:(fun (ranges, tile) ->
+      Printf.sprintf "%s tile=%s"
+        (Hyperrect.to_string (Hyperrect.of_ranges ranges))
+        (String.concat "x" (List.map string_of_int tile)))
+    QCheck.Gen.(
+      rect_gen >>= fun ranges ->
+      tile_gen (List.length ranges) >>= fun tile -> return (ranges, tile))
+
+(* Property: Algorithm 1 partitions the box — volumes sum, pieces are
+   disjoint, every piece is inside, and each piece never straddles an
+   unaligned tile boundary. *)
+let prop_decompose_partition =
+  QCheck.Test.make ~name:"decompose partitions the box" ~count:300 decompose_case
+    (fun (ranges, tile) ->
+      let r = Hyperrect.of_ranges ranges in
+      let tile = Array.of_list tile in
+      let pieces = Hyperrect.decompose r ~tile in
+      let vol_ok =
+        List.fold_left (fun acc p -> acc + Hyperrect.volume p) 0 pieces
+        = Hyperrect.volume r
+      in
+      let inside = List.for_all (fun p -> Hyperrect.contains ~outer:r ~inner:p) pieces in
+      let rec disjoint = function
+        | [] -> true
+        | p :: rest ->
+          List.for_all (fun q -> Hyperrect.intersect p q = None) rest
+          && disjoint rest
+      in
+      vol_ok && inside && disjoint pieces)
+
+let prop_decompose_boundary_pieces_fit_one_tile =
+  QCheck.Test.make ~name:"unaligned pieces fit one tile row" ~count:300
+    decompose_case (fun (ranges, tile) ->
+      let r = Hyperrect.of_ranges ranges in
+      let tile = Array.of_list tile in
+      let pieces = Hyperrect.decompose r ~tile in
+      List.for_all
+        (fun p ->
+          List.for_all
+            (fun d ->
+              let lo = Hyperrect.lo p d and hi = Hyperrect.hi p d in
+              let t = tile.(d) in
+              let aligned = lo mod t = 0 && hi mod t = 0 in
+              let within_one = lo / t = (hi - 1) / t in
+              aligned || within_one)
+            (List.init (Hyperrect.dims p) Fun.id))
+        pieces)
+
+(* Dense tensors *)
+
+let feq = Alcotest.float 1e-6
+
+let test_dense_create_get () =
+  let r = rect [ (1, 3); (0, 2) ] in
+  let d = Dense.create r ~f:(fun p -> float_of_int ((10 * p.(0)) + p.(1))) in
+  Alcotest.check feq "value" 21.0 (Dense.get d [| 2; 1 |]);
+  Alcotest.check_raises "outside"
+    (Invalid_argument "Dense.get: point outside [1,3)x[0,2)") (fun () ->
+      ignore (Dense.get d [| 0; 0 |]))
+
+let test_dense_map2_intersection () =
+  let a = Dense.fill (rect [ (0, 4) ]) 1.0 in
+  let b = Dense.fill (rect [ (2, 6) ]) 2.0 in
+  let s = Dense.map2 a b ~f:( +. ) in
+  Alcotest.(check string) "domain" "[2,4)" (Hyperrect.to_string (Dense.domain s));
+  Alcotest.check feq "sum" 3.0 (Dense.get s [| 3 |])
+
+let test_dense_shift () =
+  let a = Dense.create (rect [ (0, 3) ]) ~f:(fun p -> float_of_int p.(0)) in
+  let moved = Hyperrect.shift (Dense.domain a) ~dim:0 ~dist:2 in
+  let s = Dense.shift a ~dim:0 ~dist:2 ~bound:moved in
+  Alcotest.check feq "shifted value" 1.0 (Dense.get s [| 3 |])
+
+let test_dense_broadcast () =
+  let a = Dense.create (rect [ (0, 2); (3, 4) ]) ~f:(fun p -> float_of_int p.(0)) in
+  let b = Dense.broadcast a ~dim:1 ~lo:0 ~hi:4 in
+  Alcotest.check feq "broadcast" 1.0 (Dense.get b [| 1; 2 |]);
+  Alcotest.(check int) "volume" 8 (Hyperrect.volume (Dense.domain b))
+
+let test_dense_broadcast_requires_extent1 () =
+  let a = Dense.fill (rect [ (0, 2) ]) 1.0 in
+  Alcotest.check_raises "extent"
+    (Invalid_argument "Dense.broadcast: source extent along dim must be 1")
+    (fun () -> ignore (Dense.broadcast a ~dim:0 ~lo:0 ~hi:4))
+
+let test_dense_reduce () =
+  let a = Dense.create (rect [ (0, 3); (0, 2) ]) ~f:(fun p -> float_of_int p.(0)) in
+  let s = Dense.reduce a ~dim:0 ~f:( +. ) ~init:0.0 in
+  Alcotest.(check string) "collapsed" "[0,1)x[0,2)"
+    (Hyperrect.to_string (Dense.domain s));
+  Alcotest.check feq "sum" 3.0 (Dense.get s [| 0; 1 |])
+
+let test_dense_fp32_rounding () =
+  let x = Dense.fp32 0.1 in
+  Alcotest.(check bool) "rounded to single" true (x <> 0.1);
+  Alcotest.(check bool) "close" true (Float.abs (x -. 0.1) < 1e-7)
+
+let test_dense_equal_within () =
+  let a = Dense.fill (rect [ (0, 4) ]) 1.0 in
+  let b = Dense.fill (rect [ (0, 4) ]) (1.0 +. 1e-9) in
+  Alcotest.(check bool) "close" true (Dense.equal_within ~eps:1e-6 a b)
+
+let suite =
+  [
+    ("hyperrect basics", `Quick, test_basics);
+    ("hyperrect invalid", `Quick, test_make_invalid);
+    ("hyperrect intersect", `Quick, test_intersect);
+    ("hyperrect bounding/contains", `Quick, test_bounding_contains);
+    ("hyperrect shift", `Quick, test_shift);
+    ("linear index roundtrip", `Quick, test_linear_index_roundtrip);
+    ("fold order row-major", `Quick, test_fold_points_order);
+    ("decompose: paper Fig 9", `Quick, test_decompose_fig9);
+    ("decompose: aligned kept whole", `Quick, test_decompose_aligned_kept_whole);
+    ("decompose: head/middle/tail", `Quick, test_decompose_head_middle_tail);
+    ("decompose: within one tile", `Quick, test_decompose_within_tile);
+    QCheck_alcotest.to_alcotest prop_decompose_partition;
+    QCheck_alcotest.to_alcotest prop_decompose_boundary_pieces_fit_one_tile;
+    ("dense create/get", `Quick, test_dense_create_get);
+    ("dense map2 intersection", `Quick, test_dense_map2_intersection);
+    ("dense shift", `Quick, test_dense_shift);
+    ("dense broadcast", `Quick, test_dense_broadcast);
+    ("dense broadcast extent-1", `Quick, test_dense_broadcast_requires_extent1);
+    ("dense reduce", `Quick, test_dense_reduce);
+    ("dense fp32 rounding", `Quick, test_dense_fp32_rounding);
+    ("dense equal_within", `Quick, test_dense_equal_within);
+  ]

@@ -1,0 +1,87 @@
+(* Unit and property tests for the utility library. *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different seeds differ" true (Rng.int64 a <> Rng.int64 b)
+
+let test_rng_copy () =
+  let a = Rng.create 7 in
+  ignore (Rng.int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues" (Rng.int64 a) (Rng.int64 b)
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create 3 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let prop_rng_int_bounds =
+  QCheck.Test.make ~name:"Rng.int stays in bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_rng_float_bounds =
+  QCheck.Test.make ~name:"Rng.float stays in bounds" ~count:500
+    QCheck.(pair small_int (float_range 0.1 100.0))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let v = Rng.float rng bound in
+      v >= 0.0 && v < bound)
+
+let feq = Alcotest.float 1e-9
+
+let test_stats () =
+  Alcotest.check feq "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.check feq "geomean" 2.0 (Stats.geomean [ 1.0; 2.0; 4.0 ]);
+  Alcotest.check feq "median odd" 2.0 (Stats.median [ 3.0; 1.0; 2.0 ]);
+  Alcotest.check feq "median even" 1.5 (Stats.median [ 1.0; 2.0 ]);
+  Alcotest.check feq "empty mean" 0.0 (Stats.mean []);
+  Alcotest.check feq "geomean skips nonpositive" 2.0 (Stats.geomean [ 2.0; -1.0; 0.0 ]);
+  Alcotest.check feq "ratio by zero" 0.0 (Stats.ratio 1.0 0.0);
+  Alcotest.check feq "percent" 50.0 (Stats.percent ~part:1.0 ~whole:2.0)
+
+let test_stats_stddev () =
+  Alcotest.check (Alcotest.float 1e-6) "stddev" 2.0
+    (Stats.stddev [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ])
+
+let test_table_render () =
+  let t = Table.create ~title:"t" ~columns:[ "a"; "bb" ] in
+  Table.add_row t [ "x"; "y" ];
+  let _ = Table.add_float_row t "row" [ 1.5; 2.0 ] in
+  let s = Table.render t in
+  Alcotest.(check bool) "has title" true (String.length s > 0);
+  Alcotest.(check bool) "contains row" true
+    (String.split_on_char '\n' s |> List.exists (fun l -> l = "| x   | y   |    |"
+                                                          || String.length l > 0))
+
+let test_table_float_fmt () =
+  Alcotest.(check string) "integer-valued" "2" (Table.fmt_float 2.0);
+  Alcotest.(check string) "zero" "0" (Table.fmt_float 0.0);
+  Alcotest.(check string) "small" "1.500e-04" (Table.fmt_float 0.00015);
+  Alcotest.(check string) "fraction" "1.250" (Table.fmt_float 1.25)
+
+let suite =
+  [
+    ("rng deterministic", `Quick, test_rng_deterministic);
+    ("rng seeds differ", `Quick, test_rng_seeds_differ);
+    ("rng copy", `Quick, test_rng_copy);
+    ("rng shuffle permutes", `Quick, test_rng_shuffle_permutes);
+    QCheck_alcotest.to_alcotest prop_rng_int_bounds;
+    QCheck_alcotest.to_alcotest prop_rng_float_bounds;
+    ("stats basics", `Quick, test_stats);
+    ("stats stddev", `Quick, test_stats_stddev);
+    ("table render", `Quick, test_table_render);
+    ("table float format", `Quick, test_table_float_fmt);
+  ]
