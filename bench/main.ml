@@ -638,11 +638,25 @@ let bechamel_section () =
     [ decompose_test; jit_test; egraph_test ];
   Table.print t
 
+(* ---------- trace hook ---------- *)
+
+let trace_demo file =
+  (* structured-trace hook: run one representative workload with the JSONL
+     sink so the bench can be inspected in a trace viewer / diffed *)
+  let oc = open_out file in
+  let trace = Trace.to_channel Trace.Jsonl oc in
+  let options = { suite_options with E.trace } in
+  let w = Infs_workloads.Stencil.stencil2d ~iters:2 ~n:48 in
+  let r = E.run_exn ~options E.Inf_s w in
+  Trace.close trace;
+  close_out oc;
+  Printf.printf "trace: %s [Inf-S] %d events -> %s\n\n" w.WL.wname
+    (Trace.events_seen trace) file;
+  ignore r
+
 (* ---------- main ---------- *)
 
-let () =
-  print_endline "infinity stream - benchmark harness (ASPLOS'23 evaluation)";
-  print_newline ();
+let full () =
   print_header ();
   fig2 ();
   let entries = Cat.table3 () in
@@ -660,5 +674,29 @@ let () =
   portability ();
   substrate ();
   area ();
-  bechamel_section ();
+  bechamel_section ()
+
+(* CI target: the full pipeline (compile, simulate, aggregate) on the
+   test-scale suite in a few seconds instead of minutes *)
+let smoke () =
+  print_header ();
+  let entries = Cat.test_scale () in
+  fig11 entries;
+  fig14 entries;
+  jit_overheads entries
+
+let () =
+  print_endline "infinity stream - benchmark harness (ASPLOS'23 evaluation)";
+  print_newline ();
+  let argv = Array.to_list Sys.argv in
+  let trace_file =
+    let rec find = function
+      | "--trace" :: f :: _ -> Some f
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find argv
+  in
+  Option.iter trace_demo trace_file;
+  if List.mem "--smoke" argv then smoke () else full ();
   print_endline "done."

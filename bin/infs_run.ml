@@ -109,6 +109,22 @@ let functional_arg =
     & info [ "functional" ]
         ~doc:"also compute values and check against the golden model (use --scale test)")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"write a structured event trace of the run to $(docv)")
+
+let trace_format_conv = Arg.enum [ ("jsonl", Trace.Jsonl); ("chrome", Trace.Chrome) ]
+
+let trace_format_arg =
+  Arg.(
+    value & opt trace_format_conv Trace.Jsonl
+    & info [ "trace-format" ]
+        ~doc:"trace format: jsonl (one event per line, golden-testable) or \
+              chrome (chrome://tracing / Perfetto timeline)")
+
 let list_cmd =
   let run scale =
     List.iter (fun (name, _) -> print_endline name) (all_workloads scale)
@@ -117,22 +133,44 @@ let list_cmd =
     Term.(const run $ scale_arg)
 
 let run_cmd =
-  let run scale wname pname functional =
+  let run scale wname pname functional trace_file trace_format =
     match (find_workload scale wname, paradigm_of_string pname) with
     | Error e, _ | _, Error e ->
       prerr_endline e;
       exit 1
     | Ok w, Ok p -> (
-      let options = { E.default_options with functional } in
-      match E.run ~options p w with
+      let open_trace f =
+        try open_out f
+        with Sys_error e ->
+          prerr_endline ("error: cannot open trace file: " ^ e);
+          exit 1
+      in
+      let oc = Option.map open_trace trace_file in
+      let trace =
+        match oc with
+        | Some oc -> Trace.to_channel trace_format oc
+        | None -> Trace.null
+      in
+      let options = { E.default_options with functional; trace } in
+      let result = E.run ~options p w in
+      Trace.close trace;
+      Option.iter close_out oc;
+      match result with
       | Error e ->
         prerr_endline ("error: " ^ e);
         exit 1
-      | Ok r -> print_report r)
+      | Ok r ->
+        print_report r;
+        Option.iter
+          (fun f ->
+            Format.printf "trace: %d events -> %s@." (Trace.events_seen trace) f)
+          trace_file)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"simulate one workload under one paradigm")
-    Term.(const run $ scale_arg $ workload_arg $ paradigm_arg $ functional_arg)
+    Term.(
+      const run $ scale_arg $ workload_arg $ paradigm_arg $ functional_arg
+      $ trace_arg $ trace_format_arg)
 
 let compile_cmd =
   let run scale wname =

@@ -18,6 +18,7 @@ type options = {
   charge_jit : bool;
   warm_data : bool;
   pre_transposed : bool;
+  trace : Trace.t;
 }
 
 let default_options =
@@ -29,6 +30,7 @@ let default_options =
     charge_jit = true;
     warm_data = false;
     pre_transposed = false;
+    trace = Trace.null;
   }
 
 (* L3 residency tracking across program regions: which arrays currently
@@ -149,11 +151,51 @@ type state = {
 }
 
 let cfgv st = st.opts.cfg
+let tracev st = st.opts.trace
+
+(* Every Breakdown charge goes through here so the trace's per-category
+   cycle counters accumulate the identical floats in the identical order —
+   that is what lets the trace tests reconcile against the Report with 0.0
+   tolerance. *)
+let charge st cat v =
+  let bd = st.bd in
+  let name =
+    match cat with
+    | `Dram ->
+      bd.Breakdown.dram <- bd.Breakdown.dram +. v;
+      "dram"
+    | `Jit ->
+      bd.Breakdown.jit <- bd.Breakdown.jit +. v;
+      "jit"
+    | `Move ->
+      bd.Breakdown.move <- bd.Breakdown.move +. v;
+      "move"
+    | `Compute ->
+      bd.Breakdown.compute <- bd.Breakdown.compute +. v;
+      "compute"
+    | `Final_reduce ->
+      bd.Breakdown.final_reduce <- bd.Breakdown.final_reduce +. v;
+      "final_reduce"
+    | `Mix ->
+      bd.Breakdown.mix <- bd.Breakdown.mix +. v;
+      "mix"
+    | `Near_mem ->
+      bd.Breakdown.near_mem <- bd.Breakdown.near_mem +. v;
+      "near_mem"
+    | `Core ->
+      bd.Breakdown.core <- bd.Breakdown.core +. v;
+      "core"
+  in
+  Trace.add_cycles (tracev st) name v
 
 (* Per kernel, cycles are accumulated per execution target; the report
    shows the dominant target (a region can change sides across host-loop
    iterations, e.g. gauss's shrinking trailing matrix). *)
 let note_timeline st kname where cycles =
+  if Trace.enabled (tracev st) then
+    Trace.emit (tracev st)
+      (Trace.Region_exec
+         { kernel = kname; where = Report.where_to_string where; cycles });
   if not (Hashtbl.mem st.timeline kname) then
     st.timeline_order <- st.timeline_order @ [ kname ];
   let prev = Option.value ~default:[] (Hashtbl.find_opt st.timeline kname) in
@@ -198,8 +240,11 @@ let run_core st ~threads (region : Fat_binary.region) =
   let r =
     Corem.run (cfgv st) st.traffic w ~threads ~cold_bytes:cold ~first_invocation
   in
-  st.bd.Breakdown.core <- st.bd.Breakdown.core +. r.Corem.cycles -. r.dram_cycles;
-  st.bd.Breakdown.dram <- st.bd.Breakdown.dram +. r.dram_cycles;
+  if cold > 0.0 && Trace.enabled (tracev st) then
+    Trace.emit (tracev st)
+      (Trace.Dram_burst { bytes = cold; cycles = r.Corem.dram_cycles });
+  charge st `Core (r.Corem.cycles -. r.dram_cycles);
+  charge st `Dram r.dram_cycles;
   st.events.Energy.core_flops <- st.events.Energy.core_flops +. w.flops;
   st.events.Energy.dram_bytes <- st.events.Energy.dram_bytes +. cold;
   st.events.Energy.l3_bytes <- st.events.Energy.l3_bytes +. Workset.touched_bytes w;
@@ -217,9 +262,8 @@ let run_near st (region : Fat_binary.region) =
       0.0 w.streams
   in
   let r = Near.run (cfgv st) st.traffic w ~cold_bytes:cold in
-  st.bd.Breakdown.near_mem <-
-    st.bd.Breakdown.near_mem +. r.Near.cycles -. r.dram_cycles;
-  st.bd.Breakdown.dram <- st.bd.Breakdown.dram +. r.dram_cycles;
+  charge st `Near_mem (r.Near.cycles -. r.dram_cycles);
+  charge st `Dram r.dram_cycles;
   st.events.Energy.sel3_flops <- st.events.Energy.sel3_flops +. w.flops;
   st.events.Energy.dram_bytes <- st.events.Energy.dram_bytes +. cold;
   st.events.Energy.l3_bytes <- st.events.Energy.l3_bytes +. Workset.touched_bytes w;
@@ -373,10 +417,10 @@ let run_in_memory st (region : Fat_binary.region) (layout : Layout.t)
     arrays;
   let prep =
     Float.max
-      (Dram.load_cycles cfg ~bytes:!dram_bytes)
-      (Dram.transpose_cycles cfg ~bytes:!transpose_bytes)
+      (Dram.load_traced (tracev st) cfg ~bytes:!dram_bytes)
+      (Dram.transpose_traced (tracev st) cfg ~bytes:!transpose_bytes)
   in
-  st.bd.Breakdown.dram <- st.bd.Breakdown.dram +. prep;
+  charge st `Dram prep;
   st.events.Energy.dram_bytes <- st.events.Energy.dram_bytes +. !dram_bytes;
   st.events.Energy.l3_bytes <- st.events.Energy.l3_bytes +. !transpose_bytes;
   (* 2. JIT lower (memoized) *)
@@ -385,7 +429,7 @@ let run_in_memory st (region : Fat_binary.region) (layout : Layout.t)
       (Layout.to_string layout)
   in
   let cmds, jst =
-    Jit.lower_memo st.memo ~key cfg g ~schedule ~layout
+    Jit.lower_memo ~trace:(tracev st) st.memo ~key cfg g ~schedule ~layout
       ~env:(Interp.lookup_int st.env)
   in
   st.jit_invocations <- st.jit_invocations + 1;
@@ -398,11 +442,11 @@ let run_in_memory st (region : Fat_binary.region) (layout : Layout.t)
     else 0.0
   in
   st.jit_cycles_total <- st.jit_cycles_total +. jit_cycles;
-  st.bd.Breakdown.jit <- st.bd.Breakdown.jit +. jit_cycles;
+  charge st `Jit jit_cycles;
   (* 3. execute commands *)
   let r = Imc.execute cfg st.traffic ~layout:(Layout.imc_view layout) cmds in
-  st.bd.Breakdown.move <- st.bd.Breakdown.move +. r.Imc.move_cycles +. r.sync_cycles;
-  st.bd.Breakdown.compute <- st.bd.Breakdown.compute +. r.Imc.compute_cycles;
+  charge st `Move (r.Imc.move_cycles +. r.sync_cycles);
+  charge st `Compute r.Imc.compute_cycles;
   st.events.Energy.sram_array_cycles <-
     st.events.Energy.sram_array_cycles +. r.Imc.sram_array_cycles;
   st.in_mem_elems <- st.in_mem_elems +. jst.Jit.compute_elems;
@@ -411,11 +455,11 @@ let run_in_memory st (region : Fat_binary.region) (layout : Layout.t)
   let hybrid_cycles =
     match hybrid_cost st ~stream_elems ~final_reduce_elems:jst.Jit.final_reduce_elems with
     | `Core c ->
-      st.bd.Breakdown.core <- st.bd.Breakdown.core +. c;
+      charge st `Core c;
       c
     | `Near (sc, fc) ->
-      st.bd.Breakdown.mix <- st.bd.Breakdown.mix +. sc;
-      st.bd.Breakdown.final_reduce <- st.bd.Breakdown.final_reduce +. fc;
+      charge st `Mix sc;
+      charge st `Final_reduce fc;
       sc +. fc
   in
   st.other_elems <- st.other_elems +. stream_elems +. jst.Jit.final_reduce_elems;
@@ -474,7 +518,8 @@ let on_kernel st _env (k : Ast.kernel) =
             run_in_memory st region layout schedule
           else begin
             let verdict =
-              Decision.decide (cfgv st) ~ops:(Tdfg.op_multiset g)
+              Decision.decide ~trace:(tracev st) ~kernel:k.Ast.kname (cfgv st)
+                ~ops:(Tdfg.op_multiset g)
                 ~node_count:(Tdfg.node_count g) ~dtype:(Tdfg.dtype g) ~elems
                 ~flops:w.Workset.flops
                 ~data_bytes:(Workset.touched_bytes w) ~fits:true
@@ -536,7 +581,7 @@ let run ?(options = default_options) paradigm (w : Workload.t) =
           paradigm;
           fb;
           env;
-          traffic = Traffic.create options.cfg;
+          traffic = Traffic.create ~trace:options.trace options.cfg;
           bd = Breakdown.zero ();
           events = Energy.fresh ();
           memo = Jit.memo_create ();

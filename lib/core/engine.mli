@@ -38,6 +38,15 @@ type options = {
   pre_transposed : bool;
       (** with [warm_data], in-memory paradigms additionally skip the
           transposition — Fig. 2's "already transposed" assumption *)
+  trace : Trace.t;
+      (** structured-event trace context (default {!Trace.null}, a no-op).
+          With an enabled context the engine and every instrumented
+          component emit typed events, and the per-category cycle counters
+          ([cycles.dram], [cycles.core], …) reconcile exactly — identical
+          floats, identical accumulation order — with [Report.breakdown];
+          [noc.bytes.*] / [local.bytes.*] likewise match the traffic
+          totals. Traces are deterministic given (workload, paradigm,
+          options). *)
 }
 
 val default_options : options

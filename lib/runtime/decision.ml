@@ -7,14 +7,31 @@ type verdict = {
   reason : string;
 }
 
-let decide cfg ~ops ~node_count ~dtype ~elems ~flops ~data_bytes ~fits ~jit_known =
+let target_name = function In_memory -> "in-memory" | Near_memory -> "near-memory"
+
+let decide ?(trace = Trace.null) ?(kernel = "") cfg ~ops ~node_count ~dtype ~elems
+    ~flops ~data_bytes ~fits ~jit_known =
+  let traced v =
+    if Trace.enabled trace then
+      Trace.emit trace
+        (Trace.Offload_decision
+           {
+             kernel;
+             target = target_name v.target;
+             core_cycles = v.core_cycles;
+             imc_cycles = v.imc_cycles;
+             reason = v.reason;
+           });
+    v
+  in
   if not fits then
-    {
-      target = Near_memory;
-      core_cycles = 0.0;
-      imc_cycles = infinity;
-      reason = "no valid transposed layout";
-    }
+    traced
+      {
+        target = Near_memory;
+        core_cycles = 0.0;
+        imc_cycles = infinity;
+        reason = "no valid transposed layout";
+      }
   else begin
     (* LHS: N_elem * N_op / TP_core, with the caller folding N_elem into
        [flops]; a core execution is also bounded by streaming the working
@@ -43,17 +60,19 @@ let decide cfg ~ops ~node_count ~dtype ~elems ~flops ~data_bytes ~fits ~jit_know
     in
     let imc = op_lat +. jit in
     if core > imc then
-      {
-        target = In_memory;
-        core_cycles = core;
-        imc_cycles = imc;
-        reason = "core latency exceeds in-memory latency (Eq. 2)";
-      }
+      traced
+        {
+          target = In_memory;
+          core_cycles = core;
+          imc_cycles = imc;
+          reason = "core latency exceeds in-memory latency (Eq. 2)";
+        }
     else
-      {
-        target = Near_memory;
-        core_cycles = core;
-        imc_cycles = imc;
-        reason = "insufficient parallelism to amortize bit-serial latency";
-      }
+      traced
+        {
+          target = Near_memory;
+          core_cycles = core;
+          imc_cycles = imc;
+          reason = "insufficient parallelism to amortize bit-serial latency";
+        }
   end

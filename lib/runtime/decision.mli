@@ -16,7 +16,12 @@ type verdict = {
   reason : string;
 }
 
+val target_name : target -> string
+(** ["in-memory"] / ["near-memory"] — the names used in trace events. *)
+
 val decide :
+  ?trace:Trace.t ->
+  ?kernel:string ->
   Machine_config.t ->
   ops:(Op.t * int) list ->
   node_count:int ->

@@ -310,15 +310,21 @@ let region_of_key key =
   | Some i -> String.sub key 0 i
   | None -> key
 
-let lower_memo memo ~key cfg g ~schedule ~layout ~env =
+let lower_memo ?(trace = Trace.null) memo ~key cfg g ~schedule ~layout ~env =
   match Hashtbl.find_opt memo.table key with
   | Some (cmds, st) ->
     memo.hits <- memo.hits + 1;
+    if Trace.enabled trace then Trace.emit trace (Trace.Memo { key; hit = true });
     (cmds, { st with jit_cycles = memo_lookup_cycles; memoized = true })
   | None ->
     memo.misses <- memo.misses + 1;
-    let cmds, st = lower cfg g ~schedule ~layout ~env in
     let region = region_of_key key in
+    if Trace.enabled trace then begin
+      Trace.emit trace (Trace.Memo { key; hit = false });
+      Trace.emit trace
+        (Trace.Jit_span { dir = Trace.Enter; region; commands = 0; cycles = 0.0 })
+    end;
+    let cmds, st = lower cfg g ~schedule ~layout ~env in
     let st =
       if Hashtbl.mem memo.warm_regions region then
         {
@@ -332,6 +338,15 @@ let lower_memo memo ~key cfg g ~schedule ~layout ~env =
         st
       end
     in
+    if Trace.enabled trace then
+      Trace.emit trace
+        (Trace.Jit_span
+           {
+             dir = Trace.Exit;
+             region;
+             commands = st.commands;
+             cycles = st.jit_cycles;
+           });
     Hashtbl.replace memo.table key (cmds, st);
     (cmds, st)
 

@@ -43,6 +43,7 @@ type memo
 val memo_create : unit -> memo
 
 val lower_memo :
+  ?trace:Trace.t ->
   memo ->
   key:string ->
   Machine_config.t ->
@@ -53,7 +54,9 @@ val lower_memo :
   Command.t list * stats
 (** Like {!lower} but reuses the command list when the same [key] (region
     name + resolved parameters + layout) was lowered before; memoized hits
-    charge only a small lookup cost and set [memoized]. *)
+    charge only a small lookup cost and set [memoized]. When [trace] is
+    enabled, emits a [Memo] event per lookup and an [Enter]/[Exit]
+    [Jit_span] pair around each actual lowering. *)
 
 val memo_hits : memo -> int
 val memo_misses : memo -> int

@@ -10,6 +10,18 @@ let transpose_cycles cfg ~bytes =
     per_bank *. float_of_int Bitserial.transpose_cycles_per_line
   end
 
+let load_traced trace cfg ~bytes =
+  let cycles = load_cycles cfg ~bytes in
+  if bytes > 0.0 && Trace.enabled trace then
+    Trace.emit trace (Trace.Dram_burst { bytes; cycles });
+  cycles
+
+let transpose_traced trace cfg ~bytes =
+  let cycles = transpose_cycles cfg ~bytes in
+  if bytes > 0.0 && Trace.enabled trace then
+    Trace.emit trace (Trace.Ttu_transpose { bytes; cycles });
+  cycles
+
 let fill_transposed_cycles cfg ~bytes ~resident =
   let fetch = if resident then 0.0 else load_cycles cfg ~bytes in
   (* L3-internal move of resident lines to the compute ways *)

@@ -37,7 +37,16 @@ let shift_hops cfg delta =
   done;
   float_of_int !total /. float_of_int banks
 
+let kind_name = function
+  | Command.Sync -> "sync"
+  | Command.Compute _ -> "compute"
+  | Command.Reduce _ -> "reduce"
+  | Command.Intra_shift _ -> "intra-shift"
+  | Command.Inter_shift _ -> "inter-shift"
+  | Command.Broadcast _ -> "broadcast"
+
 let execute cfg traffic ~layout cmds =
+  let trace = Traffic.trace_of traffic in
   let move = ref 0.0
   and comp = ref 0.0
   and sync = ref 0.0
@@ -79,6 +88,16 @@ let execute cfg traffic ~layout cmds =
       in
       move :=
         !move +. Traffic.bulk_cycles cfg ~bytes:!pending_noc_bytes ~avg_hops;
+      if Trace.enabled trace then
+        Trace.emit trace
+          (Trace.Noc_packet
+             {
+               dir = Trace.Deliver;
+               category = Traffic.category_name Traffic.Inter_tile;
+               bytes = !pending_noc_bytes;
+               hops = avg_hops;
+               packets = 0.0;
+             });
       pending_noc_bytes := 0.0;
       pending_hops := 0.0
     end
@@ -90,11 +109,26 @@ let execute cfg traffic ~layout cmds =
       let bytes_per_tile = lanes *. float_of_int (Dtype.bytes c.dtype) in
       let full_occupancy = float_of_int (Command.array_cycles c) in
       let occupancy = occupancy_of c in
+      if Trace.enabled trace then
+        Trace.emit trace
+          (Trace.Sram_cmd
+             {
+               phase = Trace.Issue;
+               kind = kind_name c.kind;
+               label = c.Command.label;
+               tiles = Command.tiles_touched c;
+               lanes = c.lanes_per_tile;
+               cycles = 0.0;
+             });
+      let move0 = !move and comp0 = !comp and sync0 = !sync in
       (match c.kind with
       | Command.Sync ->
         flush_pending ();
         (* barrier: two rounds of control messages across the mesh *)
         sync := !sync +. (2.0 *. diameter) +. dispatch;
+        if Trace.enabled trace then
+          Trace.emit trace
+            (Trace.Sync_barrier { cycles = (2.0 *. diameter) +. dispatch });
         let banks = float_of_int cfg.Machine_config.l3_banks in
         Traffic.add traffic Traffic.Offload
           ~bytes:(banks *. 16.0)
@@ -168,7 +202,18 @@ let execute cfg traffic ~layout cmds =
           /. float_of_int cfg.htree_bytes_per_cycle
         in
         move := !move +. Float.max eject htree);
-      ())
+      if Trace.enabled trace then
+        Trace.emit trace
+          (Trace.Sram_cmd
+             {
+               phase = Trace.Retire;
+               kind = kind_name c.kind;
+               label = c.Command.label;
+               tiles = Command.tiles_touched c;
+               lanes = c.lanes_per_tile;
+               cycles =
+                 !move -. move0 +. (!comp -. comp0) +. (!sync -. sync0);
+             }))
     cmds;
   flush_pending ();
   {

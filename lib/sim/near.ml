@@ -66,6 +66,6 @@ let run cfg traffic (w : Workset.t) ~cold_bytes =
   Traffic.add traffic Traffic.Offload
     ~bytes:((flow_msgs *. 8.0) +. (float_of_int (List.length w.streams) *. 64.0))
     ~hops:avg_hops;
-  let dram = Dram.load_cycles cfg ~bytes:cold_bytes in
+  let dram = Dram.load_traced (Traffic.trace_of traffic) cfg ~bytes:cold_bytes in
   let busy = Float.max compute (Float.max local_mem reuse_noc) in
   { cycles = busy +. setup +. dram; dram_cycles = dram }

@@ -1,9 +1,16 @@
 type category = Control | Data | Offload | Inter_tile
 
+let category_name = function
+  | Control -> "control"
+  | Data -> "data"
+  | Offload -> "offload"
+  | Inter_tile -> "inter-tile"
+
 type bucket = { mutable bytes : float; mutable byte_hops : float; mutable packets : float }
 
 type t = {
   cfg : Machine_config.t;
+  trace : Trace.t;
   control : bucket;
   data : bucket;
   offload : bucket;
@@ -14,9 +21,10 @@ type t = {
 
 let fresh_bucket () = { bytes = 0.0; byte_hops = 0.0; packets = 0.0 }
 
-let create cfg =
+let create ?(trace = Trace.null) cfg =
   {
     cfg;
+    trace;
     control = fresh_bucket ();
     data = fresh_bucket ();
     offload = fresh_bucket ();
@@ -24,6 +32,8 @@ let create cfg =
     intra_tile_bytes = 0.0;
     htree_bytes = 0.0;
   }
+
+let trace_of t = t.trace
 
 let reset t =
   List.iter
@@ -43,15 +53,26 @@ let bucket t = function
 
 let add t cat ~bytes ~hops =
   let b = bucket t cat in
+  let packets = Float.max 1.0 (bytes /. float_of_int t.cfg.noc_link_bytes) in
   b.bytes <- b.bytes +. bytes;
   b.byte_hops <- b.byte_hops +. (bytes *. hops);
-  b.packets <-
-    b.packets +. Float.max 1.0 (bytes /. float_of_int t.cfg.noc_link_bytes)
+  b.packets <- b.packets +. packets;
+  if Trace.enabled t.trace then
+    Trace.emit t.trace
+      (Trace.Noc_packet
+         { dir = Trace.Send; category = category_name cat; bytes; hops; packets })
 
 let add_local t which ~bytes =
-  match which with
+  (match which with
   | `Intra_tile -> t.intra_tile_bytes <- t.intra_tile_bytes +. bytes
-  | `Htree -> t.htree_bytes <- t.htree_bytes +. bytes
+  | `Htree -> t.htree_bytes <- t.htree_bytes +. bytes);
+  if Trace.enabled t.trace then
+    Trace.emit t.trace
+      (Trace.Local_move
+         {
+           channel = (match which with `Intra_tile -> "intra-tile" | `Htree -> "htree");
+           bytes;
+         })
 
 let bytes t cat = (bucket t cat).bytes
 let byte_hops t cat = (bucket t cat).byte_hops

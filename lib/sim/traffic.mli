@@ -13,9 +13,20 @@ type category =
   | Offload  (** stream configs, flow control, sync for offloaded work *)
   | Inter_tile  (** in-memory shifts crossing the NoC *)
 
+val category_name : category -> string
+(** The names used in reports and trace events: ["control"], ["data"],
+    ["offload"], ["inter-tile"]. *)
+
 type t
 
-val create : Machine_config.t -> t
+val create : ?trace:Trace.t -> Machine_config.t -> t
+(** [create ?trace cfg]: every [add] / [add_local] additionally emits a
+    typed trace event on [trace] (default {!Trace.null}, a no-op). *)
+
+val trace_of : t -> Trace.t
+(** The trace context this accounting was created with — downstream models
+    ([Imc], [Near]) emit their own events on it. *)
+
 val reset : t -> unit
 
 val add : t -> category -> bytes:float -> hops:float -> unit

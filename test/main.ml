@@ -15,4 +15,5 @@ let () =
       ("edge", Test_edge.suite);
       ("sdfg+rules", Test_sdfg.suite);
       ("fidelity", Test_fidelity.suite);
+      ("trace", Test_trace.suite);
     ]

@@ -21,17 +21,72 @@ let run_checked p w =
       r
     | `Skipped -> Alcotest.fail "expected a correctness check")
 
+(* ---- paradigm-agreement matrix ----
+
+   Every paradigm must agree with the golden interpreter bit-exactly: all
+   executions — vectorized in-core, near-memory streams, bit-serial
+   in-memory — model the same IEEE fp32 arithmetic. The only tolerated
+   divergence is e-graph reassociation on the In-L3 path for the kernels
+   below, where rewriting the reduction tree reorders fp32 additions by
+   design; there the error is pinned to <=2 ulp AND must vanish with the
+   optimizer off, so any real cost/value-model bug still fails. *)
+
+let reassoc_allowlist = [ "stencil1d"; "stencil2d"; "conv2d" ]
+
+let ulp_tolerated name p =
+  p = E.In_l3
+  && List.exists
+       (fun pre ->
+         String.length name >= String.length pre
+         && String.sub name 0 (String.length pre) = pre)
+       reassoc_allowlist
+
+let check_agreement name p w =
+  match E.run ~options:functional p w with
+  | Error e -> Alcotest.failf "%s on %s: %s" (E.paradigm_to_string p) name e
+  | Ok r -> (
+    match r.R.correctness with
+    | `Skipped -> Alcotest.fail "expected a correctness check"
+    | `Checked err ->
+      if ulp_tolerated name p then begin
+        if err > 1e-6 then
+          Alcotest.failf "%s on %s: reassociation error %.3e above 2 ulp"
+            (E.paradigm_to_string p) name err;
+        (* the divergence must be exactly the e-graph's reassociation:
+           with the optimizer off the values are bit-identical *)
+        let r0 =
+          E.run_exn ~options:{ functional with E.optimize = false } p w
+        in
+        match r0.R.correctness with
+        | `Checked 0.0 -> ()
+        | `Checked e0 ->
+          Alcotest.failf "%s on %s: optimize=false should be exact, got %.3e"
+            (E.paradigm_to_string p) name e0
+        | `Skipped -> Alcotest.fail "expected a correctness check"
+      end
+      else if err <> 0.0 then
+        Alcotest.failf "%s on %s: expected bit-exact agreement, err %.3e"
+          (E.paradigm_to_string p) name err)
+
+let agreement_matrix =
+  Cat.all_variants (Cat.test_scale ())
+  @ [
+      ("vec_add", Infs_workloads.Micro.vec_add ~n:16_384);
+      ("array_sum", Infs_workloads.Micro.array_sum ~n:16_384);
+      ("pointnet/tiny", Infs_workloads.Pointnet.tiny ());
+    ]
+
 (* one test per (workload, paradigm) pair *)
 let correctness_tests =
   List.concat_map
     (fun (name, w) ->
       List.map
         (fun p ->
-          ( Printf.sprintf "correct: %s [%s]" name (E.paradigm_to_string p),
+          ( Printf.sprintf "agree: %s [%s]" name (E.paradigm_to_string p),
             `Quick,
-            fun () -> ignore (run_checked p w) ))
-        [ E.Base_1; E.Base; E.Near_l3; E.In_l3; E.Inf_s; E.Inf_s_nojit ])
-    (Cat.all_variants (Cat.test_scale ()))
+            fun () -> check_agreement name p w ))
+        E.all_paradigms)
+    agreement_matrix
 
 let test_pointnet_tiny_all_paradigms () =
   let w = Infs_workloads.Pointnet.tiny () in
