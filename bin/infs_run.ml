@@ -6,6 +6,8 @@
      infs_run run --workload stencil2d --paradigm inf-s
      infs_run run -w mm/out -p base --functional --scale test
      infs_run compile -w conv2d          # show the optimized tDFG
+     infs_run batch --matrix --scale test --jobs 4
+     echo '{"workload":"mm/out","paradigm":"inf-s"}' | infs_run batch
 *)
 
 module E = Infinity_stream.Engine
@@ -33,6 +35,10 @@ let all_workloads scale =
         | `Test -> Infs_workloads.Pointnet.tiny ()));
     ]
 
+(* sorted, so batch scripts can diff the list across versions *)
+let workload_names scale =
+  List.sort String.compare (List.map fst (all_workloads scale))
+
 let find_workload scale name =
   let wl = all_workloads scale in
   match List.assoc_opt name wl with
@@ -40,7 +46,10 @@ let find_workload scale name =
   | None ->
     Error
       (Printf.sprintf "unknown workload %s; available: %s" name
-         (String.concat ", " (List.map fst wl)))
+         (String.concat ", " (workload_names scale)))
+
+(* same bar as the engine test suite's end-to-end correctness checks *)
+let functional_tolerance = 1e-3
 
 let paradigm_of_string = function
   | "base1" | "base-1" -> Ok E.Base_1
@@ -126,10 +135,8 @@ let trace_format_arg =
               chrome (chrome://tracing / Perfetto timeline)")
 
 let list_cmd =
-  let run scale =
-    List.iter (fun (name, _) -> print_endline name) (all_workloads scale)
-  in
-  Cmd.v (Cmd.info "list" ~doc:"list available workloads")
+  let run scale = List.iter print_endline (workload_names scale) in
+  Cmd.v (Cmd.info "list" ~doc:"list available workloads (sorted)")
     Term.(const run $ scale_arg)
 
 let run_cmd =
@@ -164,7 +171,16 @@ let run_cmd =
         Option.iter
           (fun f ->
             Format.printf "trace: %d events -> %s@." (Trace.events_seen trace) f)
-          trace_file)
+          trace_file;
+        (* batch scripts rely on the exit status: a functional mismatch
+           against the golden model is a failure, not a report footnote *)
+        (match r.R.correctness with
+        | `Checked err when err > functional_tolerance ->
+          Printf.eprintf
+            "error: functional mismatch: max error %.3e exceeds tolerance %.0e\n"
+            err functional_tolerance;
+          exit 1
+        | _ -> ()))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"simulate one workload under one paradigm")
@@ -310,9 +326,291 @@ let lower_cmd =
        ~doc:"JIT-lower one region and dump the bit-serial command stream")
     Term.(const run $ scale_arg $ workload_arg $ kernel_arg)
 
+(* ---------- batch: the JSON-lines job server ----------
+
+   Reads one JSON job spec per line ({"workload": ..., "paradigm": ...,
+   "functional": true, "tile": [4,64], "timeout_s": 5.0, ...}), executes
+   the jobs on the multicore pool, and streams exactly one JSON report line
+   per job, in submission order. Report lines carry only simulated
+   quantities, so `--jobs N` output is byte-identical to `--jobs 1`;
+   wall-clock and compile-cache statistics go to stderr. *)
+
+type batch_spec = {
+  sp_workload : string;
+  sp_paradigm : string;
+  sp_functional : bool;
+  sp_optimize : bool;
+  sp_warm : bool;
+  sp_pre_transposed : bool;
+  sp_charge_jit : bool;
+  sp_tile : int array option;
+  sp_timeout : float option;
+}
+
+let spec_of_json j =
+  let bool_field name default =
+    match Json.member name j with
+    | None -> Ok default
+    | Some v -> (
+      match Json.to_bool v with
+      | Some b -> Ok b
+      | None -> Error (Printf.sprintf "field %s must be a boolean" name))
+  in
+  match Option.bind (Json.member "workload" j) Json.to_str with
+  | None -> Error "spec needs a \"workload\" string field"
+  | Some sp_workload -> (
+    let sp_paradigm =
+      Option.value ~default:"inf-s"
+        (Option.bind (Json.member "paradigm" j) Json.to_str)
+    in
+    let tile =
+      match Json.member "tile" j with
+      | None -> Ok None
+      | Some v -> (
+        match Option.map (List.map Json.to_int) (Json.to_list v) with
+        | Some ints when List.for_all Option.is_some ints ->
+          Ok (Some (Array.of_list (List.map Option.get ints)))
+        | _ -> Error "field tile must be an array of integers")
+    in
+    let timeout =
+      match Json.member "timeout_s" j with
+      | None -> Ok None
+      | Some v -> (
+        match Json.to_num v with
+        | Some f when f > 0.0 -> Ok (Some f)
+        | _ -> Error "field timeout_s must be a positive number")
+    in
+    match
+      ( bool_field "functional" false,
+        bool_field "optimize" true,
+        bool_field "warm" false,
+        bool_field "pre_transposed" false,
+        bool_field "charge_jit" true,
+        tile,
+        timeout )
+    with
+    | ( Ok sp_functional,
+        Ok sp_optimize,
+        Ok sp_warm,
+        Ok sp_pre_transposed,
+        Ok sp_charge_jit,
+        Ok sp_tile,
+        Ok sp_timeout ) ->
+      Ok
+        {
+          sp_workload;
+          sp_paradigm;
+          sp_functional;
+          sp_optimize;
+          sp_warm;
+          sp_pre_transposed;
+          sp_charge_jit;
+          sp_tile;
+          sp_timeout;
+        }
+    | (Error _ as e), _, _, _, _, _, _
+    | _, (Error _ as e), _, _, _, _, _
+    | _, _, (Error _ as e), _, _, _, _
+    | _, _, _, (Error _ as e), _, _, _
+    | _, _, _, _, (Error _ as e), _, _
+    | _, _, _, _, _, (Error _ as e), _
+    | _, _, _, _, _, _, (Error _ as e) -> e)
+
+(* Each job re-resolves its workload from the catalog, so jobs never share
+   mutable workload state (notably the lazy input arrays) across domains;
+   compiled fat binaries are shared through the engine's compile cache. *)
+let exec_spec scale (spec : batch_spec) =
+  match
+    (find_workload scale spec.sp_workload, paradigm_of_string spec.sp_paradigm)
+  with
+  | Error e, _ | _, Error e -> Error e
+  | Ok w, Ok p ->
+    let options =
+      {
+        E.default_options with
+        functional = spec.sp_functional;
+        optimize = spec.sp_optimize;
+        warm_data = spec.sp_warm;
+        pre_transposed = spec.sp_pre_transposed;
+        charge_jit = spec.sp_charge_jit;
+        tile_override = spec.sp_tile;
+        share_compile = true;
+      }
+    in
+    E.run ~options p w
+
+let batch_paradigm_names = [ "base1"; "base"; "near-l3"; "in-l3"; "inf-s"; "inf-s-nojit" ]
+
+let matrix_specs scale =
+  List.concat_map
+    (fun wname ->
+      List.map
+        (fun pname -> Ok (Printf.sprintf "%s x %s" wname pname,
+          {
+            sp_workload = wname;
+            sp_paradigm = pname;
+            sp_functional = false;
+            sp_optimize = true;
+            sp_warm = false;
+            sp_pre_transposed = false;
+            sp_charge_jit = true;
+            sp_tile = None;
+            sp_timeout = None;
+          }))
+        batch_paradigm_names)
+    (workload_names scale)
+
+let read_spec_lines ic =
+  let rec go acc lineno =
+    match input_line ic with
+    | exception End_of_file -> List.rev acc
+    | line ->
+      let lineno = lineno + 1 in
+      let t = String.trim line in
+      if t = "" then go acc lineno
+      else
+        let spec =
+          match Json.parse t with
+          | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
+          | Ok j -> (
+            match spec_of_json j with
+            | Error e -> Error (Printf.sprintf "line %d: %s" lineno e)
+            | Ok s -> Ok (Printf.sprintf "line %d" lineno, s))
+        in
+        go (spec :: acc) lineno
+  in
+  go [] 0
+
+let batch_cmd =
+  let run scale jobs spec_file matrix timeout_s out_file =
+    let specs =
+      if matrix then matrix_specs scale
+      else
+        match spec_file with
+        | None | Some "-" -> read_spec_lines stdin
+        | Some f ->
+          let ic =
+            try open_in f
+            with Sys_error e ->
+              prerr_endline ("error: cannot open spec file: " ^ e);
+              exit 1
+          in
+          Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_spec_lines ic)
+    in
+    let oc =
+      match out_file with
+      | None -> stdout
+      | Some f -> (
+        try open_out f
+        with Sys_error e ->
+          prerr_endline ("error: cannot open output file: " ^ e);
+          exit 1)
+    in
+    let jobs = match jobs with Some j -> max 1 j | None -> Pool.recommended_jobs () in
+    let t0 = Unix.gettimeofday () in
+    let pool = Pool.create ~jobs () in
+    let failures = ref 0 in
+    let emit id json_fields =
+      output_string oc (Json.to_string (Json.Obj (("id", Json.Num (float_of_int id)) :: json_fields)));
+      output_char oc '\n';
+      flush oc
+    in
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown pool)
+      (fun () ->
+        let tickets =
+          List.map
+            (fun spec ->
+              match spec with
+              | Error e -> `Bad e
+              | Ok (_, sp) ->
+                let timeout_s =
+                  match sp.sp_timeout with Some t -> Some t | None -> timeout_s
+                in
+                `Job (Pool.submit pool ?timeout_s (fun () -> exec_spec scale sp)))
+            specs
+        in
+        List.iteri
+          (fun id t ->
+            let error e =
+              incr failures;
+              emit id [ ("ok", Json.Bool false); ("error", Json.Str e) ]
+            in
+            match t with
+            | `Bad e -> error e
+            | `Job tk -> (
+              match Pool.await tk with
+              | Error pe -> error (Pool.error_to_string pe)
+              | Ok (Error e) -> error e
+              | Ok (Ok r) ->
+                emit id [ ("ok", Json.Bool true); ("report", R.to_json r) ]))
+          tickets);
+    if oc != stdout then close_out oc;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let hits, misses, entries = E.compile_cache_stats () in
+    let total = List.length specs in
+    Printf.eprintf
+      "batch: %d job%s on %d domain%s in %.2f s; compile cache: %d hits / %d \
+       misses (%d entries, %.0f%% hit rate)\n"
+      total
+      (if total = 1 then "" else "s")
+      jobs
+      (if jobs = 1 then "" else "s")
+      elapsed hits misses entries
+      (100.0 *. float_of_int hits /. float_of_int (max 1 (hits + misses)));
+    if !failures > 0 then begin
+      Printf.eprintf "batch: %d job%s failed\n" !failures
+        (if !failures = 1 then "" else "s");
+      exit 1
+    end
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ]
+          ~doc:"worker domains (default: the machine's recommended domain count)")
+  in
+  let spec_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spec" ] ~docv:"FILE"
+          ~doc:"JSON-lines job spec file; \"-\" or omitted reads stdin")
+  in
+  let matrix_arg =
+    Arg.(
+      value & flag
+      & info [ "matrix" ]
+          ~doc:"ignore --spec and run the full catalog x paradigm matrix")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout-s" ]
+          ~doc:"default per-job wall-clock timeout (seconds); a job's \
+                timeout_s field overrides it")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"write report lines to $(docv) instead of stdout")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "execute JSON-lines job specs on a multicore worker pool, \
+          streaming one JSON report line per job in submission order")
+    Term.(
+      const run $ scale_arg $ jobs_arg $ spec_arg $ matrix_arg $ timeout_arg
+      $ out_arg)
+
 let () =
   let doc = "infinity stream - in-/near-memory fusion simulator" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "infs_run" ~doc)
-          [ list_cmd; run_cmd; compile_cmd; lower_cmd ]))
+          [ list_cmd; run_cmd; compile_cmd; lower_cmd; batch_cmd ]))

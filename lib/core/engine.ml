@@ -19,6 +19,7 @@ type options = {
   warm_data : bool;
   pre_transposed : bool;
   trace : Trace.t;
+  share_compile : bool;
 }
 
 let default_options =
@@ -31,7 +32,64 @@ let default_options =
     warm_data = false;
     pre_transposed = false;
     trace = Trace.null;
+    share_compile = false;
   }
+
+(* ---- process-wide compile cache (batch / bench paths) ----
+
+   Compilation (frontend extraction, e-graph optimization, scheduling) is a
+   pure function of the program text and the optimizer flag, so its result
+   can be shared across jobs and across domains. The cache is
+   content-addressed: the key digests the printed program, the machine
+   configuration and the optimizer flag. Cached fat binaries are treated as
+   immutable after construction — the engine only reads them — which is
+   what makes cross-domain sharing safe. Off by default ([share_compile]):
+   single runs and golden traces behave exactly as before. *)
+
+let compile_cache : (Fat_binary.t, string) result Ccache.t = Ccache.create ()
+
+let compile_key (options : options) (w : Workload.t) =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          [
+            Format.asprintf "%a" Ast.pp_program w.prog;
+            Marshal.to_string options.cfg [];
+            string_of_bool options.optimize;
+          ]))
+
+let compile (options : options) (w : Workload.t) =
+  if not options.share_compile then
+    Fat_binary.compile ~optimize:options.optimize w.prog
+  else begin
+    let key = compile_key options w in
+    let fb, hit =
+      Ccache.find_or_compute compile_cache ~key (fun () ->
+          Fat_binary.compile ~optimize:options.optimize w.prog)
+    in
+    if Trace.enabled options.trace then
+      Trace.emit options.trace
+        (Trace.Counter
+           {
+             name = (if hit then "compile_cache.hits" else "compile_cache.misses");
+             value = 1.0;
+           });
+    fb
+  end
+
+let compile_cache_stats () =
+  (Ccache.hits compile_cache, Ccache.misses compile_cache, Ccache.length compile_cache)
+
+let compile_cache_clear () = Ccache.reset compile_cache
+
+(* Forcing a [Lazy.t] concurrently from two domains is a race in OCaml 5
+   (the loser can observe [Lazy.Undefined]); workload inputs are shared
+   lazies, so all forcing funnels through one mutex. Reads of an
+   already-forced lazy are safe without it. *)
+let inputs_lock = Mutex.create ()
+
+let force_inputs (w : Workload.t) =
+  Mutex.protect inputs_lock (fun () -> Lazy.force w.inputs)
 
 (* L3 residency tracking across program regions: which arrays currently
    live in the shared cache, and in which layout. Implements the "delayed
@@ -543,7 +601,7 @@ let on_kernel st _env (k : Ast.kernel) =
 
 let golden_arrays (w : Workload.t) =
   match
-    Interp.run_program w.prog ~params:w.params ~inputs:(Lazy.force w.inputs)
+    Interp.run_program w.prog ~params:w.params ~inputs:(force_inputs w)
   with
   | Ok arrays -> arrays
   | Error e -> failwith ("golden run failed: " ^ e)
@@ -567,14 +625,14 @@ let max_err st (w : Workload.t) =
 (* ----- entry point ----- *)
 
 let run ?(options = default_options) paradigm (w : Workload.t) =
-  match Fat_binary.compile ~optimize:options.optimize w.prog with
+  match compile options w with
   | Error e -> Error e
   | Ok fb -> begin
     match Interp.create w.prog ~params:w.params with
     | Error e -> Error e
     | Ok env ->
       if options.functional then
-        List.iter (fun (n, d) -> Interp.set_array env n d) (Lazy.force w.inputs);
+        List.iter (fun (n, d) -> Interp.set_array env n d) (force_inputs w);
       let st =
         {
           opts = options;

@@ -47,9 +47,26 @@ type options = {
           [noc.bytes.*] / [local.bytes.*] likewise match the traffic
           totals. Traces are deterministic given (workload, paradigm,
           options). *)
+  share_compile : bool;
+      (** look up / publish the compiled fat binary in the process-wide
+          content-addressed compile cache (keyed by a digest of the program
+          text, the machine configuration and the optimizer flag) instead
+          of compiling privately. Used by the batch/bench paths, where many
+          jobs share programs; single runs default to [false] so their
+          behavior (and golden traces) is byte-identical to before. When
+          the trace is enabled, each lookup bumps a [compile_cache.hits] /
+          [compile_cache.misses] trace counter. *)
 }
 
 val default_options : options
+
+val compile_cache_stats : unit -> int * int * int
+(** [(hits, misses, entries)] of the process-wide compile cache, counting
+    every run with [share_compile = true] since start (or
+    {!compile_cache_clear}). Domain-safe: batch jobs on separate domains
+    share one cache. *)
+
+val compile_cache_clear : unit -> unit
 
 val run : ?options:options -> paradigm -> Workload.t -> (Report.t, string) result
 

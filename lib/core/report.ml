@@ -37,6 +37,51 @@ let where_to_string = function
   | Near_mem -> "near-L3"
   | In_mem -> "in-L3"
 
+(* One self-contained JSON object per report — the `infs_run batch` output
+   line. Field order is fixed and every quantity is simulated (cycles,
+   bytes, energy), never wall-clock, so lines are byte-identical across
+   sequential and parallel batch runs. *)
+let to_json t =
+  let num_assoc kvs = Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) kvs) in
+  Json.Obj
+    [
+      ("workload", Json.Str t.workload);
+      ("paradigm", Json.Str t.paradigm);
+      ("cycles", Json.Num t.cycles);
+      ("breakdown", num_assoc (Breakdown.to_assoc t.breakdown));
+      ("noc_bytes", num_assoc t.noc_bytes);
+      ("noc_byte_hops", num_assoc t.noc_byte_hops);
+      ("local_bytes", num_assoc t.local_bytes);
+      ("noc_utilization", Json.Num t.noc_utilization);
+      ("energy", Json.Num t.energy);
+      ("energy_breakdown", num_assoc t.energy_breakdown);
+      ( "jit",
+        Json.Obj
+          [
+            ("invocations", Json.Num (float_of_int t.jit.invocations));
+            ("memo_hits", Json.Num (float_of_int t.jit.memo_hits));
+            ("total_commands", Json.Num (float_of_int t.jit.total_commands));
+            ("total_jit_cycles", Json.Num t.jit.total_jit_cycles);
+            ("avg_us", Json.Num t.jit.avg_us);
+          ] );
+      ( "timeline",
+        Json.Arr
+          (List.map
+             (fun e ->
+               Json.Obj
+                 [
+                   ("kernel", Json.Str e.kernel);
+                   ("where", Json.Str (where_to_string e.where));
+                   ("cycles", Json.Num e.cycles);
+                 ])
+             t.timeline) );
+      ("in_mem_op_fraction", Json.Num t.in_mem_op_fraction);
+      ( "max_err",
+        match t.correctness with
+        | `Checked err -> Json.Num err
+        | `Skipped -> Json.Null );
+    ]
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>%s [%s]: %.3e cycles, %.3e energy@," t.workload
     t.paradigm t.cycles t.energy;

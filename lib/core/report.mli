@@ -35,6 +35,13 @@ type t = {
 }
 
 val speedup : baseline:t -> t -> float
+
+val to_json : t -> Json.t
+(** The report as one self-contained JSON object (the [infs_run batch]
+    report line). Deterministic: fixed field order, canonical float
+    formatting, simulated quantities only — no wall-clock values — so
+    parallel batch output is byte-identical to sequential. *)
+
 val energy_efficiency : baseline:t -> t -> float
 val where_to_string : where -> string
 val pp : Format.formatter -> t -> unit

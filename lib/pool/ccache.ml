@@ -1,0 +1,58 @@
+type 'v shard = { m : Mutex.t; tbl : (string, 'v) Hashtbl.t }
+
+type 'v t = {
+  shards : 'v shard array;
+  hit_count : int Atomic.t;
+  miss_count : int Atomic.t;
+}
+
+let create ?(shards = 16) () =
+  {
+    shards =
+      Array.init (max 1 shards) (fun _ ->
+          { m = Mutex.create (); tbl = Hashtbl.create 16 });
+    hit_count = Atomic.make 0;
+    miss_count = Atomic.make 0;
+  }
+
+let shard_of t key = t.shards.(Hashtbl.hash key mod Array.length t.shards)
+
+let find_opt t key =
+  let s = shard_of t key in
+  let r = Mutex.protect s.m (fun () -> Hashtbl.find_opt s.tbl key) in
+  Atomic.incr (if r = None then t.miss_count else t.hit_count);
+  r
+
+let find_or_compute t ~key f =
+  let s = shard_of t key in
+  match Mutex.protect s.m (fun () -> Hashtbl.find_opt s.tbl key) with
+  | Some v ->
+    Atomic.incr t.hit_count;
+    (v, true)
+  | None ->
+    Atomic.incr t.miss_count;
+    (* compute outside the lock: a long compile must not serialize the
+       shard; on a same-key race the first store wins *)
+    let v = f () in
+    let v =
+      Mutex.protect s.m (fun () ->
+          match Hashtbl.find_opt s.tbl key with
+          | Some winner -> winner
+          | None ->
+            Hashtbl.replace s.tbl key v;
+            v)
+    in
+    (v, false)
+
+let length t =
+  Array.fold_left
+    (fun acc s -> acc + Mutex.protect s.m (fun () -> Hashtbl.length s.tbl))
+    0 t.shards
+
+let hits t = Atomic.get t.hit_count
+let misses t = Atomic.get t.miss_count
+
+let reset t =
+  Array.iter (fun s -> Mutex.protect s.m (fun () -> Hashtbl.reset s.tbl)) t.shards;
+  Atomic.set t.hit_count 0;
+  Atomic.set t.miss_count 0

@@ -1,0 +1,33 @@
+(** Domain-safe content-addressed memo cache.
+
+    A ['v t] maps content-hash keys (any string; callers typically use
+    [Digest.to_hex]) to computed values across a sharded set of
+    mutex-guarded hash tables, with process-lifetime hit/miss counters.
+    It backs the engine's compile cache: batch jobs running on separate
+    domains share compiled fat binaries instead of recompiling the same
+    workload program per (paradigm, options) combination.
+
+    [find_or_compute] computes {e outside} the shard lock, so two domains
+    racing on the same fresh key may both compute; the first store wins and
+    both callers observe the winning value. Values must therefore be
+    safe to share (treated as immutable after construction). *)
+
+type 'v t
+
+val create : ?shards:int -> unit -> 'v t
+(** [shards] defaults to 16 and is clamped to at least 1. *)
+
+val find_or_compute : 'v t -> key:string -> (unit -> 'v) -> 'v * bool
+(** [find_or_compute c ~key f] returns [(v, hit)] where [hit] reports
+    whether [key] was already present. Exceptions from [f] propagate and
+    cache nothing. *)
+
+val find_opt : 'v t -> string -> 'v option
+(** Pure lookup; counts as a hit or a miss. *)
+
+val length : 'v t -> int
+val hits : 'v t -> int
+val misses : 'v t -> int
+
+val reset : 'v t -> unit
+(** Drop every entry and zero the counters (tests). *)

@@ -1,0 +1,275 @@
+(* Domain-based worker pool with a sharded Mutex/Condition work queue.
+
+   One shard per worker keeps dequeue contention local; idle workers steal
+   from sibling shards. Wakeups use a generation counter: every submit
+   bumps [gen] before publishing the job, and a worker that found every
+   shard empty re-checks [gen] under its own shard lock before blocking —
+   if a job arrived anywhere in between, it rescans instead of sleeping, so
+   no wakeup can be lost.
+
+   Timeouts are enforced by a lazily spawned ticker domain that pokes armed
+   jobs every couple of milliseconds: a running job past its deadline has
+   its outcome forced to [Timed_out] and its waiters broadcast. The worker
+   computing it keeps going (domains cannot be preempted) but its late
+   result is discarded under the cell lock. *)
+
+type error = Failed of string | Timed_out | Cancelled
+
+let error_to_string = function
+  | Failed msg -> "failed: " ^ msg
+  | Timed_out -> "timed out"
+  | Cancelled -> "cancelled"
+
+type 'a outcome = ('a, error) result
+
+(* Shared between the submitter, one worker, the ticker and any awaiters.
+   [result]/[started_at] are guarded by [m]; [cv] signals result arrival. *)
+type 'a cell = {
+  m : Mutex.t;
+  cv : Condition.t;
+  mutable result : 'a outcome option;
+  mutable started_at : float option;
+  timeout_s : float option;
+}
+
+type 'a ticket = 'a cell
+
+type job = Job : 'a cell * (unit -> 'a) -> job
+
+type shard = {
+  sm : Mutex.t;
+  scv : Condition.t;
+  queue : job Queue.t; (* guarded by [sm] *)
+}
+
+type t = {
+  shards : shard array;
+  mutable domains : unit Domain.t list; (* guarded by [glock] *)
+  mutable ticker : unit Domain.t option; (* guarded by [glock] *)
+  glock : Mutex.t;
+  stopped : bool Atomic.t;
+  gen : int Atomic.t; (* bumped on every submit: lost-wakeup guard *)
+  rr : int Atomic.t; (* round-robin submission cursor *)
+  wm : Mutex.t;
+  mutable watchers : (unit -> bool) list; (* true = expired, drop it *)
+}
+
+let now () = Unix.gettimeofday ()
+
+let recommended_jobs () = max 1 (Domain.recommended_domain_count ())
+
+let jobs t = Array.length t.shards
+
+(* ---- worker side ---- *)
+
+let exec (Job (cell, f)) =
+  let skip =
+    Mutex.protect cell.m (fun () ->
+        match cell.result with
+        | Some _ -> true (* cancelled before start *)
+        | None ->
+          cell.started_at <- Some (now ());
+          false)
+  in
+  if not skip then begin
+    let r =
+      try Ok (f ())
+      with e -> Error (Failed (Printexc.to_string e))
+    in
+    Mutex.protect cell.m (fun () ->
+        match cell.result with
+        | Some _ -> () (* timed out while running: discard the late result *)
+        | None ->
+          cell.result <- Some r;
+          Condition.broadcast cell.cv)
+  end
+
+let try_pop (sh : shard) =
+  Mutex.protect sh.sm (fun () -> Queue.take_opt sh.queue)
+
+(* own shard first, then siblings left-to-right from our index *)
+let steal t k =
+  let n = Array.length t.shards in
+  let rec go i =
+    if i >= n then None
+    else
+      match try_pop t.shards.((k + i) mod n) with
+      | Some j -> Some j
+      | None -> go (i + 1)
+  in
+  go 0
+
+let rec worker t k =
+  match steal t k with
+  | Some job ->
+    exec job;
+    worker t k
+  | None ->
+    if not (Atomic.get t.stopped) then begin
+      let sh = t.shards.(k) in
+      let gen0 = Atomic.get t.gen in
+      Mutex.lock sh.sm;
+      (* block only if no submit landed since our (empty) scan began *)
+      if
+        (not (Atomic.get t.stopped))
+        && Atomic.get t.gen = gen0
+        && Queue.is_empty sh.queue
+      then Condition.wait sh.scv sh.sm;
+      Mutex.unlock sh.sm;
+      worker t k
+    end
+
+(* ---- ticker (timeout enforcement) ---- *)
+
+let poke_cell cell () =
+  Mutex.protect cell.m (fun () ->
+      match (cell.result, cell.started_at, cell.timeout_s) with
+      | Some _, _, _ -> true
+      | None, Some t0, Some lim when now () -. t0 >= lim ->
+        cell.result <- Some (Error Timed_out);
+        Condition.broadcast cell.cv;
+        true
+      | _ -> false)
+
+let rec ticker_loop t =
+  if not (Atomic.get t.stopped) then begin
+    Unix.sleepf 0.002;
+    Mutex.protect t.wm (fun () ->
+        t.watchers <- List.filter (fun poke -> not (poke ())) t.watchers);
+    ticker_loop t
+  end
+
+let ensure_ticker t =
+  Mutex.protect t.glock (fun () ->
+      match t.ticker with
+      | Some _ -> ()
+      | None ->
+        if not (Atomic.get t.stopped) then
+          t.ticker <- Some (Domain.spawn (fun () -> ticker_loop t)))
+
+(* ---- pool lifecycle ---- *)
+
+let create ?jobs () =
+  let n =
+    max 1 (match jobs with Some j -> j | None -> recommended_jobs ())
+  in
+  let t =
+    {
+      shards =
+        Array.init n (fun _ ->
+            { sm = Mutex.create (); scv = Condition.create (); queue = Queue.create () });
+      domains = [];
+      ticker = None;
+      glock = Mutex.create ();
+      stopped = Atomic.make false;
+      gen = Atomic.make 0;
+      rr = Atomic.make 0;
+      wm = Mutex.create ();
+      watchers = [];
+    }
+  in
+  t.domains <- List.init n (fun k -> Domain.spawn (fun () -> worker t k));
+  t
+
+let drain_cancelled (sh : shard) =
+  let pending = Mutex.protect sh.sm (fun () ->
+      let js = List.of_seq (Queue.to_seq sh.queue) in
+      Queue.clear sh.queue;
+      js)
+  in
+  List.iter
+    (fun (Job (cell, _)) ->
+      Mutex.protect cell.m (fun () ->
+          if cell.result = None then begin
+            cell.result <- Some (Error Cancelled);
+            Condition.broadcast cell.cv
+          end))
+    pending
+
+let shutdown t =
+  let first = not (Atomic.exchange t.stopped true) in
+  if first then begin
+    Array.iter drain_cancelled t.shards;
+    Array.iter
+      (fun sh -> Mutex.protect sh.sm (fun () -> Condition.broadcast sh.scv))
+      t.shards;
+    let ds, tick =
+      Mutex.protect t.glock (fun () ->
+          let r = (t.domains, t.ticker) in
+          t.domains <- [];
+          t.ticker <- None;
+          r)
+    in
+    List.iter Domain.join ds;
+    Option.iter Domain.join tick
+  end
+
+(* ---- submission / results ---- *)
+
+let submit t ?timeout_s f =
+  if Atomic.get t.stopped then invalid_arg "Pool.submit: pool is shut down";
+  let cell =
+    {
+      m = Mutex.create ();
+      cv = Condition.create ();
+      result = None;
+      started_at = None;
+      timeout_s;
+    }
+  in
+  if timeout_s <> None then begin
+    Mutex.protect t.wm (fun () -> t.watchers <- poke_cell cell :: t.watchers);
+    ensure_ticker t
+  end;
+  let n = Array.length t.shards in
+  let k = Atomic.fetch_and_add t.rr 1 mod n in
+  Atomic.incr t.gen; (* publish intent before the job becomes visible *)
+  let sh = t.shards.(k) in
+  Mutex.protect sh.sm (fun () -> Queue.push (Job (cell, f)) sh.queue);
+  (* a shutdown that raced us may already have drained the queues *)
+  if Atomic.get t.stopped then drain_cancelled sh;
+  (* wake the home worker, and every sibling that might be idle-stealing *)
+  Array.iter
+    (fun sh -> Mutex.protect sh.sm (fun () -> Condition.signal sh.scv))
+    t.shards;
+  cell
+
+let cancel (cell : _ ticket) =
+  Mutex.protect cell.m (fun () ->
+      match (cell.result, cell.started_at) with
+      | None, None ->
+        cell.result <- Some (Error Cancelled);
+        Condition.broadcast cell.cv;
+        true
+      | _ -> false)
+
+let await (cell : _ ticket) =
+  Mutex.lock cell.m;
+  let rec loop () =
+    match cell.result with
+    | Some r -> r
+    | None ->
+      Condition.wait cell.cv cell.m;
+      loop ()
+  in
+  let r = loop () in
+  Mutex.unlock cell.m;
+  r
+
+let map_stream ?jobs ?timeout_s ~f ~emit items =
+  let t = create ?jobs () in
+  Fun.protect
+    ~finally:(fun () -> shutdown t)
+    (fun () ->
+      let tickets =
+        List.map (fun x -> submit t ?timeout_s (fun () -> f x)) items
+      in
+      List.iteri (fun i tk -> emit i (await tk)) tickets)
+
+let run_list ?jobs ?timeout_s fs =
+  let out = Array.make (List.length fs) None in
+  map_stream ?jobs ?timeout_s
+    ~f:(fun f -> f ())
+    ~emit:(fun i r -> out.(i) <- Some r)
+    fs;
+  Array.to_list (Array.map Option.get out)

@@ -1,0 +1,88 @@
+(** Fixed-size multicore batch-execution pool ([infs_pool]).
+
+    A pool owns a fixed set of OCaml 5 domains draining a {e sharded} work
+    queue (one shard per worker, plain [Mutex]/[Condition], no external
+    scheduler dependency). Idle workers steal from sibling shards, so a
+    long-running job on one worker never strands jobs queued behind it.
+
+    Guarantees:
+
+    - {b Crash isolation} — an exception raised by a job is captured as
+      [Error (Failed _)] in that job's outcome; the worker domain and the
+      pool survive.
+    - {b Per-job wall-clock timeouts} — a job that runs past its deadline
+      has its outcome forced to [Error Timed_out] and waiters are released;
+      the job's domain keeps running to completion in the background (OCaml
+      domains cannot be preempted) but its late result is discarded.
+    - {b Cancellation} — [cancel] removes a not-yet-started job from the
+      queue ([Error Cancelled]); jobs already running are not interrupted.
+    - {b Deterministic result ordering} — [run_list] / [map_stream] emit
+      results in submission order regardless of completion order, so
+      parallel output is byte-identical to a sequential run.
+
+    The simulator itself stays single-threaded per job; parallelism is
+    across independent (workload, paradigm, options) engine runs, which PR
+    1's golden traces pinned as deterministic. *)
+
+type error =
+  | Failed of string  (** the job raised; carries [Printexc.to_string] *)
+  | Timed_out  (** exceeded its wall-clock budget while running *)
+  | Cancelled  (** cancelled before a worker picked it up *)
+
+val error_to_string : error -> string
+
+type 'a outcome = ('a, error) result
+
+type t
+(** A pool handle. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count], clamped to at least 1 — the default
+    for every [--jobs] flag. *)
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs] worker domains (default
+    {!recommended_jobs}). [jobs] is clamped to at least 1. *)
+
+val jobs : t -> int
+(** Number of worker domains. *)
+
+val shutdown : t -> unit
+(** Drain nothing: wake every worker, wait for jobs already {e running} to
+    finish, and join the domains. Queued jobs that never started are
+    completed as [Error Cancelled]. Idempotent. Submitting to a shut-down
+    pool raises [Invalid_argument]. *)
+
+type 'a ticket
+(** A handle for one submitted job. *)
+
+val submit : t -> ?timeout_s:float -> (unit -> 'a) -> 'a ticket
+(** Enqueue a job on the least-loaded shard. [timeout_s] is the wall-clock
+    budget measured from the moment a worker starts the job. *)
+
+val cancel : 'a ticket -> bool
+(** [cancel tk] is [true] iff the job had not started and is now marked
+    [Cancelled] (the worker will skip it). Running or finished jobs return
+    [false]. *)
+
+val await : 'a ticket -> 'a outcome
+(** Block until the job's outcome is known (completion, timeout firing, or
+    cancellation). Safe to call from any domain; repeated calls return the
+    same outcome. *)
+
+val run_list : ?jobs:int -> ?timeout_s:float -> (unit -> 'a) list -> 'a outcome list
+(** [run_list fs] runs every thunk on a fresh pool and returns outcomes in
+    submission order. The pool is shut down before returning. With
+    [~jobs:1] this is sequential execution with the same API. *)
+
+val map_stream :
+  ?jobs:int ->
+  ?timeout_s:float ->
+  f:('a -> 'b) ->
+  emit:(int -> 'b outcome -> unit) ->
+  'a list ->
+  unit
+(** [map_stream ~f ~emit items] applies [f] to every item on a fresh pool
+    and calls [emit i outcome] {e in submission order} (0, 1, 2, …) from
+    the calling domain, as soon as each prefix of results is ready — the
+    streaming surface for the JSON-lines job server. *)

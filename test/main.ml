@@ -16,4 +16,5 @@ let () =
       ("sdfg+rules", Test_sdfg.suite);
       ("fidelity", Test_fidelity.suite);
       ("trace", Test_trace.suite);
+      ("pool", Test_pool.suite);
     ]

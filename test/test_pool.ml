@@ -1,0 +1,284 @@
+(* The multicore batch-execution subsystem (infs_pool):
+   - submission-order determinism under an adversarial scheduler (jobs with
+     deliberately inverted durations complete out of order; results must
+     not),
+   - per-job wall-clock timeouts fire without killing the pool,
+   - exception capture: a crashing job is an [Error], not a pool death,
+   - cancellation of not-yet-started jobs,
+   - a qcheck property: [run ~jobs:k] equals [run ~jobs:1] on random job
+     lists,
+   - the content-addressed cache (Ccache) under concurrent access,
+   - engine domain-safety: concurrent engine runs (including functional
+     ones and shared compile caching) report exactly what sequential runs
+     report. *)
+
+module E = Infinity_stream.Engine
+module R = Infinity_stream.Report
+
+(* ---- pool core ---- *)
+
+let test_inverted_durations () =
+  (* later-submitted jobs finish first; emission order must stay 0..n-1 *)
+  let n = 8 in
+  let emitted = ref [] in
+  Pool.map_stream ~jobs:4
+    ~f:(fun i ->
+      Unix.sleepf (float_of_int (n - i) *. 0.01);
+      i * i)
+    ~emit:(fun id r -> emitted := (id, r) :: !emitted)
+    (List.init n Fun.id);
+  let got = List.rev !emitted in
+  List.iteri
+    (fun i (id, r) ->
+      Alcotest.(check int) "emitted in submission order" i id;
+      match r with
+      | Ok v -> Alcotest.(check int) "result of the right job" (i * i) v
+      | Error e -> Alcotest.fail (Pool.error_to_string e))
+    got;
+  Alcotest.(check int) "every job emitted exactly once" n (List.length got)
+
+let test_run_list_order () =
+  let results =
+    Pool.run_list ~jobs:3
+      (List.init 12 (fun i () ->
+           Unix.sleepf (if i mod 3 = 0 then 0.02 else 0.001);
+           i))
+  in
+  Alcotest.(check (list int)) "submission order"
+    (List.init 12 Fun.id)
+    (List.map (function Ok v -> v | Error _ -> -1) results)
+
+let test_timeout_fires () =
+  let pool = Pool.create ~jobs:2 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let t0 = Unix.gettimeofday () in
+      let slow = Pool.submit pool ~timeout_s:0.05 (fun () -> Unix.sleepf 5.0) in
+      (match Pool.await slow with
+      | Error Pool.Timed_out -> ()
+      | Ok _ -> Alcotest.fail "slow job should have timed out"
+      | Error e -> Alcotest.fail (Pool.error_to_string e));
+      Alcotest.(check bool) "await returned at the timeout, not at completion"
+        true
+        (Unix.gettimeofday () -. t0 < 2.0);
+      (* the pool survives: the other worker still takes jobs *)
+      let ok = Pool.submit pool ~timeout_s:10.0 (fun () -> 41 + 1) in
+      match Pool.await ok with
+      | Ok v -> Alcotest.(check int) "pool alive after timeout" 42 v
+      | Error e -> Alcotest.fail (Pool.error_to_string e))
+
+let test_exception_capture () =
+  let results =
+    Pool.run_list ~jobs:2
+      [
+        (fun () -> 1);
+        (fun () -> failwith "boom");
+        (fun () -> 3);
+        (fun () -> raise Not_found);
+        (fun () -> 5);
+      ]
+  in
+  match results with
+  | [ Ok 1; Error (Pool.Failed m1); Ok 3; Error (Pool.Failed m2); Ok 5 ] ->
+    let contains hay needle =
+      let n = String.length needle and h = String.length hay in
+      let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "carries the exception text" true (contains m1 "boom");
+    Alcotest.(check bool) "Not_found captured" true (contains m2 "Not_found")
+  | _ -> Alcotest.fail "crashing jobs must not affect their neighbours"
+
+let test_cancellation () =
+  let pool = Pool.create ~jobs:1 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let gate = Atomic.make false in
+      let blocker =
+        Pool.submit pool (fun () ->
+            while not (Atomic.get gate) do
+              Unix.sleepf 0.001
+            done)
+      in
+      let doomed = Pool.submit pool (fun () -> 7) in
+      Alcotest.(check bool) "queued job cancels" true (Pool.cancel doomed);
+      Alcotest.(check bool) "second cancel is a no-op" false (Pool.cancel doomed);
+      Atomic.set gate true;
+      (match Pool.await doomed with
+      | Error Pool.Cancelled -> ()
+      | _ -> Alcotest.fail "cancelled job must report Cancelled");
+      (match Pool.await blocker with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (Pool.error_to_string e));
+      Alcotest.(check bool) "finished job does not cancel" false
+        (Pool.cancel blocker))
+
+let prop_parallel_equals_sequential =
+  QCheck.Test.make ~name:"run ~jobs:k equals run ~jobs:1" ~count:30
+    QCheck.(pair (int_range 2 4) (small_list small_int))
+    (fun (k, xs) ->
+      let jobs = List.map (fun x () -> (x * 31) lxor (x lsr 2)) xs in
+      Pool.run_list ~jobs:1 jobs = Pool.run_list ~jobs:k jobs)
+
+(* ---- content-addressed cache ---- *)
+
+let test_ccache_basics () =
+  let c = Ccache.create ~shards:4 () in
+  let calls = ref 0 in
+  let v, hit =
+    Ccache.find_or_compute c ~key:"a" (fun () ->
+        incr calls;
+        "va")
+  in
+  Alcotest.(check (pair string bool)) "miss computes" ("va", false) (v, hit);
+  let v, hit = Ccache.find_or_compute c ~key:"a" (fun () -> Alcotest.fail "hit") in
+  Alcotest.(check (pair string bool)) "hit reuses" ("va", true) (v, hit);
+  Alcotest.(check int) "computed once" 1 !calls;
+  Alcotest.(check int) "one entry" 1 (Ccache.length c);
+  Alcotest.(check (pair int int)) "counters" (1, 1) (Ccache.hits c, Ccache.misses c);
+  Ccache.reset c;
+  Alcotest.(check int) "reset drops entries" 0 (Ccache.length c);
+  Alcotest.(check (pair int int)) "reset zeroes counters" (0, 0)
+    (Ccache.hits c, Ccache.misses c)
+
+let test_ccache_concurrent () =
+  (* many domains hammering few keys: every caller must observe the same
+     value per key *)
+  let c = Ccache.create ~shards:2 () in
+  let keys = [ "k0"; "k1"; "k2" ] in
+  let results =
+    Pool.run_list ~jobs:4
+      (List.concat_map
+         (fun key ->
+           List.init 8 (fun _ () ->
+               fst (Ccache.find_or_compute c ~key (fun () -> key ^ "!"))))
+         keys)
+  in
+  List.iteri
+    (fun i r ->
+      let key = List.nth keys (i / 8) in
+      match r with
+      | Ok v -> Alcotest.(check string) "stable value" (key ^ "!") v
+      | Error e -> Alcotest.fail (Pool.error_to_string e))
+    results;
+  Alcotest.(check int) "one entry per key" 3 (Ccache.length c)
+
+(* ---- engine domain-safety: parallel == sequential ---- *)
+
+let agreement_pairs () =
+  [
+    (Infs_workloads.Stencil.stencil1d ~iters:2 ~n:2048, E.Inf_s);
+    (Infs_workloads.Micro.vec_add ~n:4096, E.In_l3);
+    (Infs_workloads.Mm.mm_outer ~n:16, E.Near_l3);
+    (Infs_workloads.Gauss.gauss_elim ~n:12, E.Inf_s);
+    (Infs_workloads.Dwt2d.dwt2d ~n:16, E.Base);
+  ]
+
+let report_fingerprint (r : R.t) =
+  (* the pretty-printer covers cycles, energy, breakdown, utilization and
+     correctness; add the raw float and traffic lists for exactness *)
+  Format.asprintf "%a|%.17g|%s" R.pp r r.R.cycles
+    (String.concat ";"
+       (List.map
+          (fun (k, v) -> Printf.sprintf "%s=%.17g" k v)
+          (r.R.noc_byte_hops @ r.R.local_bytes @ r.R.energy_breakdown)))
+
+let test_concurrent_engine_agreement () =
+  let options = { E.default_options with share_compile = true } in
+  let sequential =
+    List.map (fun (w, p) -> report_fingerprint (E.run_exn ~options p w))
+      (agreement_pairs ())
+  in
+  let parallel =
+    Pool.run_list ~jobs:4
+      (List.map
+         (fun (w, p) () -> report_fingerprint (E.run_exn ~options p w))
+         (agreement_pairs ()))
+  in
+  List.iter2
+    (fun want got ->
+      match got with
+      | Ok got -> Alcotest.(check string) "parallel == sequential" want got
+      | Error e -> Alcotest.fail (Pool.error_to_string e))
+    sequential parallel
+
+let test_concurrent_functional_runs () =
+  (* functional mode forces shared lazy inputs and checks against the
+     golden interpreter — the two hazards the audit guards with a mutex *)
+  let ws =
+    [
+      Infs_workloads.Micro.vec_add ~n:512;
+      Infs_workloads.Micro.array_sum ~n:512;
+      Infs_workloads.Mm.mm_outer ~n:8;
+      Infs_workloads.Mm.mm_inner ~n:8;
+    ]
+  in
+  let options = { E.default_options with functional = true; share_compile = true } in
+  let results =
+    Pool.run_list ~jobs:4
+      (List.map (fun w () -> (E.run_exn ~options E.Inf_s w).R.correctness) ws)
+  in
+  List.iter
+    (function
+      | Ok (`Checked err) ->
+        Alcotest.(check bool) "functionally correct under concurrency" true
+          (err <= 1e-3)
+      | Ok `Skipped -> Alcotest.fail "expected a correctness check"
+      | Error e -> Alcotest.fail (Pool.error_to_string e))
+    results
+
+let test_concurrent_rng_determinism () =
+  (* Rng is per-instance state: domains with equal seeds must see equal
+     streams, regardless of interleaving *)
+  let draw () =
+    let rng = Rng.create 1234 in
+    List.init 256 (fun _ -> Rng.int64 rng)
+  in
+  let want = draw () in
+  List.iter
+    (function
+      | Ok got -> Alcotest.(check bool) "identical stream per domain" true (got = want)
+      | Error e -> Alcotest.fail (Pool.error_to_string e))
+    (Pool.run_list ~jobs:4 (List.init 4 (fun _ -> draw)))
+
+let test_compile_cache_hits () =
+  E.compile_cache_clear ();
+  let options = { E.default_options with share_compile = true } in
+  let w = Infs_workloads.Micro.vec_add ~n:1024 in
+  ignore (E.run_exn ~options E.Inf_s w);
+  ignore (E.run_exn ~options E.In_l3 w);
+  ignore (E.run_exn ~options E.Near_l3 w);
+  let hits, misses, entries = E.compile_cache_stats () in
+  Alcotest.(check bool) "same program across paradigms hits" true (hits >= 2);
+  Alcotest.(check int) "compiled once" 1 misses;
+  Alcotest.(check int) "one cached binary" 1 entries;
+  (* a different optimizer flag is a different artifact *)
+  ignore (E.run_exn ~options:{ options with E.optimize = false } E.Inf_s w);
+  let _, misses', entries' = E.compile_cache_stats () in
+  Alcotest.(check int) "optimize flag keys separately" 2 misses';
+  Alcotest.(check int) "two cached binaries" 2 entries';
+  E.compile_cache_clear ()
+
+let suite =
+  [
+    Alcotest.test_case "inverted durations emit in order" `Quick
+      test_inverted_durations;
+    Alcotest.test_case "run_list keeps submission order" `Quick test_run_list_order;
+    Alcotest.test_case "timeout fires; pool survives" `Quick test_timeout_fires;
+    Alcotest.test_case "exceptions are captured per job" `Quick
+      test_exception_capture;
+    Alcotest.test_case "cancellation" `Quick test_cancellation;
+    QCheck_alcotest.to_alcotest prop_parallel_equals_sequential;
+    Alcotest.test_case "ccache basics" `Quick test_ccache_basics;
+    Alcotest.test_case "ccache concurrent" `Quick test_ccache_concurrent;
+    Alcotest.test_case "concurrent engine runs == sequential" `Quick
+      test_concurrent_engine_agreement;
+    Alcotest.test_case "concurrent functional runs stay correct" `Quick
+      test_concurrent_functional_runs;
+    Alcotest.test_case "rng streams are per-instance" `Quick
+      test_concurrent_rng_determinism;
+    Alcotest.test_case "compile cache shares across paradigms" `Quick
+      test_compile_cache_hits;
+  ]
