@@ -713,6 +713,88 @@ let bechamel_section () =
     [ decompose_test; jit_test; egraph_test ];
   Table.print t
 
+(* ---------- metrics: JSON result dump + disabled-overhead bound ---------- *)
+
+(* Dump every cached (workload, paradigm, tag) cycle count as
+   schema infs-bench-1, the input format of `infs_run bench-diff` — the
+   CI regression gate diffs this against a committed baseline. Sorted by
+   key, so the file is deterministic for a given suite. *)
+let dump_json ~suite file =
+  let entries =
+    Mutex.protect cache_mu (fun () ->
+        Hashtbl.fold (fun k r acc -> (k, r) :: acc) cache [])
+  in
+  let entries =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) entries
+  in
+  let results =
+    List.map
+      (fun (key, (r : R.t)) ->
+        let w, p, tag =
+          match String.split_on_char '|' key with
+          | [ w; p; t ] -> (w, p, t)
+          | w :: p :: rest -> (w, p, String.concat "|" rest)
+          | _ -> (key, "", "")
+        in
+        Json.Obj
+          [
+            ("workload", Json.Str w);
+            ("paradigm", Json.Str p);
+            ("tag", Json.Str tag);
+            ("cycles", Json.Num r.R.cycles);
+          ])
+      entries
+  in
+  let j =
+    Json.Obj
+      [
+        ("schema", Json.Str "infs-bench-1");
+        ("suite", Json.Str suite);
+        ("results", Json.Arr results);
+      ]
+  in
+  let oc = open_out file in
+  output_string oc (Json.to_string j);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "bench results: %d entries -> %s\n\n" (List.length results) file
+
+(* The metrics design contract: a disabled registry must cost one bool test
+   per instrumentation site. Measure that guard's cost directly, count the
+   sites a real run executes (Metrics.calls of an enabled run), and bound
+   the disabled-run overhead as guards x cost / wall-time — fail the bench
+   if the estimate crosses 2%. *)
+let metrics_overhead_check () =
+  let guard_ns =
+    let n = 20_000_000 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do
+      if Metrics.enabled (Sys.opaque_identity Metrics.null) then
+        ignore (Sys.opaque_identity n)
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int n
+  in
+  let w = Infs_workloads.Stencil.stencil2d ~iters:2 ~n:256 in
+  let m = Metrics.create () in
+  ignore (E.run_exn ~options:{ suite_options with E.metrics = m } E.Inf_s w);
+  let calls = Metrics.calls m in
+  (* time the disabled run after a warmup (compile cache, allocator) *)
+  ignore (E.run_exn ~options:suite_options E.Inf_s w);
+  let t0 = Unix.gettimeofday () in
+  ignore (E.run_exn ~options:suite_options E.Inf_s w);
+  let wall = Unix.gettimeofday () -. t0 in
+  let overhead = float_of_int calls *. guard_ns *. 1e-9 /. Float.max 1e-9 wall in
+  Printf.printf
+    "metrics overhead: %d disabled guards x %.2f ns = %.4f%% of a %.1f ms \
+     run (budget 2%%)\n\n"
+    calls guard_ns (100.0 *. overhead) (1e3 *. wall);
+  if overhead >= 0.02 then begin
+    Printf.eprintf
+      "FAIL: disabled-metrics overhead %.2f%% exceeds the 2%% budget\n"
+      (100.0 *. overhead);
+    exit 1
+  end
+
 (* ---------- trace hook ---------- *)
 
 let trace_demo file =
@@ -760,7 +842,8 @@ let smoke () =
   prewarm entries;
   fig11 entries;
   fig14 entries;
-  jit_overheads entries
+  jit_overheads entries;
+  metrics_overhead_check ()
 
 let () =
   print_endline "infinity stream - benchmark harness (ASPLOS'23 evaluation)";
@@ -769,6 +852,14 @@ let () =
   let trace_file =
     let rec find = function
       | "--trace" :: f :: _ -> Some f
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find argv
+  in
+  let json_file =
+    let rec find = function
+      | "--json" :: f :: _ -> Some f
       | _ :: rest -> find rest
       | [] -> None
     in
@@ -787,7 +878,9 @@ let () =
   bench_jobs := jobs;
   let t0 = Unix.gettimeofday () in
   Option.iter trace_demo trace_file;
-  if List.mem "--smoke" argv then smoke () else full ();
+  let suite = if List.mem "--smoke" argv then "smoke" else "full" in
+  if suite = "smoke" then smoke () else full ();
+  Option.iter (dump_json ~suite) json_file;
   let hits, misses, entries = E.compile_cache_stats () in
   Printf.printf
     "total: %.2f s wall-clock on %d domain%s; compile cache: %d hits / %d \

@@ -134,13 +134,22 @@ let trace_format_arg =
         ~doc:"trace format: jsonl (one event per line, golden-testable) or \
               chrome (chrome://tracing / Perfetto timeline)")
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:"write a metrics snapshot (utilization counters, occupancy \
+              gauges, latency histograms) to $(docv); .prom selects \
+              Prometheus text exposition, anything else JSON")
+
 let list_cmd =
   let run scale = List.iter print_endline (workload_names scale) in
   Cmd.v (Cmd.info "list" ~doc:"list available workloads (sorted)")
     Term.(const run $ scale_arg)
 
 let run_cmd =
-  let run scale wname pname functional trace_file trace_format =
+  let run scale wname pname functional trace_file trace_format metrics_file =
     match (find_workload scale wname, paradigm_of_string pname) with
     | Error e, _ | _, Error e ->
       prerr_endline e;
@@ -158,7 +167,10 @@ let run_cmd =
         | Some oc -> Trace.to_channel trace_format oc
         | None -> Trace.null
       in
-      let options = { E.default_options with functional; trace } in
+      let metrics =
+        if metrics_file = None then Metrics.null else Metrics.create ()
+      in
+      let options = { E.default_options with functional; trace; metrics } in
       let result = E.run ~options p w in
       Trace.close trace;
       Option.iter close_out oc;
@@ -172,6 +184,16 @@ let run_cmd =
           (fun f ->
             Format.printf "trace: %d events -> %s@." (Trace.events_seen trace) f)
           trace_file;
+        Option.iter
+          (fun f ->
+            (try Metrics.write_file metrics f
+             with Sys_error e ->
+               prerr_endline ("error: cannot write metrics file: " ^ e);
+               exit 1);
+            Format.printf "metrics: %d series -> %s@."
+              (List.length (Metrics.snapshot metrics))
+              f)
+          metrics_file;
         (* batch scripts rely on the exit status: a functional mismatch
            against the golden model is a failure, not a report footnote *)
         (match r.R.correctness with
@@ -186,7 +208,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"simulate one workload under one paradigm")
     Term.(
       const run $ scale_arg $ workload_arg $ paradigm_arg $ functional_arg
-      $ trace_arg $ trace_format_arg)
+      $ trace_arg $ trace_format_arg $ metrics_arg)
 
 let compile_cmd =
   let run scale wname =
@@ -418,13 +440,18 @@ let spec_of_json j =
 
 (* Each job re-resolves its workload from the catalog, so jobs never share
    mutable workload state (notably the lazy input arrays) across domains;
-   compiled fat binaries are shared through the engine's compile cache. *)
-let exec_spec scale (spec : batch_spec) =
+   compiled fat binaries are shared through the engine's compile cache.
+   With [with_metrics] each job owns a fresh registry (registries are
+   single-domain) and returns its snapshot as JSON; the snapshot holds only
+   simulated quantities, so report lines stay byte-identical across
+   [--jobs] settings. *)
+let exec_spec scale ~with_metrics (spec : batch_spec) =
   match
     (find_workload scale spec.sp_workload, paradigm_of_string spec.sp_paradigm)
   with
   | Error e, _ | _, Error e -> Error e
-  | Ok w, Ok p ->
+  | Ok w, Ok p -> (
+    let metrics = if with_metrics then Metrics.create () else Metrics.null in
     let options =
       {
         E.default_options with
@@ -435,9 +462,27 @@ let exec_spec scale (spec : batch_spec) =
         charge_jit = spec.sp_charge_jit;
         tile_override = spec.sp_tile;
         share_compile = true;
+        metrics;
       }
     in
-    E.run ~options p w
+    match E.run ~options p w with
+    | Error e -> Error e
+    | Ok r ->
+      let mj =
+        if with_metrics then
+          (* whether THIS job hit the process-wide compile cache depends
+             on pool scheduling, not on the job — keep those series out
+             of the line or --jobs would change the bytes *)
+          Some
+            (Metrics.to_json
+               (List.filter
+                  (fun (s : Metrics.series) ->
+                    s.Metrics.name <> "compile_cache.hits"
+                    && s.Metrics.name <> "compile_cache.misses")
+                  (Metrics.snapshot metrics)))
+        else None
+      in
+      Ok (r, mj))
 
 let batch_paradigm_names = [ "base1"; "base"; "near-l3"; "in-l3"; "inf-s"; "inf-s-nojit" ]
 
@@ -482,7 +527,7 @@ let read_spec_lines ic =
   go [] 0
 
 let batch_cmd =
-  let run scale jobs spec_file matrix timeout_s out_file =
+  let run scale jobs spec_file matrix timeout_s out_file metrics_file =
     let specs =
       if matrix then matrix_specs scale
       else
@@ -527,7 +572,9 @@ let batch_cmd =
                 let timeout_s =
                   match sp.sp_timeout with Some t -> Some t | None -> timeout_s
                 in
-                `Job (Pool.submit pool ?timeout_s (fun () -> exec_spec scale sp)))
+                `Job
+                  (Pool.submit pool ?timeout_s (fun () ->
+                       exec_spec scale ~with_metrics:(metrics_file <> None) sp)))
             specs
         in
         List.iteri
@@ -542,10 +589,36 @@ let batch_cmd =
               match Pool.await tk with
               | Error pe -> error (Pool.error_to_string pe)
               | Ok (Error e) -> error e
-              | Ok (Ok r) ->
-                emit id [ ("ok", Json.Bool true); ("report", R.to_json r) ]))
+              | Ok (Ok (r, mj)) ->
+                emit id
+                  (("ok", Json.Bool true) :: ("report", R.to_json r)
+                  :: (match mj with
+                     | Some j -> [ ("metrics", j) ]
+                     | None -> []))))
           tickets);
     if oc != stdout then close_out oc;
+    (* pool utilization goes to the side file, never into report lines:
+       wall-clock quantities would break the byte-identical-across---jobs
+       guarantee. Pool.stats is exact here — shutdown joined the workers. *)
+    Option.iter
+      (fun f ->
+        let m = Metrics.create () in
+        let st = Pool.stats pool in
+        Metrics.gauge_add m "pool.wall_s" st.Pool.wall_s;
+        Array.iteri
+          (fun i (jobs_run, busy_s) ->
+            let labels = [ ("worker", string_of_int i) ] in
+            Metrics.incr m ~labels "pool.worker.jobs"
+              (float_of_int jobs_run);
+            Metrics.gauge_add m ~labels "pool.worker.busy_s" busy_s;
+            Metrics.gauge_add m ~labels "pool.worker.busy_frac"
+              (busy_s /. Float.max 1e-9 st.Pool.wall_s))
+          st.Pool.workers;
+        try Metrics.write_file m f
+        with Sys_error e ->
+          prerr_endline ("error: cannot write metrics file: " ^ e);
+          exit 1)
+      metrics_file;
     let elapsed = Unix.gettimeofday () -. t0 in
     let hits, misses, entries = E.compile_cache_stats () in
     let total = List.length specs in
@@ -599,6 +672,17 @@ let batch_cmd =
       & info [ "o"; "output" ] ~docv:"FILE"
           ~doc:"write report lines to $(docv) instead of stdout")
   in
+  let batch_metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "embed a per-job metrics snapshot in every report line \
+             (simulated quantities only, so lines stay byte-identical \
+             across --jobs) and write pool worker-utilization metrics to \
+             $(docv) after shutdown")
+  in
   Cmd.v
     (Cmd.info "batch"
        ~doc:
@@ -606,11 +690,216 @@ let batch_cmd =
           streaming one JSON report line per job in submission order")
     Term.(
       const run $ scale_arg $ jobs_arg $ spec_arg $ matrix_arg $ timeout_arg
-      $ out_arg)
+      $ out_arg $ batch_metrics_arg)
+
+(* ---------- analyze: offline trace -> bottleneck report ---------- *)
+
+let analyze_cmd =
+  let run file top out_file =
+    let ic =
+      if file = "-" then stdin
+      else
+        try open_in file
+        with Sys_error e ->
+          prerr_endline ("error: cannot open trace file: " ^ e);
+          exit 1
+    in
+    let cfg = Machine_config.default in
+    let t =
+      Trace_replay.create ~mesh_x:cfg.Machine_config.mesh_x ~mesh_y:cfg.mesh_y
+        ~banks:cfg.l3_banks ~channels:cfg.mem_ctrls ()
+    in
+    let fed = Trace_replay.feed_channel t ic in
+    if ic != stdin then close_in ic;
+    match fed with
+    | Error e ->
+      prerr_endline ("error: " ^ file ^ ": " ^ e);
+      exit 1
+    | Ok _ -> (
+      let report = Trace_replay.report ~top t in
+      match out_file with
+      | None -> print_string report
+      | Some f -> (
+        try
+          let oc = open_out f in
+          output_string oc report;
+          close_out oc
+        with Sys_error e ->
+          prerr_endline ("error: cannot open output file: " ^ e);
+          exit 1))
+  in
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE"
+          ~doc:"JSONL trace produced by `infs_run run --trace`; \"-\" reads \
+                stdin")
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "top" ] ~docv:"N"
+          ~doc:"entries per hottest-links / busiest-banks section")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"write the report to $(docv) instead of stdout")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "replay a JSONL trace into the metrics registry and print a \
+          deterministic bottleneck report (cycle breakdown, NoC link \
+          heatmap, SRAM bank occupancy, DRAM/JIT summaries, per-region \
+          critical categories)")
+    Term.(const run $ file_arg $ top_arg $ out_arg)
+
+(* ---------- bench-diff: the regression gate ---------- *)
+
+let load_bench f =
+  match
+    let ic = open_in f in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error ("cannot open " ^ f ^ ": " ^ e)
+  | s -> (
+    match Json.parse s with
+    | Error e -> Error (f ^ ": " ^ e)
+    | Ok j -> (
+      (match Option.bind (Json.member "schema" j) Json.to_str with
+      | Some "infs-bench-1" -> Ok ()
+      | Some other -> Error (f ^ ": unknown schema " ^ other)
+      | None -> Error (f ^ ": missing \"schema\" field"))
+      |> Result.map (fun () -> j)
+      |> fun r ->
+      Result.bind r (fun j ->
+          match Option.bind (Json.member "results" j) Json.to_list with
+          | None -> Error (f ^ ": missing \"results\" array")
+          | Some rs ->
+            let entry e =
+              match
+                ( Option.bind (Json.member "workload" e) Json.to_str,
+                  Option.bind (Json.member "paradigm" e) Json.to_str,
+                  Option.bind (Json.member "cycles" e) Json.to_num )
+              with
+              | Some w, Some p, Some c ->
+                let tag =
+                  Option.value ~default:""
+                    (Option.bind (Json.member "tag" e) Json.to_str)
+                in
+                let key =
+                  w ^ " [" ^ p ^ "]" ^ if tag = "" then "" else " #" ^ tag
+                in
+                Ok (key, c)
+              | _ -> Error (f ^ ": malformed result entry")
+            in
+            List.fold_left
+              (fun acc e ->
+                Result.bind acc (fun l ->
+                    Result.map (fun kv -> kv :: l) (entry e)))
+              (Ok []) rs
+            |> Result.map List.rev)))
+
+let bench_diff_cmd =
+  let pct_conv =
+    let parse s =
+      let s = String.trim s in
+      let n = String.length s in
+      let s = if n > 0 && s.[n - 1] = '%' then String.sub s 0 (n - 1) else s in
+      match float_of_string_opt s with
+      | Some f when f >= 0.0 -> Ok f
+      | _ -> Error (`Msg "expected a percentage, e.g. 5 or 5%")
+    in
+    Arg.conv (parse, fun ppf f -> Format.fprintf ppf "%g%%" f)
+  in
+  let run old_f new_f warn max_regress =
+    match (load_bench old_f, load_bench new_f) with
+    | Error e, _ | _, Error e ->
+      prerr_endline ("error: " ^ e);
+      exit 1
+    | Ok old_r, Ok new_r ->
+      let compared = ref 0
+      and regressed = ref 0
+      and warned = ref 0
+      and improved = ref 0
+      and worst = ref neg_infinity in
+      List.iter
+        (fun (key, nc) ->
+          match List.assoc_opt key old_r with
+          | None -> Printf.printf "new entry   %-44s %12.4e cycles\n" key nc
+          | Some oc ->
+            incr compared;
+            let delta = 100.0 *. (nc -. oc) /. Float.max 1e-9 oc in
+            if delta > !worst then worst := delta;
+            if delta > max_regress then begin
+              incr regressed;
+              Printf.printf "REGRESSION  %-44s %+8.2f%%  (%.4e -> %.4e cycles)\n"
+                key delta oc nc
+            end
+            else if delta > warn then begin
+              incr warned;
+              Printf.printf "warn        %-44s %+8.2f%%\n" key delta
+            end
+            else if delta < -.warn then begin
+              incr improved;
+              Printf.printf "improved    %-44s %+8.2f%%\n" key delta
+            end)
+        new_r;
+      List.iter
+        (fun (key, _) ->
+          if not (List.mem_assoc key new_r) then
+            Printf.printf "removed     %s\n" key)
+        old_r;
+      Printf.printf
+        "bench-diff: %d compared; %d regressed (> %g%%), %d warned (> %g%%), \
+         %d improved; worst %s\n"
+        !compared !regressed max_regress !warned warn !improved
+        (if !compared = 0 then "n/a" else Printf.sprintf "%+.2f%%" !worst);
+      if !regressed > 0 then exit 1
+  in
+  let old_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"OLD" ~doc:"baseline infs-bench-1 JSON (bench --json)")
+  in
+  let new_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"NEW" ~doc:"candidate infs-bench-1 JSON")
+  in
+  let warn_arg =
+    Arg.(
+      value & opt pct_conv 5.0
+      & info [ "warn" ] ~docv:"PCT"
+          ~doc:"print a warning for any entry slower by more than $(docv)")
+  in
+  let max_arg =
+    Arg.(
+      value & opt pct_conv 25.0
+      & info [ "max-regress" ] ~docv:"PCT"
+          ~doc:"exit non-zero if any entry is slower by more than $(docv)")
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "compare two bench --json result files per (workload, paradigm) \
+          and fail on cycle-count regressions above the threshold")
+    Term.(const run $ old_arg $ new_arg $ warn_arg $ max_arg)
 
 let () =
   let doc = "infinity stream - in-/near-memory fusion simulator" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "infs_run" ~doc)
-          [ list_cmd; run_cmd; compile_cmd; lower_cmd; batch_cmd ]))
+          [
+            list_cmd; run_cmd; compile_cmd; lower_cmd; batch_cmd; analyze_cmd;
+            bench_diff_cmd;
+          ]))

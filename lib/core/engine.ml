@@ -19,6 +19,7 @@ type options = {
   warm_data : bool;
   pre_transposed : bool;
   trace : Trace.t;
+  metrics : Metrics.t;
   share_compile : bool;
 }
 
@@ -32,6 +33,7 @@ let default_options =
     warm_data = false;
     pre_transposed = false;
     trace = Trace.null;
+    metrics = Metrics.null;
     share_compile = false;
   }
 
@@ -74,6 +76,10 @@ let compile (options : options) (w : Workload.t) =
              name = (if hit then "compile_cache.hits" else "compile_cache.misses");
              value = 1.0;
            });
+    if Metrics.enabled options.metrics then
+      Metrics.incr options.metrics
+        (if hit then "compile_cache.hits" else "compile_cache.misses")
+        1.0;
     fb
   end
 
@@ -210,10 +216,12 @@ type state = {
 
 let cfgv st = st.opts.cfg
 let tracev st = st.opts.trace
+let metricsv st = st.opts.metrics
 
 (* Every Breakdown charge goes through here so the trace's per-category
-   cycle counters accumulate the identical floats in the identical order —
-   that is what lets the trace tests reconcile against the Report with 0.0
+   cycle counters and the metric registry's [cycles{cat}] histograms
+   accumulate the identical floats in the identical order — that is what
+   lets the trace and metrics tests reconcile against the Report with 0.0
    tolerance. *)
 let charge st cat v =
   let bd = st.bd in
@@ -244,7 +252,9 @@ let charge st cat v =
       bd.Breakdown.core <- bd.Breakdown.core +. v;
       "core"
   in
-  Trace.add_cycles (tracev st) name v
+  Trace.add_cycles (tracev st) name v;
+  if Metrics.enabled (metricsv st) then
+    Metrics.Sim.cycles (metricsv st) ~cat:name v
 
 (* Per kernel, cycles are accumulated per execution target; the report
    shows the dominant target (a region can change sides across host-loop
@@ -254,6 +264,9 @@ let note_timeline st kname where cycles =
     Trace.emit (tracev st)
       (Trace.Region_exec
          { kernel = kname; where = Report.where_to_string where; cycles });
+  if Metrics.enabled (metricsv st) then
+    Metrics.Sim.region_exec (metricsv st) ~kernel:kname
+      ~where:(Report.where_to_string where) ~cycles;
   if not (Hashtbl.mem st.timeline kname) then
     st.timeline_order <- st.timeline_order @ [ kname ];
   let prev = Option.value ~default:[] (Hashtbl.find_opt st.timeline kname) in
@@ -301,6 +314,10 @@ let run_core st ~threads (region : Fat_binary.region) =
   if cold > 0.0 && Trace.enabled (tracev st) then
     Trace.emit (tracev st)
       (Trace.Dram_burst { bytes = cold; cycles = r.Corem.dram_cycles });
+  if cold > 0.0 && Metrics.enabled (metricsv st) then
+    Metrics.Sim.dram_burst (metricsv st)
+      ~channels:(cfgv st).Machine_config.mem_ctrls ~bytes:cold
+      ~cycles:r.Corem.dram_cycles;
   charge st `Core (r.Corem.cycles -. r.dram_cycles);
   charge st `Dram r.dram_cycles;
   st.events.Energy.core_flops <- st.events.Energy.core_flops +. w.flops;
@@ -475,8 +492,9 @@ let run_in_memory st (region : Fat_binary.region) (layout : Layout.t)
     arrays;
   let prep =
     Float.max
-      (Dram.load_traced (tracev st) cfg ~bytes:!dram_bytes)
-      (Dram.transpose_traced (tracev st) cfg ~bytes:!transpose_bytes)
+      (Dram.load_traced ~metrics:(metricsv st) (tracev st) cfg ~bytes:!dram_bytes)
+      (Dram.transpose_traced ~metrics:(metricsv st) (tracev st) cfg
+         ~bytes:!transpose_bytes)
   in
   charge st `Dram prep;
   st.events.Energy.dram_bytes <- st.events.Energy.dram_bytes +. !dram_bytes;
@@ -494,6 +512,13 @@ let run_in_memory st (region : Fat_binary.region) (layout : Layout.t)
   if not jst.Jit.memoized then begin
     st.jit_nonmemo <- st.jit_nonmemo + 1;
     st.jit_commands <- st.jit_commands + jst.Jit.commands
+  end;
+  (* mirrors the Memo / Jit_span Exit events [Jit.lower_memo] emits *)
+  if Metrics.enabled (metricsv st) then begin
+    Metrics.Sim.memo (metricsv st) ~hit:jst.Jit.memoized;
+    if not jst.Jit.memoized then
+      Metrics.Sim.jit_exit (metricsv st) ~commands:jst.Jit.commands
+        ~cycles:jst.Jit.jit_cycles
   end;
   let jit_cycles =
     if st.opts.charge_jit && st.paradigm <> Inf_s_nojit then jst.Jit.jit_cycles
@@ -589,6 +614,9 @@ let on_kernel st _env (k : Ast.kernel) =
                   (match verdict.target with
                   | Decision.In_memory -> "in-mem"
                   | Decision.Near_memory -> "near"));
+            if Metrics.enabled (metricsv st) then
+              Metrics.Sim.decision (metricsv st)
+                ~target:(Decision.target_name verdict.Decision.target);
             match verdict.Decision.target with
             | Decision.In_memory -> run_in_memory st region layout schedule
             | Decision.Near_memory -> fallback ()
@@ -639,7 +667,9 @@ let run ?(options = default_options) paradigm (w : Workload.t) =
           paradigm;
           fb;
           env;
-          traffic = Traffic.create ~trace:options.trace options.cfg;
+          traffic =
+            Traffic.create ~trace:options.trace ~metrics:options.metrics
+              options.cfg;
           bd = Breakdown.zero ();
           events = Energy.fresh ();
           memo = Jit.memo_create ();

@@ -47,6 +47,16 @@ type options = {
           [noc.bytes.*] / [local.bytes.*] likewise match the traffic
           totals. Traces are deterministic given (workload, paradigm,
           options). *)
+  metrics : Metrics.t;
+      (** metric registry (default [Metrics.null], a no-op). With an
+          enabled registry the engine and every instrumented component
+          record labeled counters/gauges/histograms: per-category and
+          per-link NoC load, per-bank SRAM occupancy and command-latency
+          histograms, DRAM burst/channel series, near-memory stall
+          breakdown, JIT lowering/memo series and the [cycles{cat}]
+          histograms whose sums reconcile exactly with
+          [Report.breakdown]. Registries are single-domain: batch jobs
+          each create their own. *)
   share_compile : bool;
       (** look up / publish the compiled fat binary in the process-wide
           content-addressed compile cache (keyed by a digest of the program

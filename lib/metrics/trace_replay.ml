@@ -1,0 +1,378 @@
+type region_rec = {
+  mutable execs : int;
+  mutable cycles : float;
+  mutable cats : (string * float ref) list; (* first-charge order *)
+}
+
+type t = {
+  mx : int;
+  my : int;
+  banks : int;
+  channels : int;
+  m : Metrics.t;
+  mutable n_events : int;
+  mutable pending : (string * float ref) list; (* charges since last region *)
+  regions : (string * string, region_rec) Hashtbl.t;
+  mutable region_order : (string * string) list; (* reversed *)
+}
+
+let create ?(mesh_x = 8) ?(mesh_y = 8) ?(banks = 64) ?(channels = 16) () =
+  {
+    mx = mesh_x;
+    my = mesh_y;
+    banks;
+    channels;
+    m = Metrics.create ();
+    n_events = 0;
+    pending = [];
+    regions = Hashtbl.create 16;
+    region_order = [];
+  }
+
+let metrics t = t.m
+let events t = t.n_events
+
+(* ----- event parsing ----- *)
+
+let str j k = Option.bind (Json.member k j) Json.to_str
+
+(* The trace's own float printer predates Json's total printing and renders
+   non-finite floats as quoted strings; accept both spellings. *)
+let num j k =
+  match Json.member k j with
+  | Some (Json.Num f) -> f
+  | Some (Json.Str "inf") -> infinity
+  | Some (Json.Str "-inf") -> neg_infinity
+  | Some (Json.Str "nan") -> nan
+  | _ -> 0.0
+
+let int_field j k = int_of_float (num j k)
+
+let bool_field j k =
+  match Option.bind (Json.member k j) Json.to_bool with
+  | Some b -> b
+  | None -> false
+
+let pending_add t cat v =
+  match List.assoc_opt cat t.pending with
+  | Some r -> r := !r +. v
+  | None -> t.pending <- t.pending @ [ (cat, ref v) ]
+
+let fold_pending t ~kernel ~where ~cycles =
+  let key = (kernel, where) in
+  let reg =
+    match Hashtbl.find_opt t.regions key with
+    | Some r -> r
+    | None ->
+      let r = { execs = 0; cycles = 0.0; cats = [] } in
+      Hashtbl.add t.regions key r;
+      t.region_order <- key :: t.region_order;
+      r
+  in
+  reg.execs <- reg.execs + 1;
+  reg.cycles <- reg.cycles +. cycles;
+  List.iter
+    (fun (cat, v) ->
+      match List.assoc_opt cat reg.cats with
+      | Some r -> r := !r +. !v
+      | None -> reg.cats <- reg.cats @ [ (cat, ref !v) ])
+    t.pending;
+  t.pending <- []
+
+let apply t j =
+  let ev = match str j "ev" with Some e -> e | None -> "" in
+  match ev with
+  | "summary" -> ()
+  | "noc" ->
+    t.n_events <- t.n_events + 1;
+    if str j "dir" = Some "send" then
+      Metrics.Sim.noc_packet t.m ~mx:t.mx ~my:t.my
+        ~cat:(Option.value ~default:"" (str j "cat"))
+        ~bytes:(num j "bytes") ~hops:(num j "hops") ~packets:(num j "packets")
+  | "local" ->
+    t.n_events <- t.n_events + 1;
+    Metrics.Sim.local_move t.m
+      ~channel:(Option.value ~default:"" (str j "channel"))
+      ~bytes:(num j "bytes")
+  | "sram" ->
+    t.n_events <- t.n_events + 1;
+    if str j "phase" = Some "retire" then
+      Metrics.Sim.sram_cmd t.m ~banks:t.banks
+        ~kind:(Option.value ~default:"" (str j "kind"))
+        ~label:(Option.value ~default:"" (str j "label"))
+        ~tiles:(int_field j "tiles") ~cycles:(num j "cycles")
+  | "dram" ->
+    t.n_events <- t.n_events + 1;
+    Metrics.Sim.dram_burst t.m ~channels:t.channels ~bytes:(num j "bytes")
+      ~cycles:(num j "cycles")
+  | "ttu" ->
+    t.n_events <- t.n_events + 1;
+    Metrics.Sim.ttu t.m ~bytes:(num j "bytes") ~cycles:(num j "cycles")
+  | "jit" ->
+    t.n_events <- t.n_events + 1;
+    if str j "dir" = Some "exit" then
+      Metrics.Sim.jit_exit t.m ~commands:(int_field j "commands")
+        ~cycles:(num j "cycles")
+  | "memo" ->
+    t.n_events <- t.n_events + 1;
+    Metrics.Sim.memo t.m ~hit:(bool_field j "hit")
+  | "decision" ->
+    t.n_events <- t.n_events + 1;
+    Metrics.Sim.decision t.m ~target:(Option.value ~default:"" (str j "target"))
+  | "sync" ->
+    t.n_events <- t.n_events + 1;
+    Metrics.Sim.sync_barrier t.m ~cycles:(num j "cycles")
+  | "region" ->
+    t.n_events <- t.n_events + 1;
+    let kernel = Option.value ~default:"" (str j "kernel") in
+    let where = Option.value ~default:"" (str j "where") in
+    let cycles = num j "cycles" in
+    Metrics.Sim.region_exec t.m ~kernel ~where ~cycles;
+    fold_pending t ~kernel ~where ~cycles
+  | "ctr" ->
+    t.n_events <- t.n_events + 1;
+    let name = Option.value ~default:"" (str j "k") in
+    let value = num j "v" in
+    Metrics.Sim.counter t.m ~name ~value;
+    if String.length name > 7 && String.sub name 0 7 = "cycles." then
+      pending_add t (String.sub name 7 (String.length name - 7)) value
+  | _ -> () (* unknown event kind: skip (forward compatibility) *)
+
+let feed_line t line =
+  let line = String.trim line in
+  if line = "" then Ok ()
+  else
+    match Json.parse line with
+    | Error e -> Error e
+    | Ok j ->
+      apply t j;
+      Ok ()
+
+let feed_channel t ic =
+  let lineno = ref 0 in
+  let rec go () =
+    match input_line ic with
+    | exception End_of_file -> Ok t.n_events
+    | line -> (
+      incr lineno;
+      match feed_line t line with
+      | Ok () -> go ()
+      | Error e -> Error (Printf.sprintf "line %d: %s" !lineno e))
+  in
+  go ()
+
+(* ----- bottleneck report ----- *)
+
+let fmt = Json.fmt_float
+let pct part whole = Printf.sprintf "%.1f%%" (Stats.percent ~part ~whole)
+
+(* value-descending, key-ascending on ties: a total order on the rows *)
+let rank rows =
+  List.sort
+    (fun (ka, va) (kb, vb) ->
+      match compare vb va with 0 -> String.compare ka kb | c -> c)
+    rows
+
+let scalar_rows snap name label_key =
+  List.filter_map
+    (fun (s : Metrics.series) ->
+      if s.name <> name then None
+      else
+        match (s.sample, List.assoc_opt label_key s.labels) with
+        | Metrics.Value v, Some l -> Some (l, v)
+        | _ -> None)
+    snap
+
+let scalar0 snap name =
+  match
+    List.find_opt
+      (fun (s : Metrics.series) -> s.name = name && s.labels = [])
+      snap
+  with
+  | Some { sample = Metrics.Value v; _ } -> v
+  | _ -> 0.0
+
+let hist0 snap name labels =
+  match
+    List.find_opt
+      (fun (s : Metrics.series) -> s.name = name && s.labels = labels)
+      snap
+  with
+  | Some { sample = Metrics.Dist h; _ } -> Some h
+  | _ -> None
+
+let report ?(top = 8) t =
+  let b = Buffer.create 4096 in
+  let snap = Metrics.snapshot t.m in
+  Printf.bprintf b "trace analysis: %d events\n" t.n_events;
+
+  (* cycle breakdown *)
+  let cats =
+    List.filter_map
+      (fun (s : Metrics.series) ->
+        if s.name <> "cycles" then None
+        else
+          match (s.sample, List.assoc_opt "cat" s.labels) with
+          | Metrics.Dist h, Some cat -> Some (cat, h)
+          | _ -> None)
+      snap
+  in
+  let total = List.fold_left (fun acc (_, h) -> acc +. h.Metrics.sum) 0.0 cats in
+  Buffer.add_string b "\ncycle breakdown\n";
+  List.iter
+    (fun (cat, _) ->
+      let h = List.assoc cat cats in
+      Printf.bprintf b "  %-14s %14s  %6s  (%d charges)\n" cat
+        (fmt h.Metrics.sum) (pct h.Metrics.sum total) h.Metrics.count)
+    (rank (List.map (fun (c, h) -> (c, h.Metrics.sum)) cats));
+  Printf.bprintf b "  %-14s %14s\n" "total" (fmt total);
+
+  (* NoC: per-category + hottest links + heatmap *)
+  let noc = scalar_rows snap "noc.byte_hops" "cat" in
+  let noc_total = List.fold_left (fun a (_, v) -> a +. v) 0.0 noc in
+  Buffer.add_string b "\nnoc byte-hops by category\n";
+  List.iter
+    (fun (cat, v) ->
+      Printf.bprintf b "  %-14s %14s  %6s\n" cat (fmt v) (pct v noc_total))
+    (rank noc);
+  let links = scalar_rows snap "noc.link.byte_hops" "link" in
+  let nonzero = List.length (List.filter (fun (_, v) -> v > 0.0) links) in
+  Printf.bprintf b "\nhottest noc links (top %d of %d active)\n" top nonzero;
+  List.iteri
+    (fun i (l, v) ->
+      if i < top && v > 0.0 then
+        Printf.bprintf b "  %2d. %-12s %14s  %6s\n" (i + 1) l (fmt v)
+          (pct v noc_total))
+    (rank links);
+  if links <> [] then begin
+    (* router egress load: sum of byte-hops over links leaving each router *)
+    let egress = Array.make_matrix t.my t.mx 0.0 in
+    List.iter
+      (fun (l, v) ->
+        try
+          Scanf.sscanf l "%d,%d>%d,%d" (fun sx sy _ _ ->
+              if sx >= 0 && sx < t.mx && sy >= 0 && sy < t.my then
+                egress.(sy).(sx) <- egress.(sy).(sx) +. v)
+        with Scanf.Scan_failure _ | Failure _ | End_of_file -> ())
+      links;
+    let peak = Array.fold_left (Array.fold_left Float.max) 0.0 egress in
+    let shades = " .:-=+*#%@" in
+    Printf.bprintf b "\nmesh heatmap (router egress, peak=%s byte-hops)\n"
+      (fmt peak);
+    for y = 0 to t.my - 1 do
+      Buffer.add_string b "  ";
+      for x = 0 to t.mx - 1 do
+        let v = egress.(y).(x) in
+        let level =
+          if peak <= 0.0 then 0
+          else max 0 (min 9 (int_of_float (v /. peak *. 9.0 +. 0.5)))
+        in
+        Buffer.add_char b shades.[level]
+      done;
+      Buffer.add_char b '\n'
+    done
+  end;
+
+  (* SRAM banks *)
+  let banks = scalar_rows snap "imc.bank.busy_cycles" "bank" in
+  if banks <> [] then begin
+    let btotal = List.fold_left (fun a (_, v) -> a +. v) 0.0 banks in
+    Printf.bprintf b "\nbusiest sram banks (top %d of %d, busy cycles)\n" top
+      (List.length banks);
+    List.iteri
+      (fun i (l, v) ->
+        if i < top && v > 0.0 then
+          Printf.bprintf b "  %2d. bank %-4s %14s  %6s\n" (i + 1) l (fmt v)
+            (pct v btotal))
+      (rank banks)
+  end;
+  (match hist0 snap "imc.cmd_cycles" [ ("kind", "compute") ] with
+  | Some h ->
+    Printf.bprintf b "  compute cmd latency: p50=%s p90=%s (%d cmds)\n"
+      (fmt (Metrics.hist_quantile h 0.5))
+      (fmt (Metrics.hist_quantile h 0.9))
+      h.Metrics.count
+  | None -> ());
+
+  (* DRAM *)
+  let dram_bytes = scalar0 snap "dram.bytes" in
+  if dram_bytes > 0.0 then begin
+    Printf.bprintf b "\ndram: %s bytes in %s bursts, %s busy cycles\n"
+      (fmt dram_bytes)
+      (fmt (scalar0 snap "dram.bursts"))
+      (fmt (scalar0 snap "dram.busy_cycles"));
+    (match hist0 snap "dram.burst_bytes" [] with
+    | Some h ->
+      Printf.bprintf b "  burst bytes: p50=%s p90=%s\n"
+        (fmt (Metrics.hist_quantile h 0.5))
+        (fmt (Metrics.hist_quantile h 0.9))
+    | None -> ());
+    let chans = scalar_rows snap "dram.channel.bytes" "ch" in
+    match rank chans with
+    | (hot, hv) :: _ ->
+      Printf.bprintf b "  channels: %d active, hottest ch%s=%s (%s)\n"
+        (List.length (List.filter (fun (_, v) -> v > 0.0) chans))
+        hot (fmt hv) (pct hv dram_bytes)
+    | [] -> ()
+  end;
+
+  (* JIT *)
+  let lowerings = scalar0 snap "jit.lowerings" in
+  let hits = scalar0 snap "jit.memo_hits" in
+  let misses = scalar0 snap "jit.memo_misses" in
+  if lowerings > 0.0 || hits > 0.0 || misses > 0.0 then begin
+    Printf.bprintf b
+      "\njit: %s lowerings, memo %s hits / %s misses (hit rate %s)\n"
+      (fmt lowerings) (fmt hits) (fmt misses)
+      (pct hits (hits +. misses));
+    match hist0 snap "jit.lower_cycles" [] with
+    | Some h ->
+      Printf.bprintf b "  lowering cycles: p50=%s max<=%s\n"
+        (fmt (Metrics.hist_quantile h 0.5))
+        (fmt (Metrics.hist_quantile h 1.0))
+    | None -> ()
+  end;
+
+  (* per-region critical category *)
+  let order = List.rev t.region_order in
+  if order <> [] || t.pending <> [] then begin
+    Buffer.add_string b "\nregions (critical category)\n";
+    List.iter
+      (fun key ->
+        let kernel, where = key in
+        let r = Hashtbl.find t.regions key in
+        let crit =
+          List.fold_left
+            (fun acc (cat, v) ->
+              match acc with
+              | Some (_, bv) when bv >= !v -> acc
+              | _ -> Some (cat, !v))
+            None r.cats
+        in
+        let ctotal = List.fold_left (fun a (_, v) -> a +. !v) 0.0 r.cats in
+        match crit with
+        | Some (cat, v) ->
+          Printf.bprintf b "  %-24s x%-3d %14s  critical: %s (%s)\n"
+            (kernel ^ "@" ^ where) r.execs (fmt r.cycles) cat (pct v ctotal)
+        | None ->
+          Printf.bprintf b "  %-24s x%-3d %14s\n" (kernel ^ "@" ^ where)
+            r.execs (fmt r.cycles))
+      order;
+    if t.pending <> [] then begin
+      let ptotal = List.fold_left (fun a (_, v) -> a +. !v) 0.0 t.pending in
+      let crit =
+        List.fold_left
+          (fun acc (cat, v) ->
+            match acc with
+            | Some (_, bv) when bv >= !v -> acc
+            | _ -> Some (cat, !v))
+          None t.pending
+      in
+      match crit with
+      | Some (cat, v) ->
+        Printf.bprintf b "  %-24s %18s  critical: %s (%s)\n" "(outside regions)"
+          (fmt ptotal) cat (pct v ptotal)
+      | None -> ()
+    end
+  end;
+  Buffer.contents b

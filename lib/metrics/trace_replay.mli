@@ -1,0 +1,47 @@
+(** Offline replay of a JSONL trace (the [infs_trace] format) into a
+    {!Metrics} registry, plus a deterministic bottleneck report.
+
+    Replay applies the same event-shaped {!Metrics.Sim} functions the live
+    simulator calls, in event order, so the resulting registry is
+    bit-identical to the one a live run with metrics enabled would have
+    produced (for every metric derivable from the event stream).
+
+    Additionally attributes per-category cycle charges to the enclosing
+    program region: [ctr cycles.<cat>] events accumulate into a pending
+    set that each [region] event folds into its kernel (the engine charges
+    before it emits the region event); charges after the last region land
+    in an "(outside regions)" row. *)
+
+type t
+
+val create :
+  ?mesh_x:int ->
+  ?mesh_y:int ->
+  ?banks:int ->
+  ?channels:int ->
+  unit ->
+  t
+(** Geometry used for per-link / per-bank / per-channel attribution;
+    defaults (8, 8, 64, 16) match the paper's machine. *)
+
+val metrics : t -> Metrics.t
+(** The live registry being filled; enabled, owned by this replay. *)
+
+val events : t -> int
+(** Events applied so far (trace summary lines excluded). *)
+
+val feed_line : t -> string -> (unit, string) result
+(** Replay one JSONL line. Blank lines and the trailing summary line are
+    ignored; unknown event kinds are skipped (forward compatibility);
+    malformed JSON is an error. *)
+
+val feed_channel : t -> in_channel -> (int, string) result
+(** Replay a whole channel; [Ok n] is the number of events applied, errors
+    are prefixed with the 1-based line number. *)
+
+val report : ?top:int -> t -> string
+(** Deterministic plain-text bottleneck attribution: cycle breakdown by
+    category, top-[top] hottest NoC links with an ASCII mesh heatmap of
+    router egress load, busiest SRAM banks, DRAM/JIT summaries and the
+    per-region critical-category table. Byte-stable for a given trace
+    (golden-tested). *)

@@ -42,6 +42,13 @@ type shard = {
   queue : job Queue.t; (* guarded by [sm] *)
 }
 
+(* Written only by the owning worker domain; reading after [shutdown] is
+   race-free (Domain.join gives the happens-before edge), reads from a live
+   pool are advisory. *)
+type worker_stats = { mutable jobs_run : int; mutable busy_s : float }
+
+type stats = { wall_s : float; workers : (int * float) array }
+
 type t = {
   shards : shard array;
   mutable domains : unit Domain.t list; (* guarded by [glock] *)
@@ -52,6 +59,8 @@ type t = {
   rr : int Atomic.t; (* round-robin submission cursor *)
   wm : Mutex.t;
   mutable watchers : (unit -> bool) list; (* true = expired, drop it *)
+  wstats : worker_stats array; (* one slot per worker, worker-owned *)
+  created_at : float;
 }
 
 let now () = Unix.gettimeofday ()
@@ -102,7 +111,11 @@ let steal t k =
 let rec worker t k =
   match steal t k with
   | Some job ->
+    let t0 = now () in
     exec job;
+    let ws = t.wstats.(k) in
+    ws.busy_s <- ws.busy_s +. (now () -. t0);
+    ws.jobs_run <- ws.jobs_run + 1;
     worker t k
   | None ->
     if not (Atomic.get t.stopped) then begin
@@ -166,6 +179,8 @@ let create ?jobs () =
       rr = Atomic.make 0;
       wm = Mutex.create ();
       watchers = [];
+      wstats = Array.init n (fun _ -> { jobs_run = 0; busy_s = 0.0 });
+      created_at = now ();
     }
   in
   t.domains <- List.init n (fun k -> Domain.spawn (fun () -> worker t k));
@@ -203,6 +218,12 @@ let shutdown t =
     List.iter Domain.join ds;
     Option.iter Domain.join tick
   end
+
+let stats t =
+  {
+    wall_s = now () -. t.created_at;
+    workers = Array.map (fun ws -> (ws.jobs_run, ws.busy_s)) t.wstats;
+  }
 
 (* ---- submission / results ---- *)
 

@@ -53,6 +53,17 @@ val shutdown : t -> unit
     completed as [Error Cancelled]. Idempotent. Submitting to a shut-down
     pool raises [Invalid_argument]. *)
 
+type stats = {
+  wall_s : float;  (** seconds since the pool was created *)
+  workers : (int * float) array;
+      (** per worker: (jobs run, busy seconds inside jobs) *)
+}
+
+val stats : t -> stats
+(** Worker utilization counters. Exact once the pool is {!shutdown} (the
+    join publishes the workers' writes); on a live pool the values are
+    advisory. Busy-fraction per worker is [busy_s /. wall_s]. *)
+
 type 'a ticket
 (** A handle for one submitted job. *)
 

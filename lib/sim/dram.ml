@@ -10,16 +10,21 @@ let transpose_cycles cfg ~bytes =
     per_bank *. float_of_int Bitserial.transpose_cycles_per_line
   end
 
-let load_traced trace cfg ~bytes =
+let load_traced ?(metrics = Metrics.null) trace cfg ~bytes =
   let cycles = load_cycles cfg ~bytes in
   if bytes > 0.0 && Trace.enabled trace then
     Trace.emit trace (Trace.Dram_burst { bytes; cycles });
+  if bytes > 0.0 && Metrics.enabled metrics then
+    Metrics.Sim.dram_burst metrics ~channels:cfg.Machine_config.mem_ctrls ~bytes
+      ~cycles;
   cycles
 
-let transpose_traced trace cfg ~bytes =
+let transpose_traced ?(metrics = Metrics.null) trace cfg ~bytes =
   let cycles = transpose_cycles cfg ~bytes in
   if bytes > 0.0 && Trace.enabled trace then
     Trace.emit trace (Trace.Ttu_transpose { bytes; cycles });
+  if bytes > 0.0 && Metrics.enabled metrics then
+    Metrics.Sim.ttu metrics ~bytes ~cycles;
   cycles
 
 let fill_transposed_cycles cfg ~bytes ~resident =

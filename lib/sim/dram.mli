@@ -8,12 +8,16 @@ val transpose_cycles : Machine_config.t -> bytes:float -> float
     all banks transpose their resident lines in parallel, pipelined with the
     fill (callers take [max] with the DRAM time, paper §5.2). *)
 
-val load_traced : Trace.t -> Machine_config.t -> bytes:float -> float
+val load_traced :
+  ?metrics:Metrics.t -> Trace.t -> Machine_config.t -> bytes:float -> float
 (** {!load_cycles}, additionally emitting a [Dram_burst] trace event when
-    [bytes > 0] and the context is enabled. *)
+    [bytes > 0] and the context is enabled, and recording burst/channel
+    metrics on [metrics] (default disabled). *)
 
-val transpose_traced : Trace.t -> Machine_config.t -> bytes:float -> float
-(** {!transpose_cycles} with a [Ttu_transpose] trace event. *)
+val transpose_traced :
+  ?metrics:Metrics.t -> Trace.t -> Machine_config.t -> bytes:float -> float
+(** {!transpose_cycles} with a [Ttu_transpose] trace event and TTU
+    metrics. *)
 
 val fill_transposed_cycles : Machine_config.t -> bytes:float -> resident:bool -> float
 (** Cycles to prepare [bytes] of data in transposed layout: a DRAM fetch

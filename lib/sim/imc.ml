@@ -47,6 +47,7 @@ let kind_name = function
 
 let execute cfg traffic ~layout cmds =
   let trace = Traffic.trace_of traffic in
+  let metrics = Traffic.metrics_of traffic in
   let move = ref 0.0
   and comp = ref 0.0
   and sync = ref 0.0
@@ -129,6 +130,8 @@ let execute cfg traffic ~layout cmds =
         if Trace.enabled trace then
           Trace.emit trace
             (Trace.Sync_barrier { cycles = (2.0 *. diameter) +. dispatch });
+        if Metrics.enabled metrics then
+          Metrics.Sim.sync_barrier metrics ~cycles:((2.0 *. diameter) +. dispatch);
         let banks = float_of_int cfg.Machine_config.l3_banks in
         Traffic.add traffic Traffic.Offload
           ~bytes:(banks *. 16.0)
@@ -213,7 +216,12 @@ let execute cfg traffic ~layout cmds =
                lanes = c.lanes_per_tile;
                cycles =
                  !move -. move0 +. (!comp -. comp0) +. (!sync -. sync0);
-             }))
+             });
+      if Metrics.enabled metrics then
+        Metrics.Sim.sram_cmd metrics ~banks:cfg.Machine_config.l3_banks
+          ~kind:(kind_name c.kind) ~label:c.Command.label
+          ~tiles:(Command.tiles_touched c)
+          ~cycles:(!move -. move0 +. (!comp -. comp0) +. (!sync -. sync0)))
     cmds;
   flush_pending ();
   {

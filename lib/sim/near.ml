@@ -66,6 +66,31 @@ let run cfg traffic (w : Workset.t) ~cold_bytes =
   Traffic.add traffic Traffic.Offload
     ~bytes:((flow_msgs *. 8.0) +. (float_of_int (List.length w.streams) *. 64.0))
     ~hops:avg_hops;
-  let dram = Dram.load_traced (Traffic.trace_of traffic) cfg ~bytes:cold_bytes in
+  let metrics = Traffic.metrics_of traffic in
+  let dram =
+    Dram.load_traced ~metrics (Traffic.trace_of traffic) cfg ~bytes:cold_bytes
+  in
   let busy = Float.max compute (Float.max local_mem reuse_noc) in
+  (* Stall breakdown: which resource bounds the stream engines. These are
+     live-only gauges (no corresponding trace event — the event stream is
+     byte-pinned by golden tests), so trace replay intentionally omits
+     them. *)
+  if Metrics.enabled metrics then begin
+    List.iter
+      (fun (part, v) ->
+        Metrics.gauge_add metrics ~labels:[ ("part", part) ] "near.cycles" v)
+      [
+        ("compute", compute);
+        ("bank-bw", local_mem);
+        ("noc-reuse", reuse_noc);
+        ("setup", setup);
+        ("dram", dram);
+      ];
+    let cause =
+      if compute >= local_mem && compute >= reuse_noc then "compute"
+      else if local_mem >= reuse_noc then "bank-bw"
+      else "noc-reuse"
+    in
+    Metrics.incr metrics ~labels:[ ("cause", cause) ] "near.bound" 1.0
+  end;
   { cycles = busy +. setup +. dram; dram_cycles = dram }

@@ -11,6 +11,7 @@ type bucket = { mutable bytes : float; mutable byte_hops : float; mutable packet
 type t = {
   cfg : Machine_config.t;
   trace : Trace.t;
+  metrics : Metrics.t;
   control : bucket;
   data : bucket;
   offload : bucket;
@@ -21,10 +22,11 @@ type t = {
 
 let fresh_bucket () = { bytes = 0.0; byte_hops = 0.0; packets = 0.0 }
 
-let create ?(trace = Trace.null) cfg =
+let create ?(trace = Trace.null) ?(metrics = Metrics.null) cfg =
   {
     cfg;
     trace;
+    metrics;
     control = fresh_bucket ();
     data = fresh_bucket ();
     offload = fresh_bucket ();
@@ -34,6 +36,7 @@ let create ?(trace = Trace.null) cfg =
   }
 
 let trace_of t = t.trace
+let metrics_of t = t.metrics
 
 let reset t =
   List.iter
@@ -60,7 +63,10 @@ let add t cat ~bytes ~hops =
   if Trace.enabled t.trace then
     Trace.emit t.trace
       (Trace.Noc_packet
-         { dir = Trace.Send; category = category_name cat; bytes; hops; packets })
+         { dir = Trace.Send; category = category_name cat; bytes; hops; packets });
+  if Metrics.enabled t.metrics then
+    Metrics.Sim.noc_packet t.metrics ~mx:t.cfg.Machine_config.mesh_x
+      ~my:t.cfg.mesh_y ~cat:(category_name cat) ~bytes ~hops ~packets
 
 let add_local t which ~bytes =
   (match which with
@@ -72,7 +78,11 @@ let add_local t which ~bytes =
          {
            channel = (match which with `Intra_tile -> "intra-tile" | `Htree -> "htree");
            bytes;
-         })
+         });
+  if Metrics.enabled t.metrics then
+    Metrics.Sim.local_move t.metrics
+      ~channel:(match which with `Intra_tile -> "intra-tile" | `Htree -> "htree")
+      ~bytes
 
 let bytes t cat = (bucket t cat).bytes
 let byte_hops t cat = (bucket t cat).byte_hops

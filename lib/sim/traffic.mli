@@ -19,13 +19,20 @@ val category_name : category -> string
 
 type t
 
-val create : ?trace:Trace.t -> Machine_config.t -> t
-(** [create ?trace cfg]: every [add] / [add_local] additionally emits a
-    typed trace event on [trace] (default {!Trace.null}, a no-op). *)
+val create : ?trace:Trace.t -> ?metrics:Metrics.t -> Machine_config.t -> t
+(** [create ?trace ?metrics cfg]: every [add] / [add_local] additionally
+    emits a typed trace event on [trace] (default {!Trace.null}, a no-op)
+    and updates [metrics] (default [Metrics.null]) — per-category NoC
+    counters that mirror the buckets bit-exactly plus per-link load
+    gauges. *)
 
 val trace_of : t -> Trace.t
 (** The trace context this accounting was created with — downstream models
     ([Imc], [Near]) emit their own events on it. *)
+
+val metrics_of : t -> Metrics.t
+(** The metric registry this accounting was created with — downstream
+    models record their own series on it. *)
 
 val reset : t -> unit
 

@@ -9,11 +9,11 @@ type t =
 (* ---- printing (same canonical conventions as infs_trace) ---- *)
 
 let fmt_float f =
-  if Float.is_integer f && Float.abs f < 1e16 then Printf.sprintf "%.0f" f
-  else if not (Float.is_finite f) then
-    if Float.is_nan f then "\"nan\""
-    else if f > 0.0 then "\"inf\""
-    else "\"-inf\""
+  (* JSON has no lexeme for NaN or the infinities; printing them as [null]
+     keeps [to_string] total and its output parseable by any JSON reader
+     (the value round-trips as [Null], not as [Num]). *)
+  if not (Float.is_finite f) then "null"
+  else if Float.is_integer f && Float.abs f < 1e16 then Printf.sprintf "%.0f" f
   else
     let s = Printf.sprintf "%.12g" f in
     if float_of_string s = f then s else Printf.sprintf "%.17g" f

@@ -23,8 +23,10 @@ val parse : string -> (t, string) result
 val to_string : t -> string
 
 val fmt_float : float -> string
-(** ["1310719.375"], ["3"], ["0.1"]; non-finite floats print as quoted
-    strings (["\"inf\""], …) since JSON has no literal for them. *)
+(** ["1310719.375"], ["3"], ["0.1"]. Printing is total: JSON has no
+    literal for [nan] or the infinities, so non-finite floats print as
+    ["null"] — the document stays valid JSON and the value round-trips
+    as {!Null}. *)
 
 (** {1 Accessors} — total functions returning [option]. *)
 

@@ -31,3 +31,38 @@ let maximum = function [] -> 0.0 | x :: xs -> List.fold_left Float.max x xs
 
 let percent ~part ~whole = if whole = 0.0 then 0.0 else 100.0 *. part /. whole
 let ratio a b = if b = 0.0 then 0.0 else a /. b
+
+let quantile q xs =
+  match List.sort compare xs with
+  | [] -> 0.0
+  | sorted ->
+    let a = Array.of_list sorted in
+    let n = Array.length a in
+    let q = Float.min 1.0 (Float.max 0.0 q) in
+    (* Linear interpolation between closest ranks (type-7 estimator, the
+       R/NumPy default): h = q * (n - 1). *)
+    let h = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor h) in
+    let hi = if lo + 1 < n then lo + 1 else lo in
+    let frac = h -. float_of_int lo in
+    a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+
+let histogram ~buckets xs =
+  let buckets = max 1 buckets in
+  match xs with
+  | [] -> (0.0, 0.0, Array.make buckets 0)
+  | _ ->
+    let lo = minimum xs and hi = maximum xs in
+    let counts = Array.make buckets 0 in
+    let width = (hi -. lo) /. float_of_int buckets in
+    List.iter
+      (fun x ->
+        let i =
+          if width <= 0.0 then 0
+          else min (buckets - 1) (int_of_float ((x -. lo) /. width))
+        in
+        (* Guard against fp rounding pushing a value one bucket out. *)
+        let i = max 0 (min (buckets - 1) i) in
+        counts.(i) <- counts.(i) + 1)
+      xs;
+    (lo, hi, counts)

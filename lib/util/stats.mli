@@ -20,3 +20,14 @@ val percent : part:float -> whole:float -> float
 
 val ratio : float -> float -> float
 (** [ratio a b] is [a /. b]; 0 when [b = 0]. *)
+
+val quantile : float -> float list -> float
+(** [quantile q xs] is the [q]-th quantile of [xs] by linear interpolation
+    between closest ranks (the R/NumPy "type 7" default). [q] is clamped to
+    [\[0,1\]]; 0 on the empty list. [quantile 0.5] agrees with {!median}. *)
+
+val histogram : buckets:int -> float list -> float * float * int array
+(** [histogram ~buckets xs] is [(lo, hi, counts)]: an equal-width histogram
+    of [xs] over [\[lo, hi\]] with [max 1 buckets] buckets, where [lo]/[hi]
+    are the min/max of [xs]. Every sample lands in exactly one bucket, so
+    the counts sum to [List.length xs]. [(0., 0., all-zero)] on []. *)

@@ -17,4 +17,5 @@ let () =
       ("fidelity", Test_fidelity.suite);
       ("trace", Test_trace.suite);
       ("pool", Test_pool.suite);
+      ("metrics", Test_metrics.suite);
     ]

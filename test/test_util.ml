@@ -56,6 +56,69 @@ let test_stats_stddev () =
   Alcotest.check (Alcotest.float 1e-6) "stddev" 2.0
     (Stats.stddev [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ])
 
+let test_stats_quantile () =
+  let xs = [ 3.0; 1.0; 2.0; 4.0 ] in
+  Alcotest.check feq "q0 is min" 1.0 (Stats.quantile 0.0 xs);
+  Alcotest.check feq "q1 is max" 4.0 (Stats.quantile 1.0 xs);
+  Alcotest.check feq "q0.5 agrees with median" (Stats.median xs)
+    (Stats.quantile 0.5 xs);
+  Alcotest.check feq "type-7 interpolation" 1.75 (Stats.quantile 0.25 xs);
+  Alcotest.check feq "clamped above" 4.0 (Stats.quantile 2.0 xs);
+  Alcotest.check feq "clamped below" 1.0 (Stats.quantile (-1.0) xs);
+  Alcotest.check feq "empty" 0.0 (Stats.quantile 0.5 [])
+
+let test_stats_histogram () =
+  let lo, hi, counts = Stats.histogram ~buckets:4 [ 0.0; 1.0; 2.0; 3.0; 4.0 ] in
+  Alcotest.check feq "lo" 0.0 lo;
+  Alcotest.check feq "hi" 4.0 hi;
+  Alcotest.(check (array int)) "max lands in the last bucket"
+    [| 1; 1; 1; 2 |] counts;
+  let _, _, c1 = Stats.histogram ~buckets:3 [ 5.0; 5.0 ] in
+  Alcotest.(check (array int)) "degenerate range -> bucket 0" [| 2; 0; 0 |] c1;
+  let lo, hi, c2 = Stats.histogram ~buckets:2 [] in
+  Alcotest.check feq "empty lo" 0.0 lo;
+  Alcotest.check feq "empty hi" 0.0 hi;
+  Alcotest.(check (array int)) "empty counts" [| 0; 0 |] c2
+
+let prop_quantile_monotone =
+  QCheck.Test.make ~name:"Stats.quantile is monotone in q" ~count:300
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 30) (float_range (-1e6) 1e6))
+        (pair (float_range 0.0 1.0) (float_range 0.0 1.0)))
+    (fun (xs, (q1, q2)) ->
+      let lo = Float.min q1 q2 and hi = Float.max q1 q2 in
+      Stats.quantile lo xs <= Stats.quantile hi xs)
+
+let prop_histogram_total =
+  QCheck.Test.make ~name:"Stats.histogram counts sum to n" ~count:300
+    QCheck.(
+      pair (int_range 1 16)
+        (list_of_size Gen.(int_range 0 50) (float_range (-1e6) 1e6)))
+    (fun (buckets, xs) ->
+      let _, _, counts = Stats.histogram ~buckets xs in
+      Array.fold_left ( + ) 0 counts = List.length xs)
+
+let test_json_float_total () =
+  Alcotest.(check string) "nan prints as null" "null" (Json.fmt_float nan);
+  Alcotest.(check string) "inf prints as null" "null" (Json.fmt_float infinity);
+  Alcotest.(check string) "-inf prints as null" "null"
+    (Json.fmt_float neg_infinity);
+  Alcotest.(check string) "integral" "3" (Json.fmt_float 3.0);
+  (* a document carrying a non-finite number stays parseable and the
+     value round-trips as Null *)
+  match Json.parse (Json.to_string (Json.Obj [ ("x", Json.Num infinity) ])) with
+  | Error e -> Alcotest.failf "non-finite document unparseable: %s" e
+  | Ok j ->
+    Alcotest.(check bool) "round-trips as Null" true
+      (Json.member "x" j = Some Json.Null)
+
+let prop_json_float_roundtrip =
+  QCheck.Test.make ~name:"Json.fmt_float round-trips finite floats" ~count:500
+    QCheck.float (fun f ->
+      if Float.is_finite f then float_of_string (Json.fmt_float f) = f
+      else Json.fmt_float f = "null")
+
 let test_table_render () =
   let t = Table.create ~title:"t" ~columns:[ "a"; "bb" ] in
   Table.add_row t [ "x"; "y" ];
@@ -82,6 +145,12 @@ let suite =
     QCheck_alcotest.to_alcotest prop_rng_float_bounds;
     ("stats basics", `Quick, test_stats);
     ("stats stddev", `Quick, test_stats_stddev);
+    ("stats quantile", `Quick, test_stats_quantile);
+    ("stats histogram", `Quick, test_stats_histogram);
+    QCheck_alcotest.to_alcotest prop_quantile_monotone;
+    QCheck_alcotest.to_alcotest prop_histogram_total;
+    ("json float is total", `Quick, test_json_float_total);
+    QCheck_alcotest.to_alcotest prop_json_float_roundtrip;
     ("table render", `Quick, test_table_render);
     ("table float format", `Quick, test_table_float_fmt);
   ]
