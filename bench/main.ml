@@ -795,6 +795,88 @@ let metrics_overhead_check () =
     exit 1
   end
 
+(* The fault-model contract mirrors the metrics one: with faults disabled
+   (the default) every instrumentation site costs one option test. Arm a
+   zero-rate spec (seed only, every probability 0.0) to count the draw
+   sites a real run passes through — the armed-but-never-firing run is
+   cycle-identical to a disabled one — then bound the disabled-run
+   overhead as sites x guard cost / wall-time; fail the bench if the
+   estimate crosses 2%. *)
+let fault_overhead_check () =
+  let guard_ns =
+    let n = 20_000_000 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do
+      match Sys.opaque_identity (None : int option) with
+      | Some _ -> ignore (Sys.opaque_identity n)
+      | None -> ()
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int n
+  in
+  let w = Infs_workloads.Stencil.stencil2d ~iters:2 ~n:256 in
+  let armed =
+    match Fault.parse "seed=42" with Ok s -> s | Error e -> failwith e
+  in
+  let r =
+    E.run_exn ~options:{ suite_options with E.faults = armed } E.Inf_s w
+  in
+  let draws =
+    match r.R.faults with Some f -> f.R.draws | None -> failwith "no fault summary"
+  in
+  (* time the disabled run after a warmup (compile cache, allocator) *)
+  ignore (E.run_exn ~options:suite_options E.Inf_s w);
+  let t0 = Unix.gettimeofday () in
+  ignore (E.run_exn ~options:suite_options E.Inf_s w);
+  let wall = Unix.gettimeofday () -. t0 in
+  let overhead = float_of_int draws *. guard_ns *. 1e-9 /. Float.max 1e-9 wall in
+  Printf.printf
+    "fault-hook overhead: %d disabled guards x %.2f ns = %.4f%% of a %.1f ms \
+     run (budget 2%%)\n\n"
+    draws guard_ns (100.0 *. overhead) (1e3 *. wall);
+  if overhead >= 0.02 then begin
+    Printf.eprintf
+      "FAIL: disabled-fault-hook overhead %.2f%% exceeds the 2%% budget\n"
+      (100.0 *. overhead);
+    exit 1
+  end
+
+(* ---------- seeded degraded-mode section (--faults SPEC) ---------- *)
+
+(* Runs outside the report cache on purpose: fault-afflicted cycle counts
+   must never leak into the --json dump the regression gate diffs. *)
+let fault_section spec =
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf "Degraded mode - Inf-S under faults [%s]"
+           (Fault.to_string spec))
+      ~columns:
+        [ "workload"; "cycles"; "vs clean"; "injected"; "retries"; "fallbacks"; "wasted%" ]
+  in
+  List.iter
+    (fun (label, w) ->
+      let clean = E.run_exn ~options:suite_options E.Inf_s w in
+      let r =
+        E.run_exn ~options:{ suite_options with E.faults = spec } E.Inf_s w
+      in
+      match r.R.faults with
+      | None -> ()
+      | Some f ->
+        Table.add_row t
+          [
+            label;
+            Table.fmt_float r.R.cycles;
+            Table.fmt_float (r.R.cycles /. Float.max 1.0 clean.R.cycles);
+            string_of_int
+              (List.fold_left (fun a (_, n) -> a + n) 0 f.R.injected);
+            string_of_int f.R.retries;
+            string_of_int f.R.fallbacks;
+            Table.fmt_float
+              (100.0 *. f.R.wasted_cycles /. Float.max 1.0 r.R.cycles);
+          ])
+    (Cat.all_variants (Cat.test_scale ()));
+  Table.print t
+
 (* ---------- trace hook ---------- *)
 
 let trace_demo file =
@@ -843,7 +925,8 @@ let smoke () =
   fig11 entries;
   fig14 entries;
   jit_overheads entries;
-  metrics_overhead_check ()
+  metrics_overhead_check ();
+  fault_overhead_check ()
 
 let () =
   print_endline "infinity stream - benchmark harness (ASPLOS'23 evaluation)";
@@ -875,11 +958,25 @@ let () =
     | Some n -> max 1 n
     | None -> Pool.recommended_jobs ()
   in
+  let fault_spec =
+    let rec find = function
+      | "--faults" :: s :: _ -> (
+        match Fault.parse s with
+        | Ok sp -> Some sp
+        | Error e ->
+          prerr_endline ("error: --faults: " ^ e);
+          exit 2)
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find argv
+  in
   bench_jobs := jobs;
   let t0 = Unix.gettimeofday () in
   Option.iter trace_demo trace_file;
   let suite = if List.mem "--smoke" argv then "smoke" else "full" in
   if suite = "smoke" then smoke () else full ();
+  Option.iter fault_section fault_spec;
   Option.iter (dump_json ~suite) json_file;
   let hits, misses, entries = E.compile_cache_stats () in
   Printf.printf

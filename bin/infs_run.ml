@@ -143,13 +143,33 @@ let metrics_arg =
               gauges, latency histograms) to $(docv); .prom selects \
               Prometheus text exposition, anything else JSON")
 
+let faults_conv =
+  let parse s =
+    match Fault.parse s with Ok sp -> Ok sp | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, fun ppf sp -> Format.pp_print_string ppf (Fault.to_string sp))
+
+let faults_arg =
+  Arg.(
+    value & opt faults_conv Fault.none
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "arm the seeded hardware-fault model, e.g. \
+           $(b,seed=42,sram=1e-4,noc=0.01,dram=0.001,watchdog=0.01). Keys: \
+           seed, sram (bit-flip rate/cycle), noc (degrade probability), \
+           jitter (slowdown factor), dram (stall probability), stall \
+           (stall cycles), watchdog (hang probability), retries (bounded \
+           retry budget before paradigm fallback). Identical specs give \
+           byte-identical reports at any --jobs count.")
+
 let list_cmd =
   let run scale = List.iter print_endline (workload_names scale) in
   Cmd.v (Cmd.info "list" ~doc:"list available workloads (sorted)")
     Term.(const run $ scale_arg)
 
 let run_cmd =
-  let run scale wname pname functional trace_file trace_format metrics_file =
+  let run scale wname pname functional trace_file trace_format metrics_file
+      faults =
     match (find_workload scale wname, paradigm_of_string pname) with
     | Error e, _ | _, Error e ->
       prerr_endline e;
@@ -170,7 +190,9 @@ let run_cmd =
       let metrics =
         if metrics_file = None then Metrics.null else Metrics.create ()
       in
-      let options = { E.default_options with functional; trace; metrics } in
+      let options =
+        { E.default_options with functional; trace; metrics; faults }
+      in
       let result = E.run ~options p w in
       Trace.close trace;
       Option.iter close_out oc;
@@ -208,7 +230,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"simulate one workload under one paradigm")
     Term.(
       const run $ scale_arg $ workload_arg $ paradigm_arg $ functional_arg
-      $ trace_arg $ trace_format_arg $ metrics_arg)
+      $ trace_arg $ trace_format_arg $ metrics_arg $ faults_arg)
 
 let compile_cmd =
   let run scale wname =
@@ -367,6 +389,7 @@ type batch_spec = {
   sp_charge_jit : bool;
   sp_tile : int array option;
   sp_timeout : float option;
+  sp_faults : Fault.spec option;  (* None: use the batch-wide --faults *)
 }
 
 let spec_of_json j =
@@ -402,6 +425,17 @@ let spec_of_json j =
         | Some f when f > 0.0 -> Ok (Some f)
         | _ -> Error "field timeout_s must be a positive number")
     in
+    let faults =
+      match Json.member "faults" j with
+      | None -> Ok None
+      | Some v -> (
+        match Json.to_str v with
+        | None -> Error "field faults must be a spec string"
+        | Some s -> (
+          match Fault.parse s with
+          | Ok sp -> Ok (Some sp)
+          | Error e -> Error ("field faults: " ^ e)))
+    in
     match
       ( bool_field "functional" false,
         bool_field "optimize" true,
@@ -409,7 +443,8 @@ let spec_of_json j =
         bool_field "pre_transposed" false,
         bool_field "charge_jit" true,
         tile,
-        timeout )
+        timeout,
+        faults )
     with
     | ( Ok sp_functional,
         Ok sp_optimize,
@@ -417,7 +452,8 @@ let spec_of_json j =
         Ok sp_pre_transposed,
         Ok sp_charge_jit,
         Ok sp_tile,
-        Ok sp_timeout ) ->
+        Ok sp_timeout,
+        Ok sp_faults ) ->
       Ok
         {
           sp_workload;
@@ -429,14 +465,16 @@ let spec_of_json j =
           sp_charge_jit;
           sp_tile;
           sp_timeout;
+          sp_faults;
         }
-    | (Error _ as e), _, _, _, _, _, _
-    | _, (Error _ as e), _, _, _, _, _
-    | _, _, (Error _ as e), _, _, _, _
-    | _, _, _, (Error _ as e), _, _, _
-    | _, _, _, _, (Error _ as e), _, _
-    | _, _, _, _, _, (Error _ as e), _
-    | _, _, _, _, _, _, (Error _ as e) -> e)
+    | (Error _ as e), _, _, _, _, _, _, _
+    | _, (Error _ as e), _, _, _, _, _, _
+    | _, _, (Error _ as e), _, _, _, _, _
+    | _, _, _, (Error _ as e), _, _, _, _
+    | _, _, _, _, (Error _ as e), _, _, _
+    | _, _, _, _, _, (Error _ as e), _, _
+    | _, _, _, _, _, _, (Error _ as e), _
+    | _, _, _, _, _, _, _, (Error _ as e) -> e)
 
 (* Each job re-resolves its workload from the catalog, so jobs never share
    mutable workload state (notably the lazy input arrays) across domains;
@@ -445,7 +483,7 @@ let spec_of_json j =
    single-domain) and returns its snapshot as JSON; the snapshot holds only
    simulated quantities, so report lines stay byte-identical across
    [--jobs] settings. *)
-let exec_spec scale ~with_metrics (spec : batch_spec) =
+let exec_spec scale ~with_metrics ~faults (spec : batch_spec) =
   match
     (find_workload scale spec.sp_workload, paradigm_of_string spec.sp_paradigm)
   with
@@ -463,11 +501,25 @@ let exec_spec scale ~with_metrics (spec : batch_spec) =
         tile_override = spec.sp_tile;
         share_compile = true;
         metrics;
+        faults = (match spec.sp_faults with Some f -> f | None -> faults);
       }
     in
     match E.run ~options p w with
     | Error e -> Error e
     | Ok r ->
+      (* Fault mitigation guarantees a correct functional result; a
+         mismatch under an armed fault model means mitigation fell short —
+         surface it as the pool's structured Degraded outcome (never
+         retried: the seeded model would re-derive it) rather than a
+         crash or a silent wrong answer. *)
+      (match (r.R.faults, r.R.correctness) with
+      | Some _, `Checked err when err > functional_tolerance ->
+        raise
+          (Pool.Degradation
+             (Printf.sprintf
+                "functional mismatch under faults: max error %.3e exceeds %.0e"
+                err functional_tolerance))
+      | _ -> ());
       let mj =
         if with_metrics then
           (* whether THIS job hit the process-wide compile cache depends
@@ -501,6 +553,7 @@ let matrix_specs scale =
             sp_charge_jit = true;
             sp_tile = None;
             sp_timeout = None;
+            sp_faults = None;
           }))
         batch_paradigm_names)
     (workload_names scale)
@@ -527,7 +580,8 @@ let read_spec_lines ic =
   go [] 0
 
 let batch_cmd =
-  let run scale jobs spec_file matrix timeout_s out_file metrics_file =
+  let run scale jobs spec_file matrix timeout_s out_file metrics_file faults
+      job_retries =
     let specs =
       if matrix then matrix_specs scale
       else
@@ -555,6 +609,7 @@ let batch_cmd =
     let t0 = Unix.gettimeofday () in
     let pool = Pool.create ~jobs () in
     let failures = ref 0 in
+    let degraded = ref 0 in
     let emit id json_fields =
       output_string oc (Json.to_string (Json.Obj (("id", Json.Num (float_of_int id)) :: json_fields)));
       output_char oc '\n';
@@ -573,8 +628,11 @@ let batch_cmd =
                   match sp.sp_timeout with Some t -> Some t | None -> timeout_s
                 in
                 `Job
-                  (Pool.submit pool ?timeout_s (fun () ->
-                       exec_spec scale ~with_metrics:(metrics_file <> None) sp)))
+                  (Pool.submit pool ~retries:job_retries ~backoff_s:0.01
+                     ?timeout_s (fun () ->
+                       exec_spec scale
+                         ~with_metrics:(metrics_file <> None)
+                         ~faults sp)))
             specs
         in
         List.iteri
@@ -587,6 +645,17 @@ let batch_cmd =
             | `Bad e -> error e
             | `Job tk -> (
               match Pool.await tk with
+              | Error (Pool.Degraded msg) ->
+                (* structured degraded outcome: reported on its own line,
+                   counted separately from failures (the job terminated
+                   with a diagnosis, not a crash) *)
+                incr degraded;
+                emit id
+                  [
+                    ("ok", Json.Bool false);
+                    ("degraded", Json.Bool true);
+                    ("error", Json.Str msg);
+                  ]
               | Error pe -> error (Pool.error_to_string pe)
               | Ok (Error e) -> error e
               | Ok (Ok (r, mj)) ->
@@ -631,6 +700,10 @@ let batch_cmd =
       (if jobs = 1 then "" else "s")
       elapsed hits misses entries
       (100.0 *. float_of_int hits /. float_of_int (max 1 (hits + misses)));
+    if !degraded > 0 then
+      Printf.eprintf "batch: %d job%s degraded (structured, not counted as failures)\n"
+        !degraded
+        (if !degraded = 1 then "" else "s");
     if !failures > 0 then begin
       Printf.eprintf "batch: %d job%s failed\n" !failures
         (if !failures = 1 then "" else "s");
@@ -683,6 +756,15 @@ let batch_cmd =
              across --jobs) and write pool worker-utilization metrics to \
              $(docv) after shutdown")
   in
+  let job_retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "job-retries" ] ~docv:"N"
+          ~doc:
+            "re-run a job that raised an ordinary exception up to $(docv) \
+             extra times with exponential backoff; structured degraded \
+             outcomes are never retried")
+  in
   Cmd.v
     (Cmd.info "batch"
        ~doc:
@@ -690,7 +772,7 @@ let batch_cmd =
           streaming one JSON report line per job in submission order")
     Term.(
       const run $ scale_arg $ jobs_arg $ spec_arg $ matrix_arg $ timeout_arg
-      $ out_arg $ batch_metrics_arg)
+      $ out_arg $ batch_metrics_arg $ faults_arg $ job_retries_arg)
 
 (* ---------- analyze: offline trace -> bottleneck report ---------- *)
 

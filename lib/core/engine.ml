@@ -21,6 +21,7 @@ type options = {
   trace : Trace.t;
   metrics : Metrics.t;
   share_compile : bool;
+  faults : Fault.spec;
 }
 
 let default_options =
@@ -35,6 +36,7 @@ let default_options =
     trace = Trace.null;
     metrics = Metrics.null;
     share_compile = false;
+    faults = Fault.none;
   }
 
 (* ---- process-wide compile cache (batch / bench paths) ----
@@ -198,6 +200,10 @@ type state = {
   fb : Fat_binary.t;
   env : Interp.env;
   traffic : Traffic.t;
+  faults : Fault.injector option;
+  mutable fault_retries : int;
+  mutable fault_fallbacks : int;
+  mutable fault_wasted : float;
   bd : Breakdown.t;
   events : Energy.events;
   memo : Jit.memo;
@@ -327,6 +333,10 @@ let run_core st ~threads (region : Fat_binary.region) =
   note_timeline st region.kernel.Ast.kname Report.On_core r.Corem.cycles;
   if st.opts.functional then Interp.exec_kernel st.env region.kernel
 
+(* Returns [false] when the watchdog detected a hung stream engine: the
+   attempt's cycles were charged (and are wasted), and the kernel's
+   functional effect has NOT been applied — the caller must retry or fall
+   back so it is applied exactly once. *)
 let run_near st (region : Fat_binary.region) =
   let w = workset_of st region in
   let cold =
@@ -344,7 +354,11 @@ let run_near st (region : Fat_binary.region) =
   st.events.Energy.l3_bytes <- st.events.Energy.l3_bytes +. Workset.touched_bytes w;
   st.other_elems <- st.other_elems +. w.flops;
   note_timeline st region.kernel.Ast.kname Report.Near_mem r.Near.cycles;
-  if st.opts.functional then Interp.exec_kernel st.env region.kernel
+  if r.Near.watchdog then false
+  else begin
+    if st.opts.functional then Interp.exec_kernel st.env region.kernel;
+    true
+  end
 
 (* ----- in-memory execution ----- *)
 
@@ -438,7 +452,7 @@ let hybrid_cost st ~stream_elems ~final_reduce_elems =
       Traffic.add st.traffic Traffic.Control ~bytes:(bytes /. 4.0) ~hops:avg_hops
     end;
     let cycles =
-      Traffic.bulk_cycles cfg ~bytes ~avg_hops
+      Traffic.bulk_cycles_in st.traffic ~detail:"hybrid-core" ~bytes ~avg_hops
       +. (elems /. Machine_config.peak_simd_flops_per_cycle cfg)
     in
     st.events.Energy.core_flops <- st.events.Energy.core_flops +. elems;
@@ -492,9 +506,10 @@ let run_in_memory st (region : Fat_binary.region) (layout : Layout.t)
     arrays;
   let prep =
     Float.max
-      (Dram.load_traced ~metrics:(metricsv st) (tracev st) cfg ~bytes:!dram_bytes)
-      (Dram.transpose_traced ~metrics:(metricsv st) (tracev st) cfg
-         ~bytes:!transpose_bytes)
+      (Dram.load_traced ~metrics:(metricsv st) ?faults:st.faults (tracev st) cfg
+         ~bytes:!dram_bytes)
+      (Dram.transpose_traced ~metrics:(metricsv st) ?faults:st.faults (tracev st)
+         cfg ~bytes:!transpose_bytes)
   in
   charge st `Dram prep;
   st.events.Energy.dram_bytes <- st.events.Energy.dram_bytes +. !dram_bytes;
@@ -533,26 +548,112 @@ let run_in_memory st (region : Fat_binary.region) (layout : Layout.t)
   st.events.Energy.sram_array_cycles <-
     st.events.Energy.sram_array_cycles +. r.Imc.sram_array_cycles;
   st.in_mem_elems <- st.in_mem_elems +. jst.Jit.compute_elems;
-  (* 4. embedded streams + final reduce *)
-  let stream_elems = jst.Jit.stream_load_elems +. jst.Jit.stream_store_elems in
-  let hybrid_cycles =
-    match hybrid_cost st ~stream_elems ~final_reduce_elems:jst.Jit.final_reduce_elems with
-    | `Core c ->
-      charge st `Core c;
-      c
-    | `Near (sc, fc) ->
-      charge st `Mix sc;
-      charge st `Final_reduce fc;
-      sc +. fc
+  if r.Imc.faulted then begin
+    (* an SRAM bit flip aborted the region mid-execution: the prep / JIT /
+       partial command cycles above stay charged (they were really spent);
+       the functional effect is NOT applied — the caller retries or
+       re-targets so it is applied exactly once *)
+    note_timeline st region.kernel.Ast.kname Report.In_mem
+      (prep +. jit_cycles +. r.Imc.move_cycles +. r.sync_cycles
+     +. r.Imc.compute_cycles);
+    false
+  end
+  else begin
+    (* 4. embedded streams + final reduce *)
+    let stream_elems = jst.Jit.stream_load_elems +. jst.Jit.stream_store_elems in
+    let hybrid_cycles =
+      match hybrid_cost st ~stream_elems ~final_reduce_elems:jst.Jit.final_reduce_elems with
+      | `Core c ->
+        charge st `Core c;
+        c
+      | `Near (sc, fc) ->
+        charge st `Mix sc;
+        charge st `Final_reduce fc;
+        sc +. fc
+    in
+    st.other_elems <- st.other_elems +. stream_elems +. jst.Jit.final_reduce_elems;
+    let total =
+      prep +. jit_cycles +. r.Imc.move_cycles +. r.sync_cycles
+      +. r.Imc.compute_cycles +. hybrid_cycles
+    in
+    note_timeline st region.kernel.Ast.kname Report.In_mem total;
+    (* 5. functional evaluation through the tDFG *)
+    if st.opts.functional then Tdfg_eval.eval g st.env;
+    true
+  end
+
+(* ----- fault mitigation ----- *)
+
+let fault_note st ~site ~action ~detail ~cycles =
+  if Trace.enabled (tracev st) then
+    Trace.emit (tracev st) (Trace.Fault { site; action; detail; cycles });
+  if Metrics.enabled (metricsv st) then
+    Metrics.Sim.fault (metricsv st) ~site ~action ~cycles
+
+(* Bounded retry loop around one kernel attempt. [f ()] returns success;
+   a failed attempt's Breakdown delta is wasted time — accounted, traced,
+   and retried up to the spec's bound before [fallback] re-targets the
+   region (§4.3 machinery in reverse: the runtime re-lowers to the next
+   paradigm down, which for core execution never faults, so every kernel
+   terminates). *)
+let with_retries st fi ~site ~kname f ~fallback =
+  let rec go attempt =
+    let before = Breakdown.total st.bd in
+    if f () then ()
+    else begin
+      let wasted = Breakdown.total st.bd -. before in
+      st.fault_wasted <- st.fault_wasted +. wasted;
+      if attempt < Fault.max_retries fi then begin
+        st.fault_retries <- st.fault_retries + 1;
+        fault_note st ~site ~action:"retry" ~detail:kname ~cycles:wasted;
+        go (attempt + 1)
+      end
+      else begin
+        st.fault_fallbacks <- st.fault_fallbacks + 1;
+        fault_note st ~site ~action:"fallback" ~detail:kname ~cycles:wasted;
+        fallback ()
+      end
+    end
   in
-  st.other_elems <- st.other_elems +. stream_elems +. jst.Jit.final_reduce_elems;
-  let total =
-    prep +. jit_cycles +. r.Imc.move_cycles +. r.sync_cycles
-    +. r.Imc.compute_cycles +. hybrid_cycles
-  in
-  note_timeline st region.kernel.Ast.kname Report.In_mem total;
-  (* 5. functional evaluation through the tDFG *)
-  if st.opts.functional then Tdfg_eval.eval g st.env
+  go 0
+
+(* Near-memory with watchdog mitigation: retry the offload, then fall back
+   to core execution (cores use the reliable demand-paging path and never
+   fault — the termination guarantee). *)
+let exec_near st (region : Fat_binary.region) =
+  match st.faults with
+  | None -> ignore (run_near st region : bool)
+  | Some fi ->
+    let kname = region.Fat_binary.kernel.Ast.kname in
+    with_retries st fi ~site:"watchdog" ~kname
+      (fun () -> run_near st region)
+      ~fallback:(fun () ->
+        Decision.fault_fallback ~trace:(tracev st) ~kernel:kname ~site:"watchdog"
+          ~target:"core" ();
+        if Metrics.enabled (metricsv st) then
+          Metrics.Sim.decision (metricsv st) ~target:"core";
+        run_core st ~threads:(cfgv st).Machine_config.cores region)
+
+(* In-memory with SRAM-flip mitigation: retry (residency and the JIT memo
+   make retries much cheaper than first attempts), then re-lower the region
+   to the paradigm's fallback target — near-memory for Inf-S, core for
+   In-L3 — via the same §4.3 decision machinery, visibly in the trace. *)
+let exec_in_memory st (region : Fat_binary.region) layout schedule =
+  match st.faults with
+  | None -> ignore (run_in_memory st region layout schedule : bool)
+  | Some fi ->
+    let kname = region.Fat_binary.kernel.Ast.kname in
+    with_retries st fi ~site:"sram" ~kname
+      (fun () -> run_in_memory st region layout schedule)
+      ~fallback:(fun () ->
+        let target = if st.paradigm = In_l3 then "core" else "near-memory" in
+        Decision.fault_fallback ~trace:(tracev st) ~kernel:kname ~site:"sram"
+          ~target ();
+        if Metrics.enabled (metricsv st) then
+          Metrics.Sim.decision (metricsv st) ~target;
+        if st.paradigm = In_l3 then
+          run_core st ~threads:(cfgv st).Machine_config.cores region
+        else exec_near st region)
 
 (* ----- per-kernel dispatch ----- *)
 
@@ -565,12 +666,12 @@ let on_kernel st _env (k : Ast.kernel) =
   match st.paradigm with
   | Base_1 -> run_core st ~threads:1 region
   | Base -> run_core st ~threads:(cfgv st).Machine_config.cores region
-  | Near_l3 -> run_near st region
+  | Near_l3 -> exec_near st region
   | In_l3 | Inf_s | Inf_s_nojit -> begin
     let fallback () =
       if st.paradigm = In_l3 then
         run_core st ~threads:(cfgv st).Machine_config.cores region
-      else run_near st region
+      else exec_near st region
     in
     match region.fallback with
     | Some _ -> fallback ()
@@ -598,7 +699,7 @@ let on_kernel st _env (k : Ast.kernel) =
           if st.paradigm = In_l3 then
             (* In-L3 has no near-memory support and always offloads
                expressible regions to the SRAMs *)
-            run_in_memory st region layout schedule
+            exec_in_memory st region layout schedule
           else begin
             let verdict =
               Decision.decide ~trace:(tracev st) ~kernel:k.Ast.kname (cfgv st)
@@ -618,7 +719,7 @@ let on_kernel st _env (k : Ast.kernel) =
               Metrics.Sim.decision (metricsv st)
                 ~target:(Decision.target_name verdict.Decision.target);
             match verdict.Decision.target with
-            | Decision.In_memory -> run_in_memory st region layout schedule
+            | Decision.In_memory -> exec_in_memory st region layout schedule
             | Decision.Near_memory -> fallback ()
           end
       end
@@ -661,6 +762,18 @@ let run ?(options = default_options) paradigm (w : Workload.t) =
     | Ok env ->
       if options.functional then
         List.iter (fun (n, d) -> Interp.set_array env n d) (force_inputs w);
+      (* The injector's streams are seeded from the spec and a scope that
+         depends only on the workload and paradigm — never on scheduling —
+         so identical seeds yield byte-identical reports at any --jobs
+         count. [Fault.none] (the default) installs no injector at all:
+         zero draws, zero overhead beyond one option match per hook. *)
+      let faults =
+        if Fault.is_none options.faults then None
+        else
+          Some
+            (Fault.create options.faults
+               ~scope:(w.wname ^ "|" ^ paradigm_to_string paradigm))
+      in
       let st =
         {
           opts = options;
@@ -669,7 +782,11 @@ let run ?(options = default_options) paradigm (w : Workload.t) =
           env;
           traffic =
             Traffic.create ~trace:options.trace ~metrics:options.metrics
-              options.cfg;
+              ?faults options.cfg;
+          faults;
+          fault_retries = 0;
+          fault_fallbacks = 0;
+          fault_wasted = 0.0;
           bd = Breakdown.zero ();
           events = Energy.fresh ();
           memo = Jit.memo_create ();
@@ -767,6 +884,23 @@ let run ?(options = default_options) paradigm (w : Workload.t) =
                (let total = st.in_mem_elems +. st.other_elems in
                 if total <= 0.0 then 0.0 else st.in_mem_elems /. total);
              correctness;
+             faults =
+               (match st.faults with
+               | None -> None
+               | Some fi ->
+                 Some
+                   {
+                     Report.spec = Fault.to_string (Fault.spec_of fi);
+                     injected =
+                       List.map
+                         (fun s -> (Fault.site_name s, Fault.injected fi s))
+                         Fault.all_sites;
+                     draws = Fault.draws fi;
+                     retries = st.fault_retries;
+                     fallbacks = st.fault_fallbacks;
+                     wasted_cycles = st.fault_wasted;
+                     degraded = Fault.total_injected fi > 0;
+                   });
            }
        with Failure e -> Error e)
   end

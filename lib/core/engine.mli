@@ -66,6 +66,20 @@ type options = {
           behavior (and golden traces) is byte-identical to before. When
           the trace is enabled, each lookup bumps a [compile_cache.hits] /
           [compile_cache.misses] trace counter. *)
+  faults : Fault.spec;
+      (** seeded hardware-fault model (default {!Fault.none}: no injector
+          is installed and the run is byte-identical to a faultless
+          build). With a non-default spec the engine arms deterministic
+          per-site fault streams — SRAM bit flips abort in-memory regions,
+          NoC degradation stretches bulk transfers, DRAM channels stall,
+          near-memory stream engines hang — and mitigates: bounded retries
+          (wasted cycles charged and accounted), then paradigm fallback
+          (in-memory regions re-lower to near-memory or core; near-memory
+          falls back to core, which never faults, so every run
+          terminates). Functional results remain correct under mitigation;
+          the report gains a [faults] summary. Streams are scoped to
+          (workload, paradigm), so identical specs give byte-identical
+          reports at any [--jobs] count. *)
 }
 
 val default_options : options

@@ -10,6 +10,16 @@ type jit_summary = {
   avg_us : float;
 }
 
+type fault_summary = {
+  spec : string;  (** canonical [Fault.to_string] of the active spec *)
+  injected : (string * int) list;  (** per-site injection counts *)
+  draws : int;  (** fault-check sites passed (RNG draws) *)
+  retries : int;  (** failed attempts retried on the same target *)
+  fallbacks : int;  (** regions re-targeted to a slower paradigm *)
+  wasted_cycles : float;  (** cycles charged to failed attempts *)
+  degraded : bool;  (** at least one fault was injected *)
+}
+
 type t = {
   workload : string;
   paradigm : string;
@@ -25,6 +35,9 @@ type t = {
   timeline : timeline_entry list;
   in_mem_op_fraction : float;
   correctness : [ `Checked of float | `Skipped ];
+  faults : fault_summary option;
+      (** [None] when fault injection is disabled (the default); the
+          report then serializes byte-identically to a faultless build *)
 }
 
 let speedup ~baseline t = if t.cycles <= 0.0 then 0.0 else baseline.cycles /. t.cycles
@@ -44,7 +57,7 @@ let where_to_string = function
 let to_json t =
   let num_assoc kvs = Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) kvs) in
   Json.Obj
-    [
+    ([
       ("workload", Json.Str t.workload);
       ("paradigm", Json.Str t.paradigm);
       ("cycles", Json.Num t.cycles);
@@ -81,6 +94,29 @@ let to_json t =
         | `Checked err -> Json.Num err
         | `Skipped -> Json.Null );
     ]
+    @
+    (* appended only when fault injection was armed, so default reports
+       keep their exact pre-fault byte layout *)
+    match t.faults with
+    | None -> []
+    | Some f ->
+      [
+        ( "faults",
+          Json.Obj
+            [
+              ("spec", Json.Str f.spec);
+              ( "injected",
+                Json.Obj
+                  (List.map
+                     (fun (site, n) -> (site, Json.Num (float_of_int n)))
+                     f.injected) );
+              ("draws", Json.Num (float_of_int f.draws));
+              ("retries", Json.Num (float_of_int f.retries));
+              ("fallbacks", Json.Num (float_of_int f.fallbacks));
+              ("wasted_cycles", Json.Num f.wasted_cycles);
+              ("degraded", Json.Bool f.degraded);
+            ] );
+      ])
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>%s [%s]: %.3e cycles, %.3e energy@," t.workload
@@ -91,4 +127,14 @@ let pp ppf t =
   (match t.correctness with
   | `Checked err -> Format.fprintf ppf "  checked: max-err=%.2e@," err
   | `Skipped -> ());
+  (match t.faults with
+  | None -> ()
+  | Some f ->
+    Format.fprintf ppf
+      "  faults[%s]: injected=%s retries=%d fallbacks=%d wasted=%.3e%s@,"
+      f.spec
+      (String.concat ","
+         (List.map (fun (s, n) -> Printf.sprintf "%s:%d" s n) f.injected))
+      f.retries f.fallbacks f.wasted_cycles
+      (if f.degraded then " DEGRADED" else ""));
   Format.fprintf ppf "@]"

@@ -16,6 +16,18 @@ type jit_summary = {
   avg_us : float;  (** mean JIT time per non-memoized lowering *)
 }
 
+type fault_summary = {
+  spec : string;  (** canonical spec string of the active fault model *)
+  injected : (string * int) list;  (** per-site injection counts, fixed order *)
+  draws : int;  (** fault-check sites passed through (RNG draws) *)
+  retries : int;  (** failed attempts retried on the same target *)
+  fallbacks : int;  (** regions re-targeted to a slower paradigm *)
+  wasted_cycles : float;  (** cycles charged to failed attempts *)
+  degraded : bool;  (** at least one fault was injected; the run still
+                        completed with a correct functional result via
+                        retry / paradigm fallback *)
+}
+
 type t = {
   workload : string;
   paradigm : string;
@@ -32,6 +44,9 @@ type t = {
   in_mem_op_fraction : float;  (** Fig. 14's dots *)
   correctness : [ `Checked of float | `Skipped ];
       (** max abs error vs the golden model when run functionally *)
+  faults : fault_summary option;
+      (** [None] unless fault injection was armed; [to_json]/[pp] output
+          is byte-identical to the pre-fault format when [None] *)
 }
 
 val speedup : baseline:t -> t -> float

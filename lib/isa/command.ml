@@ -69,6 +69,11 @@ let array_cycles t =
     !cost
   | Sync -> 0
 
+(* Bit-serial cycles during which this command actively toggles SRAM
+   bitlines on some array — the window a transient bit flip can land in.
+   Barriers move no data, so they carry no exposure. *)
+let fault_exposure t = match t.kind with Sync -> 0 | _ -> array_cycles t
+
 let kind_string = function
   | Compute { op; const_operands } ->
     Printf.sprintf "cmp(%s%s)" (Op.to_string op)

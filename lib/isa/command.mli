@@ -64,5 +64,10 @@ val array_cycles : t -> int
     latency model; excludes NoC transfer for inter-tile shifts, which the
     simulator adds from the layout). *)
 
+val fault_exposure : t -> int
+(** Array cycles during which the command actively toggles bitlines — the
+    window a transient SRAM bit flip can corrupt. [array_cycles] for every
+    data-touching kind, 0 for [Sync]. *)
+
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

@@ -507,6 +507,17 @@ module Sim = struct
       r.ncalls <- r.ncalls + 1;
       cell_add (get_cell r Counter "decision" [ ("target", target) ]) 1.0
 
+  let fault t ~site ~action ~cycles =
+    match t with
+    | None -> ()
+    | Some r ->
+      r.ncalls <- r.ncalls + 1;
+      cell_add
+        (get_cell r Counter "fault" [ ("site", site); ("action", action) ])
+        1.0;
+      if cycles > 0.0 then
+        cell_add (get_cell r Counter "fault.cycles" [ ("site", site) ]) cycles
+
   let region_exec t ~kernel ~where ~cycles =
     match t with
     | None -> ()

@@ -135,6 +135,11 @@ module Sim : sig
   val decision : t -> target:string -> unit
   val region_exec : t -> kernel:string -> where:string -> cycles:float -> unit
 
+  val fault : t -> site:string -> action:string -> cycles:float -> unit
+  (** One fault event: [fault{site,action}] counter plus, when
+      [cycles > 0], a [fault.cycles{site}] counter attributing simulated
+      cycles lost to the fault (stall penalties, wasted attempts). *)
+
   val cycles : t -> cat:string -> float -> unit
   (** One breakdown charge: observed into the [cycles{cat}] histogram whose
       per-category sums reconcile with [Report.breakdown] at 0.0

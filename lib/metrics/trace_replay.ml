@@ -129,6 +129,12 @@ let apply t j =
     let cycles = num j "cycles" in
     Metrics.Sim.region_exec t.m ~kernel ~where ~cycles;
     fold_pending t ~kernel ~where ~cycles
+  | "fault" ->
+    t.n_events <- t.n_events + 1;
+    Metrics.Sim.fault t.m
+      ~site:(Option.value ~default:"" (str j "site"))
+      ~action:(Option.value ~default:"" (str j "action"))
+      ~cycles:(num j "cycles")
   | "ctr" ->
     t.n_events <- t.n_events + 1;
     let name = Option.value ~default:"" (str j "k") in
@@ -331,6 +337,38 @@ let report ?(top = 8) t =
         (fmt (Metrics.hist_quantile h 0.5))
         (fmt (Metrics.hist_quantile h 1.0))
     | None -> ()
+  end;
+
+  (* faults: only present when a run injected faults, so pre-existing
+     traces keep their reports byte-identical *)
+  let faults =
+    List.filter_map
+      (fun (s : Metrics.series) ->
+        if s.name <> "fault" then None
+        else
+          match
+            ( s.sample,
+              List.assoc_opt "site" s.labels,
+              List.assoc_opt "action" s.labels )
+          with
+          | Metrics.Value v, Some site, Some action ->
+            Some (site ^ "/" ^ action, v)
+          | _ -> None)
+      snap
+  in
+  if faults <> [] then begin
+    let fcycles = scalar_rows snap "fault.cycles" "site" in
+    let lost = List.fold_left (fun a (_, v) -> a +. v) 0.0 fcycles in
+    Printf.bprintf b "\nfaults (cycles lost to faults: %s, %s of total)\n"
+      (fmt lost) (pct lost total);
+    List.iter
+      (fun (k, v) -> Printf.bprintf b "  %-22s %10s\n" k (fmt v))
+      (rank faults);
+    List.iter
+      (fun (site, v) ->
+        Printf.bprintf b "  cycles lost @ %-8s %14s  %6s\n" site (fmt v)
+          (pct v total))
+      (rank fcycles)
   end;
 
   (* per-region critical category *)

@@ -13,12 +13,15 @@
    computing it keeps going (domains cannot be preempted) but its late
    result is discarded under the cell lock. *)
 
-type error = Failed of string | Timed_out | Cancelled
+type error = Failed of string | Timed_out | Cancelled | Degraded of string
+
+exception Degradation of string
 
 let error_to_string = function
   | Failed msg -> "failed: " ^ msg
   | Timed_out -> "timed out"
   | Cancelled -> "cancelled"
+  | Degraded msg -> "degraded: " ^ msg
 
 type 'a outcome = ('a, error) result
 
@@ -83,7 +86,9 @@ let exec (Job (cell, f)) =
   if not skip then begin
     let r =
       try Ok (f ())
-      with e -> Error (Failed (Printexc.to_string e))
+      with
+      | Degradation msg -> Error (Degraded msg)
+      | e -> Error (Failed (Printexc.to_string e))
     in
     Mutex.protect cell.m (fun () ->
         match cell.result with
@@ -227,8 +232,28 @@ let stats t =
 
 (* ---- submission / results ---- *)
 
-let submit t ?timeout_s f =
+(* Retry-with-backoff runs inside the worker, so the whole retry sequence
+   counts against one job slot (and one timeout budget). [Degradation] is a
+   deterministic structured signal — the job itself decided the result is
+   degraded — so it is never retried; ordinary exceptions (transient
+   crashes) are, with exponential backoff between attempts. *)
+let with_retries ~retries ~backoff_s f () =
+  let rec go attempt =
+    try f ()
+    with
+    | Degradation _ as e -> raise e
+    | _ when attempt < retries ->
+      if backoff_s > 0.0 then
+        Unix.sleepf (backoff_s *. (2.0 ** float_of_int attempt));
+      go (attempt + 1)
+  in
+  go 0
+
+let submit t ?(retries = 0) ?(backoff_s = 0.0) ?timeout_s f =
   if Atomic.get t.stopped then invalid_arg "Pool.submit: pool is shut down";
+  let f =
+    if retries > 0 then with_retries ~retries ~backoff_s f else f
+  in
   let cell =
     {
       m = Mutex.create ();
@@ -277,19 +302,21 @@ let await (cell : _ ticket) =
   Mutex.unlock cell.m;
   r
 
-let map_stream ?jobs ?timeout_s ~f ~emit items =
+let map_stream ?jobs ?retries ?backoff_s ?timeout_s ~f ~emit items =
   let t = create ?jobs () in
   Fun.protect
     ~finally:(fun () -> shutdown t)
     (fun () ->
       let tickets =
-        List.map (fun x -> submit t ?timeout_s (fun () -> f x)) items
+        List.map
+          (fun x -> submit t ?retries ?backoff_s ?timeout_s (fun () -> f x))
+          items
       in
       List.iteri (fun i tk -> emit i (await tk)) tickets)
 
-let run_list ?jobs ?timeout_s fs =
+let run_list ?jobs ?retries ?backoff_s ?timeout_s fs =
   let out = Array.make (List.length fs) None in
-  map_stream ?jobs ?timeout_s
+  map_stream ?jobs ?retries ?backoff_s ?timeout_s
     ~f:(fun f -> f ())
     ~emit:(fun i r -> out.(i) <- Some r)
     fs;

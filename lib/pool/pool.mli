@@ -28,6 +28,16 @@ type error =
   | Failed of string  (** the job raised; carries [Printexc.to_string] *)
   | Timed_out  (** exceeded its wall-clock budget while running *)
   | Cancelled  (** cancelled before a worker picked it up *)
+  | Degraded of string
+      (** the job raised {!Degradation}: a structured, deterministic "the
+          result is degraded" outcome rather than a crash. Never retried. *)
+
+exception Degradation of string
+(** Raised by a job to report a {e structured} degraded outcome — e.g. a
+    fault-injected run that exhausted its mitigation budget. The pool maps
+    it to [Error (Degraded msg)] instead of [Failed], and the per-job retry
+    loop does {e not} retry it (the signal is deterministic: retrying would
+    re-derive the same degradation). *)
 
 val error_to_string : error -> string
 
@@ -67,9 +77,18 @@ val stats : t -> stats
 type 'a ticket
 (** A handle for one submitted job. *)
 
-val submit : t -> ?timeout_s:float -> (unit -> 'a) -> 'a ticket
+val submit :
+  t -> ?retries:int -> ?backoff_s:float -> ?timeout_s:float -> (unit -> 'a) -> 'a ticket
 (** Enqueue a job on the least-loaded shard. [timeout_s] is the wall-clock
-    budget measured from the moment a worker starts the job. *)
+    budget measured from the moment a worker starts the job.
+
+    [retries] (default 0) re-runs the job inside the {e same} worker slot
+    when it raises an ordinary exception, up to [retries] extra attempts,
+    sleeping [backoff_s *. 2.{^attempt}] seconds between attempts
+    (exponential backoff; default [backoff_s = 0.0] retries immediately).
+    {!Degradation} is never retried — it is a deterministic structured
+    outcome, not a transient crash. The whole retry sequence shares one
+    [timeout_s] budget. *)
 
 val cancel : 'a ticket -> bool
 (** [cancel tk] is [true] iff the job had not started and is now marked
@@ -81,13 +100,22 @@ val await : 'a ticket -> 'a outcome
     cancellation). Safe to call from any domain; repeated calls return the
     same outcome. *)
 
-val run_list : ?jobs:int -> ?timeout_s:float -> (unit -> 'a) list -> 'a outcome list
+val run_list :
+  ?jobs:int ->
+  ?retries:int ->
+  ?backoff_s:float ->
+  ?timeout_s:float ->
+  (unit -> 'a) list ->
+  'a outcome list
 (** [run_list fs] runs every thunk on a fresh pool and returns outcomes in
     submission order. The pool is shut down before returning. With
-    [~jobs:1] this is sequential execution with the same API. *)
+    [~jobs:1] this is sequential execution with the same API.
+    [retries]/[backoff_s] apply per job as in {!submit}. *)
 
 val map_stream :
   ?jobs:int ->
+  ?retries:int ->
+  ?backoff_s:float ->
   ?timeout_s:float ->
   f:('a -> 'b) ->
   emit:(int -> 'b outcome -> unit) ->

@@ -9,6 +9,22 @@ type verdict = {
 
 let target_name = function In_memory -> "in-memory" | Near_memory -> "near-memory"
 
+(* Mitigation re-targeting rides the same decision machinery as Eq. 2 so a
+   trace shows fault fallbacks next to ordinary offload verdicts. The
+   faulted target's latency is recorded as infinite — that is what the
+   fault made it. *)
+let fault_fallback ?(trace = Trace.null) ?(kernel = "") ~site ~target () =
+  if Trace.enabled trace then
+    Trace.emit trace
+      (Trace.Offload_decision
+         {
+           kernel;
+           target;
+           core_cycles = 0.0;
+           imc_cycles = infinity;
+           reason = Printf.sprintf "fault fallback: %s fault exhausted retries" site;
+         })
+
 let decide ?(trace = Trace.null) ?(kernel = "") cfg ~ops ~node_count ~dtype ~elems
     ~flops ~data_bytes ~fits ~jit_known =
   let traced v =

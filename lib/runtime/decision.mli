@@ -19,6 +19,14 @@ type verdict = {
 val target_name : target -> string
 (** ["in-memory"] / ["near-memory"] — the names used in trace events. *)
 
+val fault_fallback :
+  ?trace:Trace.t -> ?kernel:string -> site:string -> target:string -> unit -> unit
+(** Emit an [Offload_decision] trace event recording that the runtime
+    re-lowered [kernel] to [target] because faults at [site] exhausted the
+    retry budget — fault mitigation rides the same §4.3 machinery as
+    ordinary offload verdicts, so it is visible in the same trace stream.
+    The faulted target's latency is recorded as infinite. *)
+
 val decide :
   ?trace:Trace.t ->
   ?kernel:string ->

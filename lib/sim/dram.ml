@@ -10,22 +10,43 @@ let transpose_cycles cfg ~bytes =
     per_bank *. float_of_int Bitserial.transpose_cycles_per_line
   end
 
-let load_traced ?(metrics = Metrics.null) trace cfg ~bytes =
+(* A seeded channel-stall fault adds a fixed penalty to one burst; the
+   penalty is emitted as a fault event so analyze can attribute it. *)
+let stall_penalty ?faults trace metrics ~bytes =
+  match faults with
+  | None -> 0.0
+  | Some fi ->
+    if bytes <= 0.0 then 0.0
+    else begin
+      let stall = Fault.dram_stall_cycles fi in
+      if stall > 0.0 then begin
+        if Trace.enabled trace then
+          Trace.emit trace
+            (Trace.Fault
+               { site = "dram"; action = "inject"; detail = "channel-stall";
+                 cycles = stall });
+        if Metrics.enabled metrics then
+          Metrics.Sim.fault metrics ~site:"dram" ~action:"inject" ~cycles:stall
+      end;
+      stall
+    end
+
+let load_traced ?(metrics = Metrics.null) ?faults trace cfg ~bytes =
   let cycles = load_cycles cfg ~bytes in
   if bytes > 0.0 && Trace.enabled trace then
     Trace.emit trace (Trace.Dram_burst { bytes; cycles });
   if bytes > 0.0 && Metrics.enabled metrics then
     Metrics.Sim.dram_burst metrics ~channels:cfg.Machine_config.mem_ctrls ~bytes
       ~cycles;
-  cycles
+  cycles +. stall_penalty ?faults trace metrics ~bytes
 
-let transpose_traced ?(metrics = Metrics.null) trace cfg ~bytes =
+let transpose_traced ?(metrics = Metrics.null) ?faults trace cfg ~bytes =
   let cycles = transpose_cycles cfg ~bytes in
   if bytes > 0.0 && Trace.enabled trace then
     Trace.emit trace (Trace.Ttu_transpose { bytes; cycles });
   if bytes > 0.0 && Metrics.enabled metrics then
     Metrics.Sim.ttu metrics ~bytes ~cycles;
-  cycles
+  cycles +. stall_penalty ?faults trace metrics ~bytes
 
 let fill_transposed_cycles cfg ~bytes ~resident =
   let fetch = if resident then 0.0 else load_cycles cfg ~bytes in

@@ -9,15 +9,27 @@ val transpose_cycles : Machine_config.t -> bytes:float -> float
     fill (callers take [max] with the DRAM time, paper §5.2). *)
 
 val load_traced :
-  ?metrics:Metrics.t -> Trace.t -> Machine_config.t -> bytes:float -> float
+  ?metrics:Metrics.t ->
+  ?faults:Fault.injector ->
+  Trace.t ->
+  Machine_config.t ->
+  bytes:float ->
+  float
 (** {!load_cycles}, additionally emitting a [Dram_burst] trace event when
     [bytes > 0] and the context is enabled, and recording burst/channel
-    metrics on [metrics] (default disabled). *)
+    metrics on [metrics] (default disabled). With [faults], each burst
+    draws a channel-stall fault adding [dram_stall_cycles] (emitted as a
+    [fault] event). *)
 
 val transpose_traced :
-  ?metrics:Metrics.t -> Trace.t -> Machine_config.t -> bytes:float -> float
+  ?metrics:Metrics.t ->
+  ?faults:Fault.injector ->
+  Trace.t ->
+  Machine_config.t ->
+  bytes:float ->
+  float
 (** {!transpose_cycles} with a [Ttu_transpose] trace event and TTU
-    metrics. *)
+    metrics; stall faults as in {!load_traced}. *)
 
 val fill_transposed_cycles : Machine_config.t -> bytes:float -> resident:bool -> float
 (** Cycles to prepare [bytes] of data in transposed layout: a DRAM fetch

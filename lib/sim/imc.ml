@@ -7,6 +7,7 @@ type result = {
   sram_array_cycles : float;
   commands : int;
   elements_computed : float;
+  faulted : bool;
 }
 
 let grid_stride layout dim =
@@ -88,7 +89,9 @@ let execute cfg traffic ~layout cmds =
         else 1.0
       in
       move :=
-        !move +. Traffic.bulk_cycles cfg ~bytes:!pending_noc_bytes ~avg_hops;
+        !move
+        +. Traffic.bulk_cycles_in traffic ~detail:"imc-barrier"
+             ~bytes:!pending_noc_bytes ~avg_hops;
       if Trace.enabled trace then
         Trace.emit trace
           (Trace.Noc_packet
@@ -103,8 +106,11 @@ let execute cfg traffic ~layout cmds =
       pending_hops := 0.0
     end
   in
-  List.iter
-    (fun (c : Command.t) ->
+  let faults = Traffic.faults_of traffic in
+  let faulted = ref false in
+  let executed = ref 0 in
+  let do_cmd (c : Command.t) =
+      incr executed;
       let tiles = float_of_int (Command.tiles_touched c) in
       let lanes = float_of_int c.lanes_per_tile in
       let bytes_per_tile = lanes *. float_of_int (Dtype.bytes c.dtype) in
@@ -221,14 +227,42 @@ let execute cfg traffic ~layout cmds =
         Metrics.Sim.sram_cmd metrics ~banks:cfg.Machine_config.l3_banks
           ~kind:(kind_name c.kind) ~label:c.Command.label
           ~tiles:(Command.tiles_touched c)
-          ~cycles:(!move -. move0 +. (!comp -. comp0) +. (!sync -. sync0)))
-    cmds;
+          ~cycles:(!move -. move0 +. (!comp -. comp0) +. (!sync -. sync0))
+  in
+  (* One flip draw per command, scaled by its bit-serial exposure. A flip
+     corrupts the command's result: the tensor controllers detect it (the
+     accumulated parity check fails at the next barrier) and abort the
+     region — remaining commands never issue; the cycles already spent are
+     wasted and accounted by the caller. *)
+  let rec go = function
+    | [] -> ()
+    | c :: rest ->
+      do_cmd c;
+      (match faults with
+      | Some fi when Fault.sram_flip fi ~exposure:(Command.fault_exposure c) ->
+        faulted := true;
+        if Trace.enabled trace then
+          Trace.emit trace
+            (Trace.Fault
+               {
+                 site = "sram";
+                 action = "inject";
+                 detail = kind_name c.kind ^ ":" ^ c.Command.label;
+                 cycles = 0.0;
+               });
+        if Metrics.enabled metrics then
+          Metrics.Sim.fault metrics ~site:"sram" ~action:"inject" ~cycles:0.0
+      | _ -> ());
+      if not !faulted then go rest
+  in
+  go cmds;
   flush_pending ();
   {
     move_cycles = !move;
     compute_cycles = !comp;
     sync_cycles = !sync;
     sram_array_cycles = !sram;
-    commands = List.length cmds;
+    commands = !executed;
     elements_computed = !elems;
+    faulted = !faulted;
   }

@@ -23,8 +23,12 @@ type result = {
   sync_cycles : float;
   sram_array_cycles : float;
       (** Σ over commands of touched-tiles x occupancy — the energy proxy *)
-  commands : int;
+  commands : int;  (** commands actually executed (all, unless [faulted]) *)
   elements_computed : float;
+  faulted : bool;
+      (** a seeded SRAM bit flip corrupted a command: execution aborted
+          early and the partial cycles above are wasted — the caller must
+          retry or re-target the region *)
 }
 
 val tile_bank : Machine_config.t -> layout_view -> int array -> int

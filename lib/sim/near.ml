@@ -1,4 +1,4 @@
-type result = { cycles : float; dram_cycles : float }
+type result = { cycles : float; dram_cycles : float; watchdog : bool }
 
 let stream_setup_cycles cfg ~streams =
   float_of_int
@@ -57,7 +57,10 @@ let run cfg traffic (w : Workset.t) ~cold_bytes =
   in
   if reuse_noc_bytes > 0.0 then
     Traffic.add traffic Traffic.Data ~bytes:reuse_noc_bytes ~hops:avg_hops;
-  let reuse_noc = Traffic.bulk_cycles cfg ~bytes:reuse_noc_bytes ~avg_hops in
+  let reuse_noc =
+    Traffic.bulk_cycles_in traffic ~detail:"near-reuse" ~bytes:reuse_noc_bytes
+      ~avg_hops
+  in
   (* Offload management: stream configuration plus flow-control messages
      every 16 cache lines between SEcore and SEL3. *)
   let setup = stream_setup_cycles cfg ~streams:(List.length w.streams) in
@@ -67,8 +70,10 @@ let run cfg traffic (w : Workset.t) ~cold_bytes =
     ~bytes:((flow_msgs *. 8.0) +. (float_of_int (List.length w.streams) *. 64.0))
     ~hops:avg_hops;
   let metrics = Traffic.metrics_of traffic in
+  let faults = Traffic.faults_of traffic in
   let dram =
-    Dram.load_traced ~metrics (Traffic.trace_of traffic) cfg ~bytes:cold_bytes
+    Dram.load_traced ~metrics ?faults (Traffic.trace_of traffic) cfg
+      ~bytes:cold_bytes
   in
   let busy = Float.max compute (Float.max local_mem reuse_noc) in
   (* Stall breakdown: which resource bounds the stream engines. These are
@@ -93,4 +98,26 @@ let run cfg traffic (w : Workset.t) ~cold_bytes =
     in
     Metrics.incr metrics ~labels:[ ("cause", cause) ] "near.bound" 1.0
   end;
-  { cycles = busy +. setup +. dram; dram_cycles = dram }
+  (* Watchdog: one draw per offload attempt. A hung stream engine is
+     detected after the attempt's full window — the caller wastes these
+     cycles and retries (or falls back to core execution, which never
+     faults, guaranteeing termination). *)
+  let watchdog =
+    match faults with
+    | None -> false
+    | Some fi ->
+      let hung = Fault.watchdog_timeout fi in
+      if hung then begin
+        let trace = Traffic.trace_of traffic in
+        if Trace.enabled trace then
+          Trace.emit trace
+            (Trace.Fault
+               { site = "watchdog"; action = "inject"; detail = "near-stream";
+                 cycles = 0.0 });
+        if Metrics.enabled metrics then
+          Metrics.Sim.fault metrics ~site:"watchdog" ~action:"inject"
+            ~cycles:0.0
+      end;
+      hung
+  in
+  { cycles = busy +. setup +. dram; dram_cycles = dram; watchdog }

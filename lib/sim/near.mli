@@ -12,6 +12,10 @@
 type result = {
   cycles : float;
   dram_cycles : float;  (** cold-miss portion, reported separately *)
+  watchdog : bool;
+      (** a seeded stream-engine hang was detected by the watchdog: the
+          attempt's cycles are wasted and the caller must retry or fall
+          back to core execution *)
 }
 
 val run :

@@ -12,6 +12,7 @@ type t = {
   cfg : Machine_config.t;
   trace : Trace.t;
   metrics : Metrics.t;
+  faults : Fault.injector option;
   control : bucket;
   data : bucket;
   offload : bucket;
@@ -22,11 +23,12 @@ type t = {
 
 let fresh_bucket () = { bytes = 0.0; byte_hops = 0.0; packets = 0.0 }
 
-let create ?(trace = Trace.null) ?(metrics = Metrics.null) cfg =
+let create ?(trace = Trace.null) ?(metrics = Metrics.null) ?faults cfg =
   {
     cfg;
     trace;
     metrics;
+    faults;
     control = fresh_bucket ();
     data = fresh_bucket ();
     offload = fresh_bucket ();
@@ -37,6 +39,7 @@ let create ?(trace = Trace.null) ?(metrics = Metrics.null) cfg =
 
 let trace_of t = t.trace
 let metrics_of t = t.metrics
+let faults_of t = t.faults
 
 let reset t =
   List.iter
@@ -127,6 +130,33 @@ let bulk_cycles cfg ~bytes ~avg_hops =
     let latency = avg_hops *. float_of_int cfg.noc_router_cycles in
     Float.max endpoint bisection +. latency
   end
+
+(* Instance variant of [bulk_cycles]: when an injector is attached, each
+   bulk transfer draws a link-degradation fault. A degraded transfer takes
+   [jitter]x its nominal cycles; the extra latency is emitted as a fault
+   event so analyze can attribute it. The [detail] string names the call
+   site (deterministic, scheduling-independent). *)
+let bulk_cycles_in t ~detail ~bytes ~avg_hops =
+  let base = bulk_cycles t.cfg ~bytes ~avg_hops in
+  match t.faults with
+  | None -> base
+  | Some fi ->
+    if bytes <= 0.0 then base
+    else begin
+      let factor = Fault.noc_factor fi in
+      if factor > 1.0 then begin
+        let extra = base *. (factor -. 1.0) in
+        if Trace.enabled t.trace then
+          Trace.emit t.trace
+            (Trace.Fault
+               { site = "noc"; action = "inject"; detail; cycles = extra });
+        if Metrics.enabled t.metrics then
+          Metrics.Sim.fault t.metrics ~site:"noc" ~action:"inject"
+            ~cycles:extra;
+        base +. extra
+      end
+      else base
+    end
 
 let merge_into ~dst src =
   List.iter2

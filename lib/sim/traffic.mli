@@ -19,12 +19,15 @@ val category_name : category -> string
 
 type t
 
-val create : ?trace:Trace.t -> ?metrics:Metrics.t -> Machine_config.t -> t
-(** [create ?trace ?metrics cfg]: every [add] / [add_local] additionally
-    emits a typed trace event on [trace] (default {!Trace.null}, a no-op)
-    and updates [metrics] (default [Metrics.null]) — per-category NoC
-    counters that mirror the buckets bit-exactly plus per-link load
-    gauges. *)
+val create :
+  ?trace:Trace.t -> ?metrics:Metrics.t -> ?faults:Fault.injector -> Machine_config.t -> t
+(** [create ?trace ?metrics ?faults cfg]: every [add] / [add_local]
+    additionally emits a typed trace event on [trace] (default
+    {!Trace.null}, a no-op) and updates [metrics] (default
+    [Metrics.null]) — per-category NoC counters that mirror the buckets
+    bit-exactly plus per-link load gauges. When [faults] is given, the
+    injector rides along for downstream models ([Imc], [Near], [Dram]
+    call sites) and {!bulk_cycles_in} draws NoC-degradation faults. *)
 
 val trace_of : t -> Trace.t
 (** The trace context this accounting was created with — downstream models
@@ -33,6 +36,9 @@ val trace_of : t -> Trace.t
 val metrics_of : t -> Metrics.t
 (** The metric registry this accounting was created with — downstream
     models record their own series on it. *)
+
+val faults_of : t -> Fault.injector option
+(** The fault injector this accounting was created with, if any. *)
 
 val reset : t -> unit
 
@@ -57,7 +63,15 @@ val utilization : t -> cycles:float -> float
 
 val bulk_cycles : Machine_config.t -> bytes:float -> avg_hops:float -> float
 (** Time for a bulk, well-spread transfer: the maximum of endpoint
-    serialization and bisection-bandwidth limits, plus pipeline latency. *)
+    serialization and bisection-bandwidth limits, plus pipeline latency.
+    Pure estimate — never draws faults; use for planning/decision code. *)
+
+val bulk_cycles_in : t -> detail:string -> bytes:float -> avg_hops:float -> float
+(** {!bulk_cycles} for a transfer that actually happens on this traffic
+    context: when a fault injector is attached and [bytes > 0], draws one
+    link-degradation fault — a degraded transfer costs [noc_jitter]x the
+    nominal cycles, and the excess is emitted as a [fault] trace/metrics
+    event tagged with [detail]. Identical to {!bulk_cycles} otherwise. *)
 
 val merge_into : dst:t -> t -> unit
 

@@ -32,6 +32,7 @@ type event =
     }
   | Sync_barrier of { cycles : float }
   | Region_exec of { kernel : string; where : string; cycles : float }
+  | Fault of { site : string; action : string; detail : string; cycles : float }
   | Counter of { name : string; value : float }
 
 type format = Jsonl | Chrome
@@ -110,6 +111,11 @@ let event_to_json ~seq ev =
   | Region_exec { kernel; where; cycles } ->
     Printf.bprintf b "\"ev\":\"region\",\"kernel\":%s,\"where\":%s,\"cycles\":%s"
       (json_string kernel) (json_string where) (json_float cycles)
+  | Fault { site; action; detail; cycles } ->
+    Printf.bprintf b
+      "\"ev\":\"fault\",\"site\":%s,\"action\":%s,\"detail\":%s,\"cycles\":%s"
+      (json_string site) (json_string action) (json_string detail)
+      (json_float cycles)
   | Counter { name; value } ->
     Printf.bprintf b "\"ev\":\"ctr\",\"k\":%s,\"v\":%s" (json_string name)
       (json_float value));
@@ -207,6 +213,9 @@ let record_metrics m = function
   | Offload_decision { target; _ } -> Metrics.add m ("decision." ^ target) 1.0
   | Sync_barrier _ -> Metrics.add m "sync.barriers" 1.0
   | Region_exec { where; _ } -> Metrics.add m ("regions." ^ where) 1.0
+  | Fault { site; action; cycles; _ } ->
+    Metrics.add m (Printf.sprintf "fault.%s.%s" site action) 1.0;
+    if cycles > 0.0 then Metrics.add m ("fault.cycles." ^ site) cycles
   | Counter { name; value } -> Metrics.add m name value
 
 (* Chrome trace_event rendering: cycle-bearing events become complete ("X")
@@ -217,7 +226,7 @@ let chrome_row = function
   | Dram_burst _ | Ttu_transpose _ -> ("dram", 1)
   | Noc_packet _ | Local_move _ -> ("noc", 2)
   | Jit_span _ | Memo _ -> ("jit", 3)
-  | Offload_decision _ | Region_exec _ | Counter _ -> ("engine", 4)
+  | Offload_decision _ | Region_exec _ | Fault _ | Counter _ -> ("engine", 4)
 
 let chrome_event (c : chrome_state) ev =
   let name, detail, dur =
@@ -244,6 +253,10 @@ let chrome_event (c : chrome_state) ev =
     | Sync_barrier { cycles } -> ("sync-barrier", "", cycles)
     | Region_exec { kernel; where; cycles } ->
       ( Printf.sprintf "region:%s@%s" kernel where,
+        Printf.sprintf "\"cycles\":%s" (json_float cycles),
+        0.0 )
+    | Fault { site; action; cycles; _ } ->
+      ( Printf.sprintf "fault:%s:%s" site action,
         Printf.sprintf "\"cycles\":%s" (json_float cycles),
         0.0 )
     | Counter _ -> ("", "", 0.0)

@@ -71,6 +71,10 @@ type event =
   | Sync_barrier of { cycles : float }
   | Region_exec of { kernel : string; where : string; cycles : float }
       (** one kernel invocation completed on [where] *)
+  | Fault of { site : string; action : string; detail : string; cycles : float }
+      (** an injected hardware fault ([action = "inject"]) or the runtime's
+          mitigation step ([action = "retry" | "fallback"]); [cycles] is the
+          simulated time lost to this event (stall penalty, wasted attempt) *)
   | Counter of { name : string; value : float }
       (** a metrics charge, e.g. [cycles.core] — the reconciliation spine *)
 

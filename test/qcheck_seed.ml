@@ -1,0 +1,25 @@
+(* One process-wide qcheck seed, resolved before any property test is
+   built: QCHECK_SEED from the environment when set, a random draw
+   otherwise — printed either way, so any failure reproduces with
+
+     QCHECK_SEED=<printed seed> dune runtest
+
+   Every test module passes [~rand:(Qcheck_seed.rand ())] to
+   [QCheck_alcotest.to_alcotest]; each property then starts from a fresh
+   [Random.State] seeded with the same value, so reproduction does not
+   depend on how many properties ran before the failing one. The putenv
+   keeps qcheck-alcotest's own lazy env lookup (the default [?rand]) in
+   agreement, should a call site ever omit [~rand]. *)
+
+let seed =
+  match int_of_string_opt (try Sys.getenv "QCHECK_SEED" with Not_found -> "") with
+  | Some s -> s
+  | None ->
+    Random.self_init ();
+    Random.int 1_000_000_000
+
+let () =
+  Unix.putenv "QCHECK_SEED" (string_of_int seed);
+  Printf.printf "qcheck random seed: %d (QCHECK_SEED=%d to replay)\n%!" seed seed
+
+let rand () = Random.State.make [| seed |]

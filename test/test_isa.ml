@@ -127,7 +127,7 @@ let suite =
     ("reduction rounds", `Quick, test_bitserial_reduction_rounds);
     ("Eq.1 peak throughput", `Quick, test_eq1_peak_throughput);
     ("pattern roundtrip", `Quick, test_pattern_roundtrip);
-    QCheck_alcotest.to_alcotest prop_pattern_intersect;
+    QCheck_alcotest.to_alcotest ~rand:(Qcheck_seed.rand ()) prop_pattern_intersect;
     ("command accounting", `Quick, test_command_accounting);
     ("command cycles monotonic", `Quick, test_command_cycles_monotonic);
   ]

@@ -248,8 +248,8 @@ let test_interp_op_count () =
 let suite =
   [
     ("symaff basics", `Quick, test_symaff_basics);
-    QCheck_alcotest.to_alcotest prop_symaff_ring;
-    QCheck_alcotest.to_alcotest prop_symaff_canonical;
+    QCheck_alcotest.to_alcotest ~rand:(Qcheck_seed.rand ()) prop_symaff_ring;
+    QCheck_alcotest.to_alcotest ~rand:(Qcheck_seed.rand ()) prop_symaff_canonical;
     ("symaff leq", `Quick, test_symaff_leq);
     ("symrect ops", `Quick, test_symrect);
     ("symrect intersect", `Quick, test_symrect_intersect);

@@ -270,7 +270,7 @@ let suite =
     Alcotest.test_case "exceptions are captured per job" `Quick
       test_exception_capture;
     Alcotest.test_case "cancellation" `Quick test_cancellation;
-    QCheck_alcotest.to_alcotest prop_parallel_equals_sequential;
+    QCheck_alcotest.to_alcotest ~rand:(Qcheck_seed.rand ()) prop_parallel_equals_sequential;
     Alcotest.test_case "ccache basics" `Quick test_ccache_basics;
     Alcotest.test_case "ccache concurrent" `Quick test_ccache_concurrent;
     Alcotest.test_case "concurrent engine runs == sequential" `Quick

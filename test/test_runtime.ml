@@ -230,7 +230,7 @@ let suite =
     ("layout: broadcast picks small innermost", `Quick, test_layout_heuristic_bc_small_innermost);
     ("layout: bad volume rejected", `Quick, test_layout_of_tile_rejects_bad_volume);
     ("lowering: stencil commands + sync", `Quick, test_lowering_stencil_commands);
-    QCheck_alcotest.to_alcotest prop_mv_lowering_conserves_elements;
+    QCheck_alcotest.to_alcotest ~rand:(Qcheck_seed.rand ()) prop_mv_lowering_conserves_elements;
     ("memoization", `Quick, test_memoization);
     ("Eq2: small stays near", `Quick, test_decision_small_stays_near);
     ("Eq2: large offloads", `Quick, test_decision_large_goes_in_memory);

@@ -200,8 +200,8 @@ let suite =
     ("decompose: aligned kept whole", `Quick, test_decompose_aligned_kept_whole);
     ("decompose: head/middle/tail", `Quick, test_decompose_head_middle_tail);
     ("decompose: within one tile", `Quick, test_decompose_within_tile);
-    QCheck_alcotest.to_alcotest prop_decompose_partition;
-    QCheck_alcotest.to_alcotest prop_decompose_boundary_pieces_fit_one_tile;
+    QCheck_alcotest.to_alcotest ~rand:(Qcheck_seed.rand ()) prop_decompose_partition;
+    QCheck_alcotest.to_alcotest ~rand:(Qcheck_seed.rand ()) prop_decompose_boundary_pieces_fit_one_tile;
     ("dense create/get", `Quick, test_dense_create_get);
     ("dense map2 intersection", `Quick, test_dense_map2_intersection);
     ("dense shift", `Quick, test_dense_shift);

@@ -347,4 +347,4 @@ let suite =
     ("golden trace: stencil1d @ Inf-S", `Quick, test_golden_stencil1d);
   ]
   @ reconcile_tests
-  @ [ QCheck_alcotest.to_alcotest prop_replay_deterministic ]
+  @ [ QCheck_alcotest.to_alcotest ~rand:(Qcheck_seed.rand ()) prop_replay_deterministic ]

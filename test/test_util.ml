@@ -141,16 +141,16 @@ let suite =
     ("rng seeds differ", `Quick, test_rng_seeds_differ);
     ("rng copy", `Quick, test_rng_copy);
     ("rng shuffle permutes", `Quick, test_rng_shuffle_permutes);
-    QCheck_alcotest.to_alcotest prop_rng_int_bounds;
-    QCheck_alcotest.to_alcotest prop_rng_float_bounds;
+    QCheck_alcotest.to_alcotest ~rand:(Qcheck_seed.rand ()) prop_rng_int_bounds;
+    QCheck_alcotest.to_alcotest ~rand:(Qcheck_seed.rand ()) prop_rng_float_bounds;
     ("stats basics", `Quick, test_stats);
     ("stats stddev", `Quick, test_stats_stddev);
     ("stats quantile", `Quick, test_stats_quantile);
     ("stats histogram", `Quick, test_stats_histogram);
-    QCheck_alcotest.to_alcotest prop_quantile_monotone;
-    QCheck_alcotest.to_alcotest prop_histogram_total;
+    QCheck_alcotest.to_alcotest ~rand:(Qcheck_seed.rand ()) prop_quantile_monotone;
+    QCheck_alcotest.to_alcotest ~rand:(Qcheck_seed.rand ()) prop_histogram_total;
     ("json float is total", `Quick, test_json_float_total);
-    QCheck_alcotest.to_alcotest prop_json_float_roundtrip;
+    QCheck_alcotest.to_alcotest ~rand:(Qcheck_seed.rand ()) prop_json_float_roundtrip;
     ("table render", `Quick, test_table_render);
     ("table float format", `Quick, test_table_float_fmt);
   ]

@@ -211,7 +211,7 @@ let suite =
     ("Table 4 parameters", `Quick, test_table4_params);
     ("data generators", `Quick, test_data_generators);
     ("default check arrays", `Quick, test_default_check_arrays);
-    QCheck_alcotest.to_alcotest ~long:true prop_random_kernels_sound;
+    QCheck_alcotest.to_alcotest ~rand:(Qcheck_seed.rand ()) ~long:true prop_random_kernels_sound;
     ("extras functional", `Quick, test_extras_functional);
     ("bitscan int latency", `Quick, test_bitscan_int_latency);
     ("histogram stays near-memory", `Quick, test_histogram_stays_off_srams);
