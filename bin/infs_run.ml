@@ -774,6 +774,199 @@ let batch_cmd =
       const run $ scale_arg $ jobs_arg $ spec_arg $ matrix_arg $ timeout_arg
       $ out_arg $ batch_metrics_arg $ faults_arg $ job_retries_arg)
 
+(* ---------- serve: persistent request server over the pool ----------
+
+   Same JSON-lines job format as `batch`, but long-lived: clients connect
+   to a Unix-domain socket, write one spec per line and read one response
+   line per request. The process-wide compile cache stays warm across
+   requests. `--client` turns the binary into the load generator. *)
+
+let serve_cmd =
+  let run scale socket client jobs queue_depth timeout_s metrics_file
+      trace_file faults rps duration connections wname pname =
+    if client then begin
+      let line =
+        Json.to_string
+          (Json.Obj
+             ([ ("workload", Json.Str wname); ("paradigm", Json.Str pname) ]
+             @
+             match timeout_s with
+             | Some ts -> [ ("timeout_s", Json.Num ts) ]
+             | None -> []))
+      in
+      match
+        Serve_client.run ~socket ~rps ~duration_s:duration ~connections
+          ~body:(fun _ -> line)
+          ()
+      with
+      | Error e ->
+        prerr_endline ("error: " ^ e);
+        exit 1
+      | Ok r ->
+        let answered = Serve_client.answered r in
+        Printf.printf
+          "sent %d  answered %d  ok %d  overloaded %d  timeout %d  error %d  \
+           degraded %d  cancelled %d  unanswered %d\n"
+          r.Serve_client.sent answered r.ok r.overloaded r.timeout r.error
+          r.degraded r.cancelled r.unanswered;
+        Printf.printf "throughput: %.1f answered/s over %.2f s wall\n"
+          (float_of_int answered /. Float.max 1e-9 r.wall_s)
+          r.wall_s;
+        if r.ok_latency_us <> [] then begin
+          let q p = Stats.quantile p r.ok_latency_us /. 1e3 in
+          Printf.printf
+            "ok latency: p50 %.2f ms  p95 %.2f ms  p99 %.2f ms  max %.2f ms\n"
+            (q 0.5) (q 0.95) (q 0.99) (q 1.0)
+        end;
+        if r.error > 0 || r.cancelled > 0 || answered < r.sent then exit 1
+    end
+    else begin
+      let toc =
+        Option.map
+          (fun f ->
+            try open_out f
+            with Sys_error e ->
+              prerr_endline ("error: cannot open trace file: " ^ e);
+              exit 1)
+          trace_file
+      in
+      let trace =
+        match toc with
+        | Some oc -> Trace.to_channel Trace.Jsonl oc
+        | None -> Trace.null
+      in
+      let jobs =
+        match jobs with Some j -> max 1 j | None -> Pool.recommended_jobs ()
+      in
+      let cfg =
+        {
+          (Serve.default_config ~socket_path:socket) with
+          jobs;
+          queue_depth;
+          default_timeout_s = timeout_s;
+          metrics_path = metrics_file;
+          trace;
+        }
+      in
+      let handler j =
+        match spec_of_json j with
+        | Error e -> Error e
+        | Ok sp -> (
+          match exec_spec scale ~with_metrics:false ~faults sp with
+          | Error e -> Error e
+          | Ok (r, _) -> Ok (R.to_json r))
+      in
+      match Serve.start cfg ~handler with
+      | Error e ->
+        prerr_endline ("error: " ^ e);
+        exit 1
+      | Ok t ->
+        (* graceful drain on SIGTERM/SIGINT: request_stop only sets a
+           flag, so it is safe inside the handler *)
+        List.iter
+          (fun s ->
+            Sys.set_signal s (Sys.Signal_handle (fun _ -> Serve.request_stop t)))
+          [ Sys.sigterm; Sys.sigint ];
+        Printf.eprintf "serve: listening on %s (%d worker%s, queue depth %d)\n%!"
+          socket jobs
+          (if jobs = 1 then "" else "s")
+          cfg.Serve.queue_depth;
+        let st = Serve.wait t in
+        Trace.close trace;
+        Option.iter close_out toc;
+        Printf.eprintf
+          "serve: drained: %d connection%s, %d received, %d admitted (%d ok, \
+           %d failed, %d timeout, %d degraded, %d cancelled), %d shed, %d \
+           bad, %d answered during drain\n%!"
+          st.Serve.connections
+          (if st.Serve.connections = 1 then "" else "s")
+          st.received st.admitted st.ok st.failed st.deadline_exceeded
+          st.degraded st.cancelled st.shed st.bad st.drained;
+        (* a graceful drain answers every admitted request and cancels none *)
+        if st.cancelled > 0 || Serve.answered st <> st.admitted then begin
+          prerr_endline "serve: error: drain left admitted requests unanswered";
+          exit 1
+        end
+    end
+  in
+  let socket_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path")
+  in
+  let client_arg =
+    Arg.(
+      value & flag
+      & info [ "client" ]
+          ~doc:"run the load generator against --socket instead of serving")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ]
+          ~doc:"worker domains (default: the machine's recommended domain count)")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:
+            "admission bound: requests beyond $(docv) outstanding are shed \
+             with a structured overloaded response")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout-s" ]
+          ~doc:
+            "server: default per-request deadline (a request's timeout_s \
+             field overrides it); client: timeout_s field to send")
+  in
+  let serve_metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "flush a final metrics snapshot (request counters, queue-depth \
+             gauge, latency histogram, pool utilization) to $(docv) on drain")
+  in
+  let rps_arg =
+    Arg.(
+      value & opt float 20.0
+      & info [ "rps" ] ~docv:"N" ~doc:"client: requests per second to pace")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt float 5.0
+      & info [ "duration" ] ~docv:"S" ~doc:"client: seconds to send for")
+  in
+  let connections_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "connections" ] ~docv:"N"
+          ~doc:"client: concurrent connections to spread the load over")
+  in
+  let serve_workload_arg =
+    Arg.(
+      value & opt string "vec_add"
+      & info [ "w"; "workload" ] ~doc:"client: workload to request")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "serve the JSON-lines job format persistently over a Unix-domain \
+          socket (bounded admission, per-request deadlines, graceful drain \
+          on SIGTERM); --client runs a pacing load generator and reports \
+          p50/p95/p99 latency")
+    Term.(
+      const run $ scale_arg $ socket_arg $ client_arg $ jobs_arg $ queue_arg
+      $ timeout_arg $ serve_metrics_arg $ trace_arg $ faults_arg $ rps_arg
+      $ duration_arg $ connections_arg $ serve_workload_arg $ paradigm_arg)
+
 (* ---------- analyze: offline trace -> bottleneck report ---------- *)
 
 let analyze_cmd =
@@ -982,6 +1175,6 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "infs_run" ~doc)
           [
-            list_cmd; run_cmd; compile_cmd; lower_cmd; batch_cmd; analyze_cmd;
-            bench_diff_cmd;
+            list_cmd; run_cmd; compile_cmd; lower_cmd; batch_cmd; serve_cmd;
+            analyze_cmd; bench_diff_cmd;
           ]))

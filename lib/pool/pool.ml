@@ -11,7 +11,10 @@
    jobs every couple of milliseconds: a running job past its deadline has
    its outcome forced to [Timed_out] and its waiters broadcast. The worker
    computing it keeps going (domains cannot be preempted) but its late
-   result is discarded under the cell lock. *)
+   result is discarded under the cell lock. While no armed timeout exists
+   the ticker parks on [wcv] instead of sleeping in a loop, so a resident
+   process (e.g. the serve front end) does not spin a domain at 500 Hz
+   forever after its first deadline-bearing job. *)
 
 type error = Failed of string | Timed_out | Cancelled | Degraded of string
 
@@ -61,7 +64,9 @@ type t = {
   gen : int Atomic.t; (* bumped on every submit: lost-wakeup guard *)
   rr : int Atomic.t; (* round-robin submission cursor *)
   wm : Mutex.t;
+  wcv : Condition.t; (* signalled when a watcher is added or at shutdown *)
   mutable watchers : (unit -> bool) list; (* true = expired, drop it *)
+  ticks : int Atomic.t; (* ticker iterations with >= 1 armed timeout *)
   wstats : worker_stats array; (* one slot per worker, worker-owned *)
   created_at : float;
 }
@@ -151,9 +156,24 @@ let poke_cell cell () =
 
 let rec ticker_loop t =
   if not (Atomic.get t.stopped) then begin
-    Unix.sleepf 0.002;
-    Mutex.protect t.wm (fun () ->
-        t.watchers <- List.filter (fun poke -> not (poke ())) t.watchers);
+    let armed =
+      Mutex.protect t.wm (fun () ->
+          t.watchers <- List.filter (fun poke -> not (poke ())) t.watchers;
+          t.watchers <> [])
+    in
+    if armed then begin
+      Atomic.incr t.ticks;
+      Unix.sleepf 0.002
+    end
+    else begin
+      (* park until the next timeout-armed submit (or shutdown) — an idle
+         resident pool must not busy-wake this domain *)
+      Mutex.lock t.wm;
+      while t.watchers = [] && not (Atomic.get t.stopped) do
+        Condition.wait t.wcv t.wm
+      done;
+      Mutex.unlock t.wm
+    end;
     ticker_loop t
   end
 
@@ -183,7 +203,9 @@ let create ?jobs () =
       gen = Atomic.make 0;
       rr = Atomic.make 0;
       wm = Mutex.create ();
+      wcv = Condition.create ();
       watchers = [];
+      ticks = Atomic.make 0;
       wstats = Array.init n (fun _ -> { jobs_run = 0; busy_s = 0.0 });
       created_at = now ();
     }
@@ -209,6 +231,8 @@ let drain_cancelled (sh : shard) =
 let shutdown t =
   let first = not (Atomic.exchange t.stopped true) in
   if first then begin
+    (* wake a parked ticker so it can observe [stopped] and exit *)
+    Mutex.protect t.wm (fun () -> Condition.broadcast t.wcv);
     Array.iter drain_cancelled t.shards;
     Array.iter
       (fun sh -> Mutex.protect sh.sm (fun () -> Condition.broadcast sh.scv))
@@ -229,6 +253,8 @@ let stats t =
     wall_s = now () -. t.created_at;
     workers = Array.map (fun ws -> (ws.jobs_run, ws.busy_s)) t.wstats;
   }
+
+let ticker_ticks t = Atomic.get t.ticks
 
 (* ---- submission / results ---- *)
 
@@ -264,7 +290,9 @@ let submit t ?(retries = 0) ?(backoff_s = 0.0) ?timeout_s f =
     }
   in
   if timeout_s <> None then begin
-    Mutex.protect t.wm (fun () -> t.watchers <- poke_cell cell :: t.watchers);
+    Mutex.protect t.wm (fun () ->
+        t.watchers <- poke_cell cell :: t.watchers;
+        Condition.signal t.wcv);
     ensure_ticker t
   end;
   let n = Array.length t.shards in

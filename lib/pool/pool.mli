@@ -74,6 +74,13 @@ val stats : t -> stats
     join publishes the workers' writes); on a live pool the values are
     advisory. Busy-fraction per worker is [busy_s /. wall_s]. *)
 
+val ticker_ticks : t -> int
+(** Iterations the timeout-ticker domain has run {e with at least one
+    armed timeout}. The ticker parks on a condition variable whenever no
+    submitted job has a timeout pending, so on an idle pool this counter
+    stops advancing — exposed so tests (and diagnostics) can assert a
+    resident server is not spinning a domain. *)
+
 type 'a ticket
 (** A handle for one submitted job. *)
 

@@ -1,0 +1,445 @@
+(* Persistent request server over the domain pool.
+
+   Thread/domain layout: the listening socket is drained by one accept
+   thread; each connection gets a reader thread (parse + admission +
+   pool submission) and a writer thread (await outcomes and emit one
+   response line per request, in request order). Threads are systhreads
+   — they spend their lives blocked on I/O or on pool condition
+   variables — while the actual work runs on the pool's worker domains,
+   so request execution is parallel even though connection plumbing is
+   not.
+
+   Admission is a single counter under the server lock: a request is
+   admitted iff fewer than [queue_depth] admitted requests are still
+   unanswered, otherwise it is shed with a structured [overloaded]
+   response. The counter is released when the response for the request
+   is resolved (not when the job finishes), so the bound also caps the
+   per-connection response backlog.
+
+   Drain: [request_stop] sets a flag; the accept thread notices, closes
+   the listen socket, shuts down every connection's read side (blocked
+   readers see EOF), joins the connection threads — which first answer
+   everything already admitted — then shuts the pool down and flushes
+   the metrics side file. Queued-but-unstarted pool jobs are never
+   cancelled by a drain because writers await every ticket before their
+   reader/writer pair exits. *)
+
+type config = {
+  socket_path : string;
+  jobs : int;
+  queue_depth : int;
+  default_timeout_s : float option;
+  metrics_path : string option;
+  trace : Trace.t;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    jobs = Pool.recommended_jobs ();
+    queue_depth = 64;
+    default_timeout_s = None;
+    metrics_path = None;
+    trace = Trace.null;
+  }
+
+type stats = {
+  connections : int;
+  received : int;
+  admitted : int;
+  shed : int;
+  bad : int;
+  ok : int;
+  failed : int;
+  deadline_exceeded : int;
+  degraded : int;
+  cancelled : int;
+  drained : int;
+}
+
+let answered s = s.ok + s.failed + s.deadline_exceeded + s.degraded + s.cancelled
+
+let zero_stats =
+  {
+    connections = 0;
+    received = 0;
+    admitted = 0;
+    shed = 0;
+    bad = 0;
+    ok = 0;
+    failed = 0;
+    deadline_exceeded = 0;
+    degraded = 0;
+    cancelled = 0;
+    drained = 0;
+  }
+
+type response =
+  | R_ok of Json.t
+  | R_error of string
+  | R_overloaded
+  | R_timeout
+  | R_degraded of string
+  | R_cancelled
+
+let response_json id resp =
+  Json.Obj
+    (("id", id)
+    ::
+    (match resp with
+    | R_ok payload -> [ ("status", Json.Str "ok"); ("report", payload) ]
+    | R_error e -> [ ("status", Json.Str "error"); ("error", Json.Str e) ]
+    | R_overloaded -> [ ("status", Json.Str "overloaded") ]
+    | R_timeout -> [ ("status", Json.Str "timeout") ]
+    | R_degraded e -> [ ("status", Json.Str "degraded"); ("error", Json.Str e) ]
+    | R_cancelled -> [ ("status", Json.Str "cancelled") ]))
+
+(* one request the writer still owes a response line *)
+type entry = {
+  e_id : Json.t;  (* echoed request id (or the per-connection sequence) *)
+  e_t0 : float;  (* wall time the request line was read *)
+  e_admitted : bool;
+  e_outcome :
+    [ `Ticket of (Json.t, string) result Pool.ticket | `Now of response ];
+}
+
+type conn = {
+  c_fd : Unix.file_descr;
+  c_qm : Mutex.t;
+  c_qcv : Condition.t;
+  c_q : entry option Queue.t;  (* None = reader done, flush and close *)
+}
+
+type t = {
+  cfg : config;
+  handler : Json.t -> (Json.t, string) result;
+  pool : Pool.t;
+  lfd : Unix.file_descr;
+  stop : bool Atomic.t;
+  mm : Mutex.t;  (* guards st, inflight, conns, metrics, trace *)
+  metrics : Metrics.t;
+  mutable st : stats;
+  mutable inflight : int;  (* admitted, response not yet resolved *)
+  mutable draining : bool;
+  mutable conns : (Unix.file_descr * Thread.t * Thread.t) list;
+  mutable accept_thread : Thread.t option;
+  mutable final : stats option;  (* set once the drain completed *)
+}
+
+let now () = Unix.gettimeofday ()
+
+(* Counter bump + same-named metrics counter + same-named trace Counter
+   event, all under [mm] so the systhreads never interleave inside the
+   (single-domain) registry or sink. *)
+let record t name up =
+  Mutex.protect t.mm (fun () ->
+      t.st <- up t.st;
+      Metrics.incr t.metrics name 1.0;
+      if Trace.enabled t.cfg.trace then
+        Trace.emit t.cfg.trace (Trace.Counter { name; value = 1.0 }))
+
+(* ---- connection: writer side ---- *)
+
+let push conn v =
+  Mutex.protect conn.c_qm (fun () ->
+      Queue.push v conn.c_q;
+      Condition.signal conn.c_qcv)
+
+let pop conn =
+  Mutex.lock conn.c_qm;
+  while Queue.is_empty conn.c_q do
+    Condition.wait conn.c_qcv conn.c_qm
+  done;
+  let v = Queue.pop conn.c_q in
+  Mutex.unlock conn.c_qm;
+  v
+
+let resolve_outcome entry =
+  match entry.e_outcome with
+  | `Now r -> r
+  | `Ticket tk -> (
+    match Pool.await tk with
+    | Ok (Ok payload) -> R_ok payload
+    | Ok (Error e) -> R_error e
+    | Error (Pool.Failed e) -> R_error e
+    | Error Pool.Timed_out -> R_timeout
+    | Error (Pool.Degraded e) -> R_degraded e
+    | Error Pool.Cancelled -> R_cancelled)
+
+(* Resolve-time accounting. Shed and malformed requests were already
+   counted when the reader answered them immediately, so only admitted
+   entries bump outcome counters (and the latency histogram) here. *)
+let account t entry resp =
+  let lat_us = (now () -. entry.e_t0) *. 1e6 in
+  Mutex.protect t.mm (fun () ->
+      if entry.e_admitted then begin
+        let name =
+          match resp with
+          | R_ok _ -> "serve.ok"
+          | R_error _ -> "serve.failed"
+          | R_timeout -> "serve.deadline_exceeded"
+          | R_degraded _ -> "serve.degraded"
+          | R_cancelled -> "serve.cancelled"
+          | R_overloaded -> "serve.shed" (* unreachable for admitted *)
+        in
+        t.st <-
+          (match resp with
+          | R_ok _ -> { t.st with ok = t.st.ok + 1 }
+          | R_error _ -> { t.st with failed = t.st.failed + 1 }
+          | R_timeout ->
+            { t.st with deadline_exceeded = t.st.deadline_exceeded + 1 }
+          | R_degraded _ -> { t.st with degraded = t.st.degraded + 1 }
+          | R_cancelled -> { t.st with cancelled = t.st.cancelled + 1 }
+          | R_overloaded -> t.st);
+        Metrics.incr t.metrics name 1.0;
+        Metrics.gauge_add t.metrics "serve.queue_depth" (-1.0);
+        Metrics.observe t.metrics "serve.latency_us" lat_us;
+        t.inflight <- t.inflight - 1;
+        if Trace.enabled t.cfg.trace then
+          Trace.emit t.cfg.trace (Trace.Counter { name; value = 1.0 })
+      end;
+      if t.draining then begin
+        t.st <- { t.st with drained = t.st.drained + 1 };
+        Metrics.incr t.metrics "serve.drained" 1.0
+      end)
+
+let writer t conn oc =
+  let rec loop () =
+    match pop conn with
+    | None -> ()
+    | Some entry ->
+      let resp = resolve_outcome entry in
+      account t entry resp;
+      (* a client that hung up must not stop us from awaiting (and
+         accounting) the rest of its admitted requests *)
+      (try
+         output_string oc (Json.to_string (response_json entry.e_id resp));
+         output_char oc '\n';
+         flush oc
+       with Sys_error _ -> ());
+      loop ()
+  in
+  loop ();
+  (try flush oc with Sys_error _ -> ());
+  (try Unix.close conn.c_fd with Unix.Unix_error _ -> ())
+
+(* ---- connection: reader side ---- *)
+
+let request_id parsed seq =
+  match parsed with
+  | Ok j -> (
+    match Json.member "id" j with
+    | Some (Json.Num _ as v) | Some (Json.Str _ as v) -> v
+    | _ -> Json.Num (float_of_int seq))
+  | Error _ -> Json.Num (float_of_int seq)
+
+let request_timeout t j =
+  match Json.member "timeout_s" j with
+  | None -> Ok t.cfg.default_timeout_s
+  | Some v -> (
+    match Json.to_num v with
+    | Some f when f > 0.0 -> Ok (Some f)
+    | _ -> Error "field timeout_s must be a positive number")
+
+let handle_line t conn seq line =
+  let t0 = now () in
+  let parsed = Json.parse (String.trim line) in
+  let id = request_id parsed seq in
+  let immediate resp admitted =
+    push conn (Some { e_id = id; e_t0 = t0; e_admitted = admitted; e_outcome = `Now resp })
+  in
+  record t "serve.received" (fun s -> { s with received = s.received + 1 });
+  match parsed with
+  | Error e ->
+    record t "serve.bad_requests" (fun s -> { s with bad = s.bad + 1 });
+    immediate (R_error ("parse error: " ^ e)) false
+  | Ok j -> (
+    match request_timeout t j with
+    | Error e ->
+      record t "serve.bad_requests" (fun s -> { s with bad = s.bad + 1 });
+      immediate (R_error e) false
+    | Ok timeout_s -> (
+      let admitted =
+        Mutex.protect t.mm (fun () ->
+            if t.draining || t.inflight >= t.cfg.queue_depth then begin
+              t.st <- { t.st with shed = t.st.shed + 1 };
+              Metrics.incr t.metrics "serve.shed" 1.0;
+              if Trace.enabled t.cfg.trace then
+                Trace.emit t.cfg.trace
+                  (Trace.Counter { name = "serve.shed"; value = 1.0 });
+              false
+            end
+            else begin
+              t.inflight <- t.inflight + 1;
+              t.st <- { t.st with admitted = t.st.admitted + 1 };
+              Metrics.incr t.metrics "serve.admitted" 1.0;
+              Metrics.gauge_add t.metrics "serve.queue_depth" 1.0;
+              if Trace.enabled t.cfg.trace then
+                Trace.emit t.cfg.trace
+                  (Trace.Counter { name = "serve.admitted"; value = 1.0 });
+              true
+            end)
+      in
+      if not admitted then immediate R_overloaded false
+      else
+        let tk = Pool.submit t.pool ?timeout_s (fun () -> t.handler j) in
+        push conn
+          (Some { e_id = id; e_t0 = t0; e_admitted = true; e_outcome = `Ticket tk })))
+
+let reader t conn ic =
+  let seq = ref 0 in
+  let rec loop () =
+    match input_line ic with
+    | exception (End_of_file | Sys_error _) -> ()
+    | line ->
+      if String.trim line <> "" then begin
+        handle_line t conn !seq line;
+        incr seq
+      end;
+      loop ()
+  in
+  loop ();
+  push conn None
+
+let spawn_conn t fd =
+  let conn =
+    {
+      c_fd = fd;
+      c_qm = Mutex.create ();
+      c_qcv = Condition.create ();
+      c_q = Queue.create ();
+    }
+  in
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let wt = Thread.create (fun () -> writer t conn oc) () in
+  let rt = Thread.create (fun () -> reader t conn ic) () in
+  Mutex.protect t.mm (fun () ->
+      t.conns <- (fd, rt, wt) :: t.conns;
+      t.st <- { t.st with connections = t.st.connections + 1 };
+      Metrics.incr t.metrics "serve.connections" 1.0;
+      if Trace.enabled t.cfg.trace then
+        Trace.emit t.cfg.trace
+          (Trace.Counter { name = "serve.connections"; value = 1.0 }))
+
+(* ---- accept loop & drain ---- *)
+
+let flush_side_file t =
+  match t.cfg.metrics_path with
+  | None -> ()
+  | Some path ->
+    Mutex.protect t.mm (fun () ->
+        let ps = Pool.stats t.pool in
+        Metrics.gauge_add t.metrics "pool.wall_s" ps.Pool.wall_s;
+        Array.iteri
+          (fun i (jobs_run, busy_s) ->
+            let labels = [ ("worker", string_of_int i) ] in
+            Metrics.incr t.metrics ~labels "pool.worker.jobs"
+              (float_of_int jobs_run);
+            Metrics.gauge_add t.metrics ~labels "pool.worker.busy_s" busy_s;
+            Metrics.gauge_add t.metrics ~labels "pool.worker.busy_frac"
+              (busy_s /. Float.max 1e-9 ps.Pool.wall_s))
+          ps.Pool.workers;
+        try Metrics.write_file t.metrics path with Sys_error _ -> ())
+
+let drain t =
+  Mutex.protect t.mm (fun () -> t.draining <- true);
+  (try Unix.close t.lfd with Unix.Unix_error _ -> ());
+  (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ | Sys_error _ -> ());
+  let conns = Mutex.protect t.mm (fun () -> t.conns) in
+  (* blocked readers see EOF; writers then answer everything admitted *)
+  List.iter
+    (fun (fd, _, _) ->
+      try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+    conns;
+  List.iter
+    (fun (_, rt, wt) ->
+      Thread.join rt;
+      Thread.join wt)
+    conns;
+  Pool.shutdown t.pool;
+  flush_side_file t;
+  Mutex.protect t.mm (fun () -> t.final <- Some t.st)
+
+let accept_loop t =
+  let rec loop () =
+    if not (Atomic.get t.stop) then begin
+      (match Unix.select [ t.lfd ] [] [] 0.05 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+        match Unix.accept ~cloexec:true t.lfd with
+        | exception Unix.Unix_error _ -> ()
+        | fd, _ -> spawn_conn t fd));
+      loop ()
+    end
+  in
+  loop ();
+  drain t
+
+(* ---- lifecycle ---- *)
+
+let bindable path =
+  match Unix.stat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> Ok ()
+  | { Unix.st_kind = Unix.S_SOCK; _ } ->
+    (* a previous server's stale socket: the bind below would fail with
+       EADDRINUSE even though nobody is listening *)
+    (try
+       Unix.unlink path;
+       Ok ()
+     with Unix.Unix_error (e, _, _) ->
+       Error
+         (Printf.sprintf "serve: cannot unlink stale socket %s: %s" path
+            (Unix.error_message e)))
+  | _ -> Error (Printf.sprintf "serve: %s exists and is not a socket" path)
+
+let start cfg ~handler =
+  let cfg = { cfg with jobs = max 1 cfg.jobs; queue_depth = max 1 cfg.queue_depth } in
+  match bindable cfg.socket_path with
+  | Error e -> Error e
+  | Ok () -> (
+    let lfd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match
+      Unix.bind lfd (Unix.ADDR_UNIX cfg.socket_path);
+      Unix.listen lfd 64
+    with
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close lfd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "serve: cannot bind %s: %s" cfg.socket_path
+           (Unix.error_message e))
+    | () ->
+      (* a client hanging up mid-response must not kill the process *)
+      (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+       with Invalid_argument _ -> ());
+      let t =
+        {
+          cfg;
+          handler;
+          pool = Pool.create ~jobs:cfg.jobs ();
+          lfd;
+          stop = Atomic.make false;
+          mm = Mutex.create ();
+          metrics = Metrics.create ();
+          st = zero_stats;
+          inflight = 0;
+          draining = false;
+          conns = [];
+          accept_thread = None;
+          final = None;
+        }
+      in
+      t.accept_thread <- Some (Thread.create accept_loop t);
+      Ok t)
+
+let request_stop t = Atomic.set t.stop true
+
+let wait t =
+  (match t.accept_thread with Some th -> Thread.join th | None -> ());
+  match Mutex.protect t.mm (fun () -> t.final) with
+  | Some s -> s
+  | None -> Mutex.protect t.mm (fun () -> t.st)
+
+let stats t = Mutex.protect t.mm (fun () -> t.st)
+let metrics t = t.metrics

@@ -1,0 +1,120 @@
+(** Persistent request-serving front end ([infs_serve]).
+
+    A server owns a Unix-domain listening socket and a PR 2 {!Pool} of
+    worker domains, and speaks the batch JSON-lines protocol {e
+    persistently}: clients connect, write one JSON request object per
+    line, and read exactly one JSON response line per request, {e in
+    request order per connection}. The process-wide shared compile cache
+    stays warm across requests, which is the point: programs compiled
+    once are dispatched many times, exactly the JIT runtime's design
+    (paper §4).
+
+    {2 Admission, shedding, deadlines}
+
+    Requests are admitted into a bounded queue of at most
+    [config.queue_depth] outstanding (admitted but not yet answered)
+    requests across all connections. A request arriving beyond the bound
+    is {e shed} immediately with a structured
+    [{"id":..,"status":"overloaded"}] response instead of queuing
+    unboundedly. A request's wall-clock deadline (its ["timeout_s"]
+    field, or [config.default_timeout_s]) reuses the pool's timeout
+    machinery: past the deadline the response is
+    [{"id":..,"status":"timeout"}] and the answer slot is released even
+    though the worker domain finishes in the background.
+
+    A malformed request line is answered with
+    [{"id":<seq>,"status":"error","error":"parse error: ..."}] and the
+    connection stays up.
+
+    {2 Graceful drain}
+
+    {!request_stop} (async-signal-safe: it only sets a flag, so it may be
+    called from a [SIGTERM]/[SIGINT] handler) begins a drain: the listen
+    socket closes, every connection's read side is shut down, requests
+    already admitted run to completion and their responses are flushed,
+    then the pool is shut down and — when [config.metrics_path] is set —
+    a final metrics snapshot (request counters, queue-depth gauge,
+    latency histogram, per-worker pool utilization) is written to the
+    side file. {!wait} joins the drain and returns the final {!stats}.
+
+    {2 Observability}
+
+    Server-side counters are threaded through {!Metrics}
+    ([serve.received], [serve.admitted], [serve.shed], [serve.ok],
+    [serve.failed], [serve.deadline_exceeded], [serve.degraded],
+    [serve.bad_requests], [serve.drained], [serve.connections], the
+    [serve.queue_depth] gauge and the [serve.latency_us] histogram), and
+    request-lifecycle events through {!Trace} as [Counter] events of the
+    same names, so an enabled JSONL trace of a serving session replays
+    into the same counters. *)
+
+type config = {
+  socket_path : string;  (** Unix-domain socket path to bind *)
+  jobs : int;  (** pool worker domains (clamped to >= 1) *)
+  queue_depth : int;
+      (** admission bound: max admitted-but-unanswered requests across
+          all connections (clamped to >= 1) *)
+  default_timeout_s : float option;
+      (** per-request deadline when the request carries no ["timeout_s"]
+          field; [None] = no deadline *)
+  metrics_path : string option;
+      (** side file the drain flushes the final metrics snapshot to
+          ([.prom] → Prometheus exposition, else JSON) *)
+  trace : Trace.t;
+      (** lifecycle-event sink (default {!Trace.null}); closed by the
+          caller, not the server *)
+}
+
+val default_config : socket_path:string -> config
+(** [jobs = Pool.recommended_jobs ()], [queue_depth = 64], no default
+    deadline, no metrics side file, no trace. *)
+
+type stats = {
+  connections : int;  (** connections accepted *)
+  received : int;  (** request lines read (malformed included) *)
+  admitted : int;  (** entered the bounded queue *)
+  shed : int;  (** answered [overloaded] (bound exceeded, or drain begun) *)
+  bad : int;  (** malformed request lines (answered [error], not admitted) *)
+  ok : int;  (** answered [ok] *)
+  failed : int;  (** admitted; handler returned [Error] or raised *)
+  deadline_exceeded : int;  (** admitted; answered [timeout] *)
+  degraded : int;  (** admitted; handler raised {!Pool.Degradation} *)
+  cancelled : int;  (** admitted but never run — 0 on a graceful drain *)
+  drained : int;  (** responses flushed after the drain began *)
+}
+
+val answered : stats -> int
+(** [ok + failed + deadline_exceeded + degraded + cancelled] — equals
+    [admitted] once {!wait} has returned: every admitted request is
+    answered. *)
+
+type t
+
+val start :
+  config -> handler:(Json.t -> (Json.t, string) result) -> (t, string) result
+(** Bind the socket, spawn the pool and the accept thread. [handler] runs
+    on a pool worker domain for every admitted request; [Ok payload]
+    answers [{"id":..,"status":"ok","report":payload}], [Error e] answers
+    [{"id":..,"status":"error","error":e}], raising {!Pool.Degradation}
+    answers [{"id":..,"status":"degraded","error":..}], any other
+    exception answers [status:"error"]. A stale socket file from a dead
+    server is unlinked; a non-socket file at the path is an error.
+    [SIGPIPE] is ignored process-wide (a client hanging up mid-response
+    must not kill the server). *)
+
+val request_stop : t -> unit
+(** Begin a graceful drain. Only sets a flag — safe to call from a signal
+    handler, from any thread, and more than once. *)
+
+val wait : t -> stats
+(** Block until the drain completes (accept loop exited, every admitted
+    request answered, pool shut down, metrics side file flushed) and
+    return the final statistics. Does {e not} itself initiate the stop:
+    call {!request_stop} (e.g. from a signal handler) to trigger it. *)
+
+val stats : t -> stats
+(** Live snapshot of the counters (exact: reads under the server lock). *)
+
+val metrics : t -> Metrics.t
+(** The server's metrics registry, e.g. to reconcile a client's counts
+    against [serve.*] series after {!wait}. *)

@@ -1,0 +1,179 @@
+(* Load generator: one sender + one receiver thread per connection.
+
+   The sender paces requests on a fixed schedule (request k of connection
+   c is due at t0 + (c + k*C)/rps, i.e. the C connections interleave to a
+   combined rps) and half-closes the socket when the duration elapses;
+   the receiver matches the k-th response line to the k-th send timestamp
+   — valid because the server answers in request order per connection. *)
+
+type result = {
+  sent : int;
+  ok : int;
+  overloaded : int;
+  timeout : int;
+  error : int;
+  degraded : int;
+  cancelled : int;
+  unanswered : int;
+  wall_s : float;
+  ok_latency_us : float list;
+  all_latency_us : float list;
+}
+
+let answered r = r.ok + r.overloaded + r.timeout + r.error + r.degraded + r.cancelled
+
+let empty =
+  {
+    sent = 0;
+    ok = 0;
+    overloaded = 0;
+    timeout = 0;
+    error = 0;
+    degraded = 0;
+    cancelled = 0;
+    unanswered = 0;
+    wall_s = 0.0;
+    ok_latency_us = [];
+    all_latency_us = [];
+  }
+
+let merge a b =
+  {
+    sent = a.sent + b.sent;
+    ok = a.ok + b.ok;
+    overloaded = a.overloaded + b.overloaded;
+    timeout = a.timeout + b.timeout;
+    error = a.error + b.error;
+    degraded = a.degraded + b.degraded;
+    cancelled = a.cancelled + b.cancelled;
+    unanswered = a.unanswered + b.unanswered;
+    wall_s = Float.max a.wall_s b.wall_s;
+    ok_latency_us = a.ok_latency_us @ b.ok_latency_us;
+    all_latency_us = a.all_latency_us @ b.all_latency_us;
+  }
+
+let now () = Unix.gettimeofday ()
+
+(* growable float array: send timestamps, indexed by response order *)
+type dyn = { mutable a : float array; mutable n : int }
+
+let dyn_make hint = { a = Array.make (max 16 hint) 0.0; n = 0 }
+
+let dyn_add d v =
+  if d.n = Array.length d.a then begin
+    let a' = Array.make (2 * d.n) 0.0 in
+    Array.blit d.a 0 a' 0 d.n;
+    d.a <- a'
+  end;
+  d.a.(d.n) <- v;
+  d.n <- d.n + 1
+
+let connect socket =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | () -> Ok fd
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error
+      (Printf.sprintf "serve-client: cannot connect to %s: %s" socket
+         (Unix.error_message e))
+
+(* one connection's drive; returns its partial result *)
+let drive ~t0 ~rps ~duration_s ~conns ~c ~body fd =
+  let oc = Unix.out_channel_of_descr fd in
+  let ic = Unix.in_channel_of_descr fd in
+  let times = dyn_make (int_of_float (rps *. duration_s /. float_of_int conns) + 16) in
+  let sent = ref 0 in
+  let sender () =
+    let rec go k =
+      let due = float_of_int (c + (k * conns)) /. rps in
+      if due < duration_s then begin
+        let dt = t0 +. due -. now () in
+        if dt > 0.0 then Unix.sleepf dt;
+        let i = c + (k * conns) in
+        dyn_add times (now ());
+        match
+          output_string oc (body i);
+          output_char oc '\n';
+          flush oc
+        with
+        | () ->
+          incr sent;
+          go (k + 1)
+        | exception Sys_error _ -> () (* server went away; stop sending *)
+      end
+    in
+    go 0;
+    (try Unix.shutdown fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ())
+  in
+  let st = Thread.create sender () in
+  let r = ref empty in
+  let rec recv k =
+    match input_line ic with
+    | exception (End_of_file | Sys_error _) -> ()
+    | line ->
+      let tn = now () in
+      let lat_us = (tn -. times.a.(min k (times.n - 1))) *. 1e6 in
+      let status =
+        match Json.parse line with
+        | Error _ -> "error"
+        | Ok j -> (
+          match Option.bind (Json.member "status" j) Json.to_str with
+          | Some s -> s
+          | None -> "error")
+      in
+      let a = !r in
+      r :=
+        {
+          a with
+          wall_s = tn -. t0;
+          all_latency_us = lat_us :: a.all_latency_us;
+          ok = (a.ok + if status = "ok" then 1 else 0);
+          overloaded = (a.overloaded + if status = "overloaded" then 1 else 0);
+          timeout = (a.timeout + if status = "timeout" then 1 else 0);
+          degraded = (a.degraded + if status = "degraded" then 1 else 0);
+          cancelled = (a.cancelled + if status = "cancelled" then 1 else 0);
+          error =
+            (a.error
+            +
+            match status with
+            | "ok" | "overloaded" | "timeout" | "degraded" | "cancelled" -> 0
+            | _ -> 1);
+          ok_latency_us =
+            (if status = "ok" then lat_us :: a.ok_latency_us
+             else a.ok_latency_us);
+        };
+      recv (k + 1)
+  in
+  recv 0;
+  Thread.join st;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  let a = !r in
+  { a with sent = !sent; unanswered = !sent - answered a }
+
+let run ~socket ~rps ~duration_s ?(connections = 1) ~body () =
+  if rps <= 0.0 then Error "serve-client: rps must be positive"
+  else if duration_s <= 0.0 then Error "serve-client: duration must be positive"
+  else begin
+    let conns = max 1 connections in
+    let fds = List.init conns (fun _ -> connect socket) in
+    match List.find_opt Result.is_error fds with
+    | Some (Error e) ->
+      List.iter
+        (function
+          | Ok fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+          | Error _ -> ())
+        fds;
+      Error e
+    | _ ->
+      let fds = List.map Result.get_ok fds in
+      let t0 = now () in
+      let cells = List.map (fun _ -> ref empty) fds in
+      List.combine fds cells
+      |> List.mapi (fun c (fd, cell) ->
+             Thread.create
+               (fun () -> cell := drive ~t0 ~rps ~duration_s ~conns ~c ~body fd)
+               ())
+      |> List.iter Thread.join;
+      Ok (List.fold_left (fun acc cell -> merge acc !cell) empty cells)
+  end

@@ -1,0 +1,41 @@
+(** Load generator for the {!Serve} front end.
+
+    Opens [connections] Unix-socket connections, paces [rps] requests per
+    second (split evenly across connections) for [duration_s] seconds,
+    then half-closes the send side and reads every response. Responses
+    arrive in request order per connection, so the [k]-th response line
+    is matched to the [k]-th send timestamp for latency measurement.
+
+    Latency quantiles are the caller's job ({!Stats.quantile} on
+    {!result.ok_latency_us}); this module only collects. *)
+
+type result = {
+  sent : int;
+  ok : int;
+  overloaded : int;  (** shed by admission control *)
+  timeout : int;  (** deadline exceeded server-side *)
+  error : int;  (** [status:"error"] responses + unparseable responses *)
+  degraded : int;
+  cancelled : int;
+  unanswered : int;  (** sent but the connection closed before a response *)
+  wall_s : float;  (** first send to last response *)
+  ok_latency_us : float list;  (** per-request latency of [ok] responses *)
+  all_latency_us : float list;  (** latency of every answered request *)
+}
+
+val answered : result -> int
+(** [ok + overloaded + timeout + error + degraded + cancelled]. *)
+
+val run :
+  socket:string ->
+  rps:float ->
+  duration_s:float ->
+  ?connections:int ->
+  body:(int -> string) ->
+  unit ->
+  (result, string) Stdlib.result
+(** [run ~socket ~rps ~duration_s ~body ()] drives the server. [body i]
+    is the request line for the [i]-th request overall (no trailing
+    newline; must be a single line). [connections] defaults to 1 and is
+    clamped to at least 1. Fails if any connection cannot be
+    established. *)

@@ -17,10 +17,21 @@ let int64 t =
 
 let int t bound =
   assert (bound > 0);
-  (* keep only 62 positive bits: Int64.to_int of a 63-bit quantity would
-     wrap to negative values *)
-  let bits = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
-  bits mod bound
+  (* Rejection sampling: [bits mod bound] alone is biased whenever [bound]
+     does not divide 2^62 (low residues appear once more often than high
+     ones). Draws land in [0, 2^62) = [0, max_int], so the largest unbiased
+     prefix is the largest multiple of [bound] <= 2^62; redraw on the
+     (tiny) tail above it. 2^62 mod bound computed as max_int + 1 without
+     overflowing the 63-bit native int. *)
+  let tail = ((max_int mod bound) + 1) mod bound in
+  let accept_max = max_int - tail in
+  let rec go () =
+    (* keep only 62 positive bits: Int64.to_int of a 63-bit quantity would
+       wrap to negative values *)
+    let bits = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+    if bits <= accept_max then bits mod bound else go ()
+  in
+  go ()
 
 let float t bound =
   let bits53 = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in

@@ -16,7 +16,10 @@ val int64 : t -> int64
 (** Next raw 64-bit value. *)
 
 val int : t -> int -> int
-(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive.
+    Exactly uniform (rejection sampling over the 62-bit draw, not a biased
+    [mod]); a draw in the rejected tail advances the stream by one extra
+    {!int64}. *)
 
 val float : t -> float -> float
 (** [float t bound] is uniform in [\[0, bound)]. *)

@@ -18,13 +18,30 @@ let stddev xs =
     let var = mean (List.map (fun x -> (x -. m) *. (x -. m)) xs) in
     sqrt var
 
-let median xs =
-  match List.sort compare xs with
-  | [] -> 0.0
-  | sorted ->
-    let n = List.length sorted in
-    let nth i = List.nth sorted i in
-    if n mod 2 = 1 then nth (n / 2) else (nth ((n / 2) - 1) +. nth (n / 2)) /. 2.0
+(* Order statistics must not sort with polymorphic [compare]: its NaN
+   ordering is unspecified, so one NaN in a latency sample silently
+   corrupts every rank. All rank-based summaries share this one path:
+   drop non-finite values, sort an array once with [Float.compare]. *)
+let sorted_finite xs =
+  let a = Array.of_list (List.filter Float.is_finite xs) in
+  Array.sort Float.compare a;
+  a
+
+(* Linear interpolation between closest ranks (type-7 estimator, the
+   R/NumPy default) on an already-sorted non-empty array: h = q * (n-1). *)
+let quantile_sorted a q =
+  let n = Array.length a in
+  let q = Float.min 1.0 (Float.max 0.0 q) in
+  let h = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor h) in
+  let hi = if lo + 1 < n then lo + 1 else lo in
+  let frac = h -. float_of_int lo in
+  a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
+
+let quantile q xs =
+  match sorted_finite xs with [||] -> 0.0 | a -> quantile_sorted a q
+
+let median xs = quantile 0.5 xs
 
 let minimum = function [] -> 0.0 | x :: xs -> List.fold_left Float.min x xs
 let maximum = function [] -> 0.0 | x :: xs -> List.fold_left Float.max x xs
@@ -32,26 +49,11 @@ let maximum = function [] -> 0.0 | x :: xs -> List.fold_left Float.max x xs
 let percent ~part ~whole = if whole = 0.0 then 0.0 else 100.0 *. part /. whole
 let ratio a b = if b = 0.0 then 0.0 else a /. b
 
-let quantile q xs =
-  match List.sort compare xs with
-  | [] -> 0.0
-  | sorted ->
-    let a = Array.of_list sorted in
-    let n = Array.length a in
-    let q = Float.min 1.0 (Float.max 0.0 q) in
-    (* Linear interpolation between closest ranks (type-7 estimator, the
-       R/NumPy default): h = q * (n - 1). *)
-    let h = q *. float_of_int (n - 1) in
-    let lo = int_of_float (Float.floor h) in
-    let hi = if lo + 1 < n then lo + 1 else lo in
-    let frac = h -. float_of_int lo in
-    a.(lo) +. (frac *. (a.(hi) -. a.(lo)))
-
 let histogram ~buckets xs =
   let buckets = max 1 buckets in
-  match xs with
+  match List.filter Float.is_finite xs with
   | [] -> (0.0, 0.0, Array.make buckets 0)
-  | _ ->
+  | xs ->
     let lo = minimum xs and hi = maximum xs in
     let counts = Array.make buckets 0 in
     let width = (hi -. lo) /. float_of_int buckets in

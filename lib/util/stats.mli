@@ -10,7 +10,9 @@ val stddev : float list -> float
 (** Population standard deviation; 0 on lists shorter than 2. *)
 
 val median : float list -> float
-(** Median; 0 on the empty list. *)
+(** Median ([quantile 0.5]: one shared array-based sort, not repeated
+    [List.nth]). Non-finite values (NaN, infinities) are dropped before
+    ranking; 0 when no finite value remains. *)
 
 val minimum : float list -> float
 val maximum : float list -> float
@@ -23,11 +25,16 @@ val ratio : float -> float -> float
 
 val quantile : float -> float list -> float
 (** [quantile q xs] is the [q]-th quantile of [xs] by linear interpolation
-    between closest ranks (the R/NumPy "type 7" default). [q] is clamped to
-    [\[0,1\]]; 0 on the empty list. [quantile 0.5] agrees with {!median}. *)
+    between closest ranks (the R/NumPy "type 7" default). Sorting uses
+    [Float.compare] after dropping non-finite values — a stray NaN in a
+    sample (e.g. a latency list) can no longer scramble the ranking. [q]
+    is clamped to [\[0,1\]]; 0 when no finite value remains. [quantile
+    0.5] agrees with {!median}. *)
 
 val histogram : buckets:int -> float list -> float * float * int array
 (** [histogram ~buckets xs] is [(lo, hi, counts)]: an equal-width histogram
-    of [xs] over [\[lo, hi\]] with [max 1 buckets] buckets, where [lo]/[hi]
-    are the min/max of [xs]. Every sample lands in exactly one bucket, so
-    the counts sum to [List.length xs]. [(0., 0., all-zero)] on []. *)
+    of the {e finite} samples of [xs] over [\[lo, hi\]] with [max 1 buckets]
+    buckets, where [lo]/[hi] are the finite min/max. Non-finite samples are
+    dropped (they would otherwise poison the range); every finite sample
+    lands in exactly one bucket, so the counts sum to the number of finite
+    samples. [(0., 0., all-zero)] when none remain. *)

@@ -30,4 +30,5 @@ let () =
          ("trace", Test_trace.suite);
          ("pool", Test_pool.suite);
          ("metrics", Test_metrics.suite);
+         ("serve", Test_serve.suite);
        ])

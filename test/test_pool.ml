@@ -68,6 +68,33 @@ let test_timeout_fires () =
       | Ok v -> Alcotest.(check int) "pool alive after timeout" 42 v
       | Error e -> Alcotest.fail (Pool.error_to_string e))
 
+let test_ticker_parks_when_idle () =
+  (* a resident pool that once ran a timeout-armed job must not keep the
+     ticker domain spinning after the job completes *)
+  let pool = Pool.create ~jobs:2 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      (match Pool.await (Pool.submit pool ~timeout_s:5.0 (fun () -> 7)) with
+      | Ok 7 -> ()
+      | _ -> Alcotest.fail "armed job should complete");
+      (* give the ticker a few periods to reap the finished watcher *)
+      Unix.sleepf 0.05;
+      let t1 = Pool.ticker_ticks pool in
+      Unix.sleepf 0.2;
+      let t2 = Pool.ticker_ticks pool in
+      (* a spinning ticker would add ~100 ticks in 0.2 s; a parked one
+         adds none (a generous slack of 3 absorbs scheduling noise) *)
+      Alcotest.(check bool)
+        (Printf.sprintf "ticker parked while idle (%d -> %d)" t1 t2)
+        true
+        (t2 - t1 <= 3);
+      (* and it wakes again for the next armed job *)
+      match Pool.await (Pool.submit pool ~timeout_s:0.05 (fun () -> Unix.sleepf 5.0)) with
+      | Error Pool.Timed_out -> ()
+      | Ok _ -> Alcotest.fail "expected a timeout after re-arming"
+      | Error e -> Alcotest.fail (Pool.error_to_string e))
+
 let test_exception_capture () =
   let results =
     Pool.run_list ~jobs:2
@@ -267,6 +294,7 @@ let suite =
       test_inverted_durations;
     Alcotest.test_case "run_list keeps submission order" `Quick test_run_list_order;
     Alcotest.test_case "timeout fires; pool survives" `Quick test_timeout_fires;
+    Alcotest.test_case "ticker parks when idle" `Quick test_ticker_parks_when_idle;
     Alcotest.test_case "exceptions are captured per job" `Quick
       test_exception_capture;
     Alcotest.test_case "cancellation" `Quick test_cancellation;

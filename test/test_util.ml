@@ -32,6 +32,26 @@ let prop_rng_int_bounds =
       let v = Rng.int rng bound in
       v >= 0 && v < bound)
 
+let test_rng_int_unbiased () =
+  (* bound = 3 * 2^60 does not divide the 2^62 draw range: the old
+     [bits mod bound] gave values below 2^60 probability 1/2 instead of
+     1/3. With 3000 draws the uniform fraction is 1/3 +- ~0.03, so 0.40
+     cleanly separates the distributions. *)
+  let bound = 3 * (1 lsl 60) in
+  let rng = Rng.create 9001 in
+  let n = 3000 in
+  let low = ref 0 in
+  for _ = 1 to n do
+    let v = Rng.int rng bound in
+    if v < 0 || v >= bound then Alcotest.fail "out of bounds";
+    if v < 1 lsl 60 then incr low
+  done;
+  let frac = float_of_int !low /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "low-third fraction %.3f stays near 1/3" frac)
+    true
+    (frac > 0.26 && frac < 0.40)
+
 let prop_rng_float_bounds =
   QCheck.Test.make ~name:"Rng.float stays in bounds" ~count:500
     QCheck.(pair small_int (float_range 0.1 100.0))
@@ -79,6 +99,24 @@ let test_stats_histogram () =
   Alcotest.check feq "empty lo" 0.0 lo;
   Alcotest.check feq "empty hi" 0.0 hi;
   Alcotest.(check (array int)) "empty counts" [| 0; 0 |] c2
+
+let test_stats_nan_safe () =
+  (* a NaN (or infinity) in the sample must not scramble the ranking:
+     non-finite values are dropped before sorting with Float.compare *)
+  let dirty = [ 3.0; nan; 1.0; infinity; 2.0; neg_infinity; 4.0 ] in
+  let clean = [ 3.0; 1.0; 2.0; 4.0 ] in
+  Alcotest.check feq "median ignores non-finite" (Stats.median clean)
+    (Stats.median dirty);
+  Alcotest.check feq "quantile ignores non-finite"
+    (Stats.quantile 0.95 clean) (Stats.quantile 0.95 dirty);
+  Alcotest.(check bool) "median of dirty list is finite" true
+    (Float.is_finite (Stats.median dirty));
+  Alcotest.check feq "all-NaN median is 0" 0.0 (Stats.median [ nan; nan ]);
+  let lo, hi, counts = Stats.histogram ~buckets:4 (nan :: [ 0.0; 1.0; 2.0; 3.0; 4.0 ]) in
+  Alcotest.check feq "histogram lo unpoisoned" 0.0 lo;
+  Alcotest.check feq "histogram hi unpoisoned" 4.0 hi;
+  Alcotest.(check int) "histogram counts only finite samples" 5
+    (Array.fold_left ( + ) 0 counts)
 
 let prop_quantile_monotone =
   QCheck.Test.make ~name:"Stats.quantile is monotone in q" ~count:300
@@ -141,12 +179,14 @@ let suite =
     ("rng seeds differ", `Quick, test_rng_seeds_differ);
     ("rng copy", `Quick, test_rng_copy);
     ("rng shuffle permutes", `Quick, test_rng_shuffle_permutes);
+    ("rng int is unbiased", `Quick, test_rng_int_unbiased);
     QCheck_alcotest.to_alcotest ~rand:(Qcheck_seed.rand ()) prop_rng_int_bounds;
     QCheck_alcotest.to_alcotest ~rand:(Qcheck_seed.rand ()) prop_rng_float_bounds;
     ("stats basics", `Quick, test_stats);
     ("stats stddev", `Quick, test_stats_stddev);
     ("stats quantile", `Quick, test_stats_quantile);
     ("stats histogram", `Quick, test_stats_histogram);
+    ("stats nan safety", `Quick, test_stats_nan_safe);
     QCheck_alcotest.to_alcotest ~rand:(Qcheck_seed.rand ()) prop_quantile_monotone;
     QCheck_alcotest.to_alcotest ~rand:(Qcheck_seed.rand ()) prop_histogram_total;
     ("json float is total", `Quick, test_json_float_total);
