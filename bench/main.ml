@@ -840,6 +840,58 @@ let fault_overhead_check () =
     exit 1
   end
 
+(* ---------- attention sweep: sequence-length x paradigm crossover ----------
+
+   A Fig. 2-style study at sizes the paper never measured: scaled-dot-
+   product attention (batch 1, head dim 64) with the sequence length
+   swept across the in-/near-memory crossover. A standalone suite
+   (--attn-sweep): the report cache then holds exactly these entries, so
+   --json dumps a sweep-only file for the CI bench-diff gate. *)
+
+let attn_sweep_paradigms = [ E.Base_1; E.Base; E.Near_l3; E.In_l3; E.Inf_s ]
+let attn_sweep_seqs = [ 64; 128; 256; 512; 1024 ]
+
+let attn_sweep () =
+  let wl seq = Infs_workloads.Transformer.attention ~batch:1 ~seq ~dh:64 () in
+  (* fill the cache from the pool first (identical results, less wall) *)
+  let specs =
+    List.concat_map
+      (fun seq -> List.map (fun p -> (p, wl seq)) attn_sweep_paradigms)
+      attn_sweep_seqs
+  in
+  let outcomes =
+    Pool.run_list ~jobs:!bench_jobs
+      (List.map (fun (p, w) () -> ignore (run p w)) specs)
+  in
+  List.iter
+    (function
+      | Ok () -> ()
+      | Error e -> failwith ("attn-sweep: " ^ Pool.error_to_string e))
+    outcomes;
+  let t =
+    Table.create
+      ~title:
+        "Attention crossover - cycles by sequence length (batch 1, head dim 64)"
+      ~columns:
+        (("seq len" :: List.map E.paradigm_to_string attn_sweep_paradigms)
+        @ [ "winner" ])
+  in
+  List.iter
+    (fun seq ->
+      let cycles =
+        List.map (fun p -> (run p (wl seq)).R.cycles) attn_sweep_paradigms
+      in
+      let best = List.fold_left Float.min infinity cycles in
+      let winner =
+        List.fold_left2
+          (fun acc p c -> if c = best then E.paradigm_to_string p else acc)
+          "?" attn_sweep_paradigms cycles
+      in
+      Table.add_row t
+        ((string_of_int seq :: List.map Table.fmt_float cycles) @ [ winner ]))
+    attn_sweep_seqs;
+  Table.print t
+
 (* ---------- seeded degraded-mode section (--faults SPEC) ---------- *)
 
 (* Runs outside the report cache on purpose: fault-afflicted cycle counts
@@ -974,8 +1026,15 @@ let () =
   bench_jobs := jobs;
   let t0 = Unix.gettimeofday () in
   Option.iter trace_demo trace_file;
-  let suite = if List.mem "--smoke" argv then "smoke" else "full" in
-  if suite = "smoke" then smoke () else full ();
+  let suite =
+    if List.mem "--attn-sweep" argv then "attn-sweep"
+    else if List.mem "--smoke" argv then "smoke"
+    else "full"
+  in
+  (match suite with
+  | "attn-sweep" -> attn_sweep ()
+  | "smoke" -> smoke ()
+  | _ -> full ());
   Option.iter fault_section fault_spec;
   Option.iter (dump_json ~suite) json_file;
   let hits, misses, entries = E.compile_cache_stats () in

@@ -53,6 +53,7 @@ let ( / ) a b = Binop (Op.Div, a, b)
 let min_ a b = Binop (Op.Min, a, b)
 let max_ a b = Binop (Op.Max, a, b)
 let relu a = Unop (Op.Relu, a)
+let sqrt_ a = Unop (Op.Sqrt, a)
 
 let loop ivar lo hi = { ivar; lo; hi }
 

@@ -72,6 +72,7 @@ val ( / ) : expr -> expr -> expr
 val min_ : expr -> expr -> expr
 val max_ : expr -> expr -> expr
 val relu : expr -> expr
+val sqrt_ : expr -> expr
 
 val loop : string -> Symaff.t -> Symaff.t -> loop
 val store : string -> Symaff.t list -> expr -> kernel_stmt

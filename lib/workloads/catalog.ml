@@ -35,6 +35,9 @@ let table3 () =
           ("out", Gather_mlp.gather_mlp_outer ~rows:32768 ~feat:128 ~vocab:65536);
         ];
     };
+    single "attention" (Transformer.attention ~batch:8 ~seq:512 ~dh:64 ());
+    single "layernorm" (Transformer.layernorm ~rows:4096 ~dim:1024);
+    single "mlp" (Transformer.mlp ~rows:2048 ~dim:1024 ~hidden:4096);
   ]
 
 let test_scale () =
@@ -66,6 +69,9 @@ let test_scale () =
           ("out", Gather_mlp.gather_mlp_outer ~rows:32 ~feat:8 ~vocab:64);
         ];
     };
+    single "attention" (Transformer.attention ~batch:2 ~seq:8 ~dh:4 ());
+    single "layernorm" (Transformer.layernorm ~rows:12 ~dim:8);
+    single "mlp" (Transformer.mlp ~rows:8 ~dim:8 ~hidden:16);
   ]
 
 let all_variants entries =

@@ -8,8 +8,10 @@ type entry = {
 }
 
 val table3 : unit -> entry list
-(** The 10 Table 3 workloads at paper scale. For multi-dataflow entries the
-    harness picks the best variant per paradigm, like the paper. *)
+(** The 10 Table 3 workloads plus the transformer-block trio
+    (attention / layernorm / mlp, see {!Transformer}) at paper scale.
+    For multi-dataflow entries the harness picks the best variant per
+    paradigm, like the paper. *)
 
 val test_scale : unit -> entry list
 (** The same suite at sizes small enough for functional checking. *)

@@ -1,0 +1,282 @@
+module W = Infinity_stream.Workload
+
+(* exp(x) is approximated by the repeated-squaring identity
+     pexp(x) = max(0, 1 + x/2^s)^(2^s)     with s = 8 squarings,
+   staged through an array because mini-C expressions cannot share
+   subexpressions: one seeding kernel writes the clamped base, then
+   [squarings] in-place squaring kernels raise it to the 256th power.
+   The max(0, .) clamp makes the approximation exact-zero (instead of
+   oscillating) once x <= -256, which is what keeps the softmax finite
+   for arbitrarily large logit gaps (see the .mli). *)
+let squarings = 8
+let pexp_scale = 1.0 /. 256.0
+
+let square_kernels ~prefix ~arr ~loops ~indices =
+  List.init squarings (fun s ->
+      Ast.Kernel
+        (Ast.kernel
+           (Printf.sprintf "%s%d" prefix (Stdlib.( + ) s 1))
+           loops
+           [ Ast.store arr indices Ast.(load arr indices * load arr indices) ]))
+
+(* ---- scaled-dot-product attention ---- *)
+
+let attention ?(logit_scale = 1.0) ~batch ~seq ~dh () =
+  let sc = logit_scale /. sqrt (float_of_int dh) in
+  let prog =
+    let open Ast in
+    let b = Symaff.var "B" and t = Symaff.var "T" and d = Symaff.var "Dh" in
+    let row2 = [ loop "r" (c 0) t; loop "cc" (c 0) t ] in
+    let p_rc = [ i "r"; i "cc" ] in
+    program ~name:"attention" ~params:[ "B"; "T"; "Dh" ]
+      ~arrays:
+        [
+          array "Q" Dtype.Fp32 [ b; t; d ];
+          array "K" Dtype.Fp32 [ b; t; d ];
+          array "V" Dtype.Fp32 [ b; t; d ];
+          array "S" Dtype.Fp32 [ t; t ];
+          array "M" Dtype.Fp32 [ t ];
+          array "P" Dtype.Fp32 [ t; t ];
+          array "Z" Dtype.Fp32 [ t ];
+          array "AV" Dtype.Fp32 [ t; d ];
+          array "O" Dtype.Fp32 [ b; t; d ];
+        ]
+      [
+        Host_loop
+          ( loop "bb" (c 0) b,
+            [
+              (* S = Q K^T for this batch (scratch: re-zeroed per head) *)
+              Kernel (kernel "at_szero" row2 [ store "S" p_rc (fconst 0.0) ]);
+              Kernel
+                (kernel "at_qk"
+                   (row2 @ [ loop "kk" (c 0) d ])
+                   [
+                     accum Op.Add "S" p_rc
+                       (load "Q" [ i "bb"; i "r"; i "kk" ]
+                       * load "K" [ i "bb"; i "cc"; i "kk" ]);
+                   ]);
+              (* row max for the max-subtraction softmax *)
+              Kernel
+                (kernel "at_minit"
+                   [ loop "r" (c 0) t ]
+                   [ store "M" [ i "r" ] (fconst (-1e30)) ]);
+              Kernel
+                (kernel "at_rowmax" row2
+                   [ accum Op.Max "M" [ i "r" ] (load "S" p_rc) ]);
+              (* P = pexp(scale * (S - rowmax)); argument <= 0, so the
+                 base stays in [0,1] and the row max contributes exactly 1 *)
+              Kernel
+                (kernel "at_pinit" row2
+                   [
+                     store "P" p_rc
+                       (max_ (fconst 0.0)
+                          (fconst 1.0
+                          + (load "S" p_rc - load "M" [ i "r" ])
+                            * fconst (sc *. pexp_scale)));
+                   ]);
+            ]
+            @ square_kernels ~prefix:"at_psq" ~arr:"P" ~loops:row2
+                ~indices:[ i "r"; i "cc" ]
+            @ [
+                (* row normalization: Z >= 1 because the max element is 1 *)
+                Kernel
+                  (kernel "at_zzero"
+                     [ loop "r" (c 0) t ]
+                     [ store "Z" [ i "r" ] (fconst 0.0) ]);
+                Kernel
+                  (kernel "at_rowsum" row2
+                     [ accum Op.Add "Z" [ i "r" ] (load "P" p_rc) ]);
+                Kernel
+                  (kernel "at_pnorm" row2
+                     [ store "P" p_rc (load "P" p_rc / load "Z" [ i "r" ]) ]);
+                (* AV = P V, then scatter into this batch's output slab
+                   (the one-iteration loop keeps the batch index
+                   loop-carried, cf. kmeans' km_scatter) *)
+                Kernel
+                  (kernel "at_avzero"
+                     [ loop "r" (c 0) t; loop "nn" (c 0) d ]
+                     [ store "AV" [ i "r"; i "nn" ] (fconst 0.0) ]);
+                Kernel
+                  (kernel "at_av"
+                     [ loop "r" (c 0) t; loop "nn" (c 0) d; loop "cc" (c 0) t ]
+                     [
+                       accum Op.Add "AV" [ i "r"; i "nn" ]
+                         (load "P" [ i "r"; i "cc" ]
+                         * load "V" [ i "bb"; i "cc"; i "nn" ]);
+                     ]);
+                Kernel
+                  (kernel "at_out"
+                     [
+                       loop "ob" (i "bb") (i "bb" +% 1);
+                       loop "r" (c 0) t;
+                       loop "nn" (c 0) d;
+                     ]
+                     [
+                       store "O" [ i "ob"; i "r"; i "nn" ]
+                         (load "AV" [ i "r"; i "nn" ]);
+                     ]);
+              ] );
+      ]
+  in
+  W.make ~check_arrays:[ "O" ]
+    ~name:(Printf.sprintf "attention/b%dxt%dxd%d" batch seq dh)
+    ~params:[ ("B", batch); ("T", seq); ("Dh", dh) ]
+    ~inputs:
+      (lazy
+        [
+          ("Q", Data.uniform_range ~seed:101 ~lo:(-1.0) ~hi:1.0 (batch * seq * dh));
+          ("K", Data.uniform_range ~seed:103 ~lo:(-1.0) ~hi:1.0 (batch * seq * dh));
+          ("V", Data.uniform_range ~seed:107 ~lo:(-1.0) ~hi:1.0 (batch * seq * dh));
+        ])
+    prog
+
+(* ---- layer normalization ---- *)
+
+let layernorm ~rows ~dim =
+  let inv_d = 1.0 /. float_of_int dim in
+  let prog =
+    let open Ast in
+    let r = Symaff.var "R" and d = Symaff.var "D" in
+    let row2 = [ loop "r" (c 0) r; loop "dd" (c 0) d ] in
+    let x = load "X" [ i "r"; i "dd" ] in
+    let mu = load "MU" [ i "r" ] in
+    program ~name:"layernorm" ~params:[ "R"; "D" ]
+      ~arrays:
+        [
+          array "X" Dtype.Fp32 [ r; d ];
+          array "G" Dtype.Fp32 [ d ];
+          array "Bt" Dtype.Fp32 [ d ];
+          array "MU" Dtype.Fp32 [ r ];
+          array "VAR" Dtype.Fp32 [ r ];
+          array "SD" Dtype.Fp32 [ r ];
+          array "Y" Dtype.Fp32 [ r; d ];
+        ]
+      [
+        Kernel
+          (kernel "ln_mean" row2
+             [ accum Op.Add "MU" [ i "r" ] (x * fconst inv_d) ]);
+        Kernel
+          (kernel "ln_var" row2
+             [ accum Op.Add "VAR" [ i "r" ] ((x - mu) * (x - mu) * fconst inv_d) ]);
+        Kernel
+          (kernel "ln_sd"
+             [ loop "r" (c 0) r ]
+             [
+               store "SD" [ i "r" ]
+                 (sqrt_ (load "VAR" [ i "r" ] + fconst 1e-5));
+             ]);
+        (* normalize and the gain/bias affine map are separate kernels:
+           fused they need more than the 8 wordline registers and the
+           schedule would spill *)
+        Kernel
+          (kernel "ln_norm" row2
+             [
+               store "Y" [ i "r"; i "dd" ] ((x - mu) / load "SD" [ i "r" ]);
+             ]);
+        Kernel
+          (kernel "ln_affine" row2
+             [
+               store "Y" [ i "r"; i "dd" ]
+                 ((load "Y" [ i "r"; i "dd" ] * load "G" [ i "dd" ])
+                 + load "Bt" [ i "dd" ]);
+             ]);
+      ]
+  in
+  W.make ~check_arrays:[ "Y" ]
+    ~name:(Printf.sprintf "layernorm/%dx%d" rows dim)
+    ~params:[ ("R", rows); ("D", dim) ]
+    ~inputs:
+      (lazy
+        [
+          ("X", Data.uniform_range ~seed:109 ~lo:(-2.0) ~hi:2.0 (rows * dim));
+          ("G", Data.uniform_range ~seed:113 ~lo:(0.5) ~hi:1.5 dim);
+          ("Bt", Data.uniform_range ~seed:127 ~lo:(-0.5) ~hi:0.5 dim);
+        ])
+    prog
+
+(* ---- transformer MLP block: X W1 + b1 -> GELU -> A W2 + b2 ---- *)
+
+let mlp ~rows ~dim ~hidden =
+  let prog =
+    let open Ast in
+    let r = Symaff.var "R" and d = Symaff.var "D" and h = Symaff.var "H" in
+    let rowh = [ loop "r" (c 0) r; loop "hh" (c 0) h ] in
+    let p_rh = [ i "r"; i "hh" ] in
+    program ~name:"mlp" ~params:[ "R"; "D"; "H" ]
+      ~arrays:
+        [
+          array "X" Dtype.Fp32 [ r; d ];
+          array "W1" Dtype.Fp32 [ d; h ];
+          array "B1" Dtype.Fp32 [ h ];
+          array "Hh" Dtype.Fp32 [ r; h ];
+          array "Gm" Dtype.Fp32 [ r; h ];
+          array "Act" Dtype.Fp32 [ r; h ];
+          array "W2" Dtype.Fp32 [ h; d ];
+          array "B2" Dtype.Fp32 [ d ];
+          array "Y" Dtype.Fp32 [ r; d ];
+        ]
+      ([
+         Kernel
+           (kernel "mlp_mm1"
+              (rowh @ [ loop "kk" (c 0) d ])
+              [
+                accum Op.Add "Hh" p_rh
+                  (load "X" [ i "r"; i "kk" ] * load "W1" [ i "kk"; i "hh" ]);
+              ]);
+         Kernel
+           (kernel "mlp_bias1" rowh
+              [ store "Hh" p_rh (load "Hh" p_rh + load "B1" [ i "hh" ]) ]);
+         (* GELU(u) ~ u * sigmoid(1.702 u); sigmoid(z) = p/(1+p) with
+            p = pexp(clamp(z, -100, 100)) — the clamp keeps the squaring
+            chain inside fp32 range for any pre-activation *)
+         Kernel
+           (kernel "mlp_gexp" rowh
+              [
+                store "Gm" p_rh
+                  (max_ (fconst 0.0)
+                     (fconst 1.0
+                     + min_ (fconst 100.0)
+                         (max_ (fconst (-100.0)) (fconst 1.702 * load "Hh" p_rh))
+                       * fconst pexp_scale));
+              ]);
+       ]
+      @ square_kernels ~prefix:"mlp_gsq" ~arr:"Gm" ~loops:rowh
+          ~indices:[ i "r"; i "hh" ]
+      @ [
+          Kernel
+            (kernel "mlp_gelu" rowh
+               [
+                 store "Act" p_rh
+                   (load "Hh" p_rh
+                   * (load "Gm" p_rh / (fconst 1.0 + load "Gm" p_rh)));
+               ]);
+          Kernel
+            (kernel "mlp_mm2"
+               [ loop "r" (c 0) r; loop "nn" (c 0) d; loop "kk" (c 0) h ]
+               [
+                 accum Op.Add "Y"
+                   [ i "r"; i "nn" ]
+                   (load "Act" [ i "r"; i "kk" ] * load "W2" [ i "kk"; i "nn" ]);
+               ]);
+          Kernel
+            (kernel "mlp_bias2"
+               [ loop "r" (c 0) r; loop "nn" (c 0) d ]
+               [
+                 store "Y" [ i "r"; i "nn" ]
+                   (load "Y" [ i "r"; i "nn" ] + load "B2" [ i "nn" ]);
+               ]);
+        ])
+  in
+  W.make ~check_arrays:[ "Y" ]
+    ~name:(Printf.sprintf "mlp/%dx%dx%d" rows dim hidden)
+    ~params:[ ("R", rows); ("D", dim); ("H", hidden) ]
+    ~inputs:
+      (lazy
+        [
+          ("X", Data.uniform_range ~seed:131 ~lo:(-1.0) ~hi:1.0 (rows * dim));
+          ("W1", Data.uniform_range ~seed:137 ~lo:(-0.2) ~hi:0.2 (dim * hidden));
+          ("B1", Data.uniform_range ~seed:139 ~lo:(-0.1) ~hi:0.1 hidden);
+          ("W2", Data.uniform_range ~seed:149 ~lo:(-0.2) ~hi:0.2 (hidden * dim));
+          ("B2", Data.uniform_range ~seed:151 ~lo:(-0.1) ~hi:0.1 dim);
+        ])
+    prog

@@ -1,0 +1,54 @@
+(** Transformer-block workloads (attention, layernorm, MLP), expressed in
+    the affine mini-C AST so the whole stack — interpreter oracle,
+    paradigm engine, fault injection, serving — runs them unchanged.
+
+    The ISA has no transcendental ops, so [exp] is the repeated-squaring
+    approximation [pexp x = max 0. (1. +. x /. 256.) ** 256.], staged
+    through an array as one seeding kernel plus {!squarings} in-place
+    squaring kernels. All differential tests compare executions of the
+    {e same} program, so the approximation never weakens the oracle.
+
+    {b Numerical stability of the softmax.} The attention softmax
+    {e requires} max-subtraction: the row max M is computed first (an
+    [Op.Max] reduction seeded at -1e30) and the staged exponential is
+    applied to [scale *. (s -. m)], which is always [<= 0]. Hence the
+    seeded base [max 0. (1. +. x /. 256.)] lies in [\[0, 1\]], the row
+    maximum contributes exactly 1.0, the row sum Z is [>= 1], and the
+    final division is safe — no overflow, no [nan]/[inf] — for
+    arbitrarily large logits (the [max 0.] clamp floors bases past
+    [x <= -256] at exact zero rather than letting the squaring chain
+    oscillate). Without the subtraction, a logit of only [x >= 89]
+    would already overflow the true [exp] in fp32; the stability test
+    in [test/test_transformer.ml] drives [|logit| >= 80] through both
+    the kernels and the interpreter and asserts finiteness and
+    bit-exact agreement. *)
+
+val squarings : int
+(** Squaring-kernel count of the staged exponential (8, i.e. 2^8 = 256). *)
+
+val attention :
+  ?logit_scale:float ->
+  batch:int -> seq:int -> dh:int -> unit -> Infinity_stream.Workload.t
+(** Scaled-dot-product attention over [batch] independent heads:
+    [S = Q K^T / sqrt dh] (staged as zero + accumulate kernels),
+    row-softmax with max-subtraction (row-max, seed, {!squarings}
+    squarings, row-sum, normalize), then [O = P V]. Arrays Q/K/V/O are
+    [batch * seq * dh]; the host loop walks batches and kernels stay
+    within the compiler's 3-loop limit. [?logit_scale] (default 1.0)
+    multiplies the logits {e before} the softmax — large values push
+    [|logit|] past the fp32 [exp] overflow point and exercise the
+    max-subtraction path (used by the stability test). Checked array:
+    [O]. *)
+
+val layernorm : rows:int -> dim:int -> Infinity_stream.Workload.t
+(** Row-wise layer normalization with gain/bias:
+    [y = (x - mean) / sqrt (var + 1e-5) * g + b]. Mean and variance are
+    row reductions (each summand pre-scaled by [1/dim]); the reciprocal
+    standard deviation uses the ISA's [Op.Sqrt]. Checked array: [Y]. *)
+
+val mlp : rows:int -> dim:int -> hidden:int -> Infinity_stream.Workload.t
+(** Transformer MLP block: [X W1 + b1 -> GELU -> A W2 + b2] with the
+    sigmoid-form GELU approximation [u * sigmoid (1.702 *. u)], the
+    sigmoid built from the staged exponential ([p/(1+p)], argument
+    clamped to [\[-100, 100\]] so the squaring chain stays in fp32
+    range). Checked array: [Y]. *)

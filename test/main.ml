@@ -23,6 +23,8 @@ let () =
          ("sim", Test_sim.suite);
          ("engine", Test_engine.suite);
          ("workloads", Test_workloads.suite);
+         ("transformer", Test_transformer.suite);
+         ("coverage", Test_catalog_coverage.suite);
          ("edge", Test_edge.suite);
          ("sdfg+rules", Test_sdfg.suite);
          ("fault", Test_fault.suite);

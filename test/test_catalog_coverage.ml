@@ -1,0 +1,83 @@
+(* Catalog coverage meta-test: a workload added to [Catalog.test_scale]
+   must be fully wired, or these tests name the missing suite. Coverage
+   checked:
+   - the paradigm-agreement matrix (test_engine),
+   - the fault differential oracle (test_fault),
+   - the batch byte-identity suite (defined here: jobs:4 and jobs:1
+     pool runs of every catalog variant must serialize to identical
+     report bytes, mirroring `infs_run batch --matrix`). *)
+
+module E = Infinity_stream.Engine
+module R = Infinity_stream.Report
+module Cat = Infs_workloads.Catalog
+
+let catalog_names = List.map fst (Cat.all_variants (Cat.test_scale ()))
+
+let check_covers ~suite have =
+  List.iter
+    (fun n ->
+      if not (List.mem n have) then
+        Alcotest.failf
+          "catalog entry %s is missing from the %s — new workloads must be \
+           wired into every differential suite"
+          n suite)
+    catalog_names
+
+let test_agreement_matrix_covers () =
+  check_covers ~suite:"paradigm-agreement matrix (test_engine)"
+    (List.map fst Test_engine.agreement_matrix)
+
+let test_fault_oracle_covers () =
+  check_covers ~suite:"fault differential oracle (test_fault)"
+    (List.map fst Test_fault.oracle_workloads)
+
+(* ---- batch byte-identity over the whole catalog ----
+
+   Covers the catalog by construction (it enumerates test_scale), so the
+   two subset checks above plus this suite close the loop. Workloads are
+   resolved fresh inside each job — never shared across domains — just
+   like the CLI batch runner. *)
+
+let batch_paradigms = [ E.Base; E.Inf_s ]
+
+let batch_reports ~jobs =
+  Pool.run_list ~jobs
+    (List.concat_map
+       (fun (name, _) ->
+         List.map
+           (fun p () ->
+             let w = List.assoc name (Cat.all_variants (Cat.test_scale ())) in
+             let options = { E.default_options with E.share_compile = true } in
+             match E.run ~options p w with
+             | Ok r -> Json.to_string (R.to_json r)
+             | Error e -> failwith e)
+           batch_paradigms)
+       (Cat.all_variants (Cat.test_scale ())))
+
+let test_batch_byte_identity () =
+  let serial = batch_reports ~jobs:1 in
+  let parallel = batch_reports ~jobs:4 in
+  Alcotest.(check int) "same job count" (List.length serial)
+    (List.length parallel);
+  List.iteri
+    (fun idx (s, p) ->
+      let name =
+        fst
+          (List.nth
+             (Cat.all_variants (Cat.test_scale ()))
+             (idx / List.length batch_paradigms))
+      in
+      match (s, p) with
+      | Ok s, Ok p ->
+        if s <> p then
+          Alcotest.failf "%s: jobs:4 report differs from jobs:1 bytes" name
+      | Error e, _ | _, Error e ->
+        Alcotest.failf "%s: batch job failed: %s" name (Pool.error_to_string e))
+    (List.combine serial parallel)
+
+let suite =
+  [
+    ("agreement matrix covers catalog", `Quick, test_agreement_matrix_covers);
+    ("fault oracle covers catalog", `Quick, test_fault_oracle_covers);
+    ("batch byte-identity covers catalog", `Quick, test_batch_byte_identity);
+  ]

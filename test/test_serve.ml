@@ -198,6 +198,8 @@ let test_workloads =
   [
     ("vec_add", fun () -> Infs_workloads.Micro.vec_add ~n:4096);
     ("array_sum", fun () -> Infs_workloads.Micro.array_sum ~n:4096);
+    ( "attention",
+      fun () -> Infs_workloads.Transformer.attention ~batch:2 ~seq:8 ~dh:4 () );
   ]
 
 let test_paradigms = [ ("base", E.Base); ("near-l3", E.Near_l3); ("inf-s", E.Inf_s) ]

@@ -1,0 +1,421 @@
+(* Transformer-block workloads (attention / layernorm / mlp),
+   differential-tested across the whole stack:
+
+   - a qcheck property per workload: random shapes and input seeds at
+     test scale; every paradigm's functional output must match the
+     scalar interpreter bit-exactly,
+   - float64 reference models (independent re-implementations of the
+     staged pexp softmax, layernorm, and sigmoid-GELU) cross-check the
+     interpreter itself, so a kernel-staging bug that is consistently
+     wrong on both sides still fails,
+   - softmax numerical stability: |logit| >= 80 (past fp32 exp
+     overflow) stays finite and bit-exact thanks to max-subtraction,
+   - a runtime guard: the largest shape each qcheck generator can draw,
+     times the fixed iteration count, stays under an interpreter-op
+     budget, so `dune runtest` wall time cannot silently regress,
+   - goldens: the attention trace and its analyze report are pinned
+     byte-for-byte under golden/. *)
+
+module E = Infinity_stream.Engine
+module R = Infinity_stream.Report
+module W = Infinity_stream.Workload
+module T = Infs_workloads.Transformer
+module D = Infs_workloads.Data
+
+let functional = { E.default_options with E.functional = true }
+
+(* ---- float64 reference models ---- *)
+
+let pexp x =
+  let rec go b s = if s = 0 then b else go (b *. b) (Stdlib.( - ) s 1) in
+  go (Float.max 0.0 (1.0 +. (x /. 256.0))) T.squarings
+
+let ref_attention ~batch ~seq ~dh ~logit_scale q k v =
+  let sc = logit_scale /. sqrt (float_of_int dh) in
+  let o = Array.make (batch * seq * dh) 0.0 in
+  for b = 0 to batch - 1 do
+    let base = b * seq * dh in
+    let s = Array.make_matrix seq seq 0.0 in
+    for r = 0 to seq - 1 do
+      for cc = 0 to seq - 1 do
+        for kk = 0 to dh - 1 do
+          s.(r).(cc) <-
+            s.(r).(cc) +. (q.(base + (r * dh) + kk) *. k.(base + (cc * dh) + kk))
+        done
+      done
+    done;
+    for r = 0 to seq - 1 do
+      let m = Array.fold_left Float.max (-1e30) s.(r) in
+      let p = Array.map (fun x -> pexp (sc *. (x -. m))) s.(r) in
+      let z = Array.fold_left ( +. ) 0.0 p in
+      for nn = 0 to dh - 1 do
+        let acc = ref 0.0 in
+        for cc = 0 to seq - 1 do
+          acc := !acc +. (p.(cc) /. z *. v.(base + (cc * dh) + nn))
+        done;
+        o.(base + (r * dh) + nn) <- !acc
+      done
+    done
+  done;
+  o
+
+let ref_layernorm ~rows ~dim x g bt =
+  let y = Array.make (rows * dim) 0.0 in
+  let inv_d = 1.0 /. float_of_int dim in
+  for r = 0 to rows - 1 do
+    let mu = ref 0.0 in
+    for dd = 0 to dim - 1 do
+      mu := !mu +. (x.((r * dim) + dd) *. inv_d)
+    done;
+    let var = ref 0.0 in
+    for dd = 0 to dim - 1 do
+      let e = x.((r * dim) + dd) -. !mu in
+      var := !var +. (e *. e *. inv_d)
+    done;
+    let sd = sqrt (!var +. 1e-5) in
+    for dd = 0 to dim - 1 do
+      y.((r * dim) + dd) <-
+        ((x.((r * dim) + dd) -. !mu) /. sd *. g.(dd)) +. bt.(dd)
+    done
+  done;
+  y
+
+let ref_mlp ~rows ~dim ~hidden x w1 b1 w2 b2 =
+  let gelu u =
+    let z = Float.min 100.0 (Float.max (-100.0) (1.702 *. u)) in
+    let p = pexp z in
+    u *. (p /. (1.0 +. p))
+  in
+  let y = Array.make (rows * dim) 0.0 in
+  for r = 0 to rows - 1 do
+    let a = Array.make hidden 0.0 in
+    for hh = 0 to hidden - 1 do
+      let acc = ref 0.0 in
+      for kk = 0 to dim - 1 do
+        acc := !acc +. (x.((r * dim) + kk) *. w1.((kk * hidden) + hh))
+      done;
+      a.(hh) <- gelu (!acc +. b1.(hh))
+    done;
+    for nn = 0 to dim - 1 do
+      let acc = ref 0.0 in
+      for kk = 0 to hidden - 1 do
+        acc := !acc +. (a.(kk) *. w2.((kk * dim) + nn))
+      done;
+      y.((r * dim) + nn) <- !acc +. b2.(nn)
+    done
+  done;
+  y
+
+(* ---- helpers ---- *)
+
+let interp_env (w : W.t) =
+  match Interp.create w.W.prog ~params:w.W.params with
+  | Error e -> Alcotest.fail e
+  | Ok env ->
+    List.iter (fun (n, a) -> Interp.set_array env n a) (Lazy.force w.W.inputs);
+    Interp.run env;
+    env
+
+let check_close name want got =
+  Array.iteri
+    (fun idx g ->
+      if Float.abs (g -. want.(idx)) > 1e-4 then
+        Alcotest.failf "%s[%d]: interpreter %.7g vs float64 reference %.7g"
+          name idx g want.(idx))
+    got
+
+(* randomized instances: same programs, fresh input seeds per case *)
+
+let randomized_attention (b, t, dh, seed) =
+  let w = T.attention ~batch:b ~seq:t ~dh () in
+  let n = b * t * dh in
+  {
+    w with
+    W.wname = Printf.sprintf "attention/rand%d" seed;
+    inputs =
+      lazy
+        [
+          ("Q", D.uniform_range ~seed ~lo:(-1.0) ~hi:1.0 n);
+          ("K", D.uniform_range ~seed:(Stdlib.( + ) seed 1) ~lo:(-1.0) ~hi:1.0 n);
+          ("V", D.uniform_range ~seed:(Stdlib.( + ) seed 2) ~lo:(-1.0) ~hi:1.0 n);
+        ];
+  }
+
+let randomized_layernorm (rows, dim, seed) =
+  let w = T.layernorm ~rows ~dim in
+  {
+    w with
+    W.wname = Printf.sprintf "layernorm/rand%d" seed;
+    inputs =
+      lazy
+        [
+          ("X", D.uniform_range ~seed ~lo:(-2.0) ~hi:2.0 (rows * dim));
+          ("G", D.uniform_range ~seed:(Stdlib.( + ) seed 1) ~lo:0.5 ~hi:1.5 dim);
+          ("Bt", D.uniform_range ~seed:(Stdlib.( + ) seed 2) ~lo:(-0.5) ~hi:0.5 dim);
+        ];
+  }
+
+let randomized_mlp (rows, dim, hidden, seed) =
+  let w = T.mlp ~rows ~dim ~hidden in
+  {
+    w with
+    W.wname = Printf.sprintf "mlp/rand%d" seed;
+    inputs =
+      lazy
+        [
+          ("X", D.uniform_range ~seed ~lo:(-1.0) ~hi:1.0 (rows * dim));
+          ("W1", D.uniform_range ~seed:(Stdlib.( + ) seed 1) ~lo:(-0.2) ~hi:0.2 (dim * hidden));
+          ("B1", D.uniform_range ~seed:(Stdlib.( + ) seed 2) ~lo:(-0.1) ~hi:0.1 hidden);
+          ("W2", D.uniform_range ~seed:(Stdlib.( + ) seed 3) ~lo:(-0.2) ~hi:0.2 (hidden * dim));
+          ("B2", D.uniform_range ~seed:(Stdlib.( + ) seed 4) ~lo:(-0.1) ~hi:0.1 dim);
+        ];
+  }
+
+(* every paradigm must agree with the interpreter bit-exactly *)
+let check_all_paradigms (w : W.t) =
+  List.iter
+    (fun p ->
+      match E.run ~options:functional p w with
+      | Error e ->
+        QCheck.Test.fail_reportf "%s [%s]: %s" w.W.wname
+          (E.paradigm_to_string p) e
+      | Ok r -> (
+        match r.R.correctness with
+        | `Checked 0.0 -> ()
+        | `Checked err ->
+          QCheck.Test.fail_reportf "%s [%s]: expected bit-exact, err %.3e"
+            w.W.wname (E.paradigm_to_string p) err
+        | `Skipped ->
+          QCheck.Test.fail_reportf "%s [%s]: expected a correctness check"
+            w.W.wname (E.paradigm_to_string p)))
+    E.all_paradigms;
+  true
+
+(* ---- the qcheck differential properties ---- *)
+
+(* iteration counts are named so the runtime-budget guard below can see
+   them; properties honor QCHECK_SEED via Qcheck_seed.rand *)
+let attention_count = 6
+let layernorm_count = 8
+let mlp_count = 6
+
+let prop_attention_differential =
+  QCheck.Test.make ~count:attention_count
+    ~name:"attention: engine = interpreter on all paradigms"
+    (QCheck.make
+       ~print:(fun (b, t, dh, seed) ->
+         Printf.sprintf "b=%d t=%d dh=%d seed=%d" b t dh seed)
+       QCheck.Gen.(
+         quad (int_range 1 2) (int_range 2 8) (int_range 2 6)
+           (int_range 0 100_000)))
+    (fun case -> check_all_paradigms (randomized_attention case))
+
+let prop_layernorm_differential =
+  QCheck.Test.make ~count:layernorm_count
+    ~name:"layernorm: engine = interpreter on all paradigms"
+    (QCheck.make
+       ~print:(fun (r, d, seed) -> Printf.sprintf "r=%d d=%d seed=%d" r d seed)
+       QCheck.Gen.(
+         triple (int_range 1 12) (int_range 2 10) (int_range 0 100_000)))
+    (fun case -> check_all_paradigms (randomized_layernorm case))
+
+let prop_mlp_differential =
+  QCheck.Test.make ~count:mlp_count
+    ~name:"mlp: engine = interpreter on all paradigms"
+    (QCheck.make
+       ~print:(fun (r, d, h, seed) ->
+         Printf.sprintf "r=%d d=%d h=%d seed=%d" r d h seed)
+       QCheck.Gen.(
+         quad (int_range 1 8) (int_range 2 8) (int_range 2 12)
+           (int_range 0 100_000)))
+    (fun case -> check_all_paradigms (randomized_mlp case))
+
+(* ---- interpreter vs float64 reference ---- *)
+
+let test_attention_reference () =
+  let batch = 2 and seq = 8 and dh = 4 in
+  let w = T.attention ~batch ~seq ~dh () in
+  let inp = Lazy.force w.W.inputs in
+  let want =
+    ref_attention ~batch ~seq ~dh ~logit_scale:1.0 (List.assoc "Q" inp)
+      (List.assoc "K" inp) (List.assoc "V" inp)
+  in
+  check_close "O" want (Interp.get_array (interp_env w) "O")
+
+let test_layernorm_reference () =
+  let rows = 12 and dim = 8 in
+  let w = T.layernorm ~rows ~dim in
+  let inp = Lazy.force w.W.inputs in
+  let want =
+    ref_layernorm ~rows ~dim (List.assoc "X" inp) (List.assoc "G" inp)
+      (List.assoc "Bt" inp)
+  in
+  check_close "Y" want (Interp.get_array (interp_env w) "Y")
+
+let test_mlp_reference () =
+  let rows = 8 and dim = 8 and hidden = 16 in
+  let w = T.mlp ~rows ~dim ~hidden in
+  let inp = Lazy.force w.W.inputs in
+  let want =
+    ref_mlp ~rows ~dim ~hidden (List.assoc "X" inp) (List.assoc "W1" inp)
+      (List.assoc "B1" inp) (List.assoc "W2" inp) (List.assoc "B2" inp)
+  in
+  check_close "Y" want (Interp.get_array (interp_env w) "Y")
+
+(* ---- softmax numerical stability (satellite) ---- *)
+
+let test_softmax_stability () =
+  let seq = 8 and dh = 4 in
+  let logit_scale = 240.0 in
+  let w = T.attention ~logit_scale ~batch:1 ~seq ~dh () in
+  (* the raw logits really are past the fp32 exp overflow point (~88.7) *)
+  let inp = Lazy.force w.W.inputs in
+  let q = List.assoc "Q" inp and k = List.assoc "K" inp in
+  let sc = logit_scale /. sqrt (float_of_int dh) in
+  let maxlogit = ref 0.0 in
+  for r = 0 to Stdlib.( - ) seq 1 do
+    for cc = 0 to Stdlib.( - ) seq 1 do
+      let s = ref 0.0 in
+      for kk = 0 to Stdlib.( - ) dh 1 do
+        s := !s +. (q.((r * dh) + kk) *. k.((cc * dh) + kk))
+      done;
+      maxlogit := Float.max !maxlogit (Float.abs (sc *. !s))
+    done
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "max |logit| reaches 80 (got %.1f)" !maxlogit)
+    true
+    (!maxlogit >= 80.0);
+  (* no non-finite value anywhere in the interpreter state *)
+  let env = interp_env w in
+  List.iter
+    (fun name ->
+      Array.iteri
+        (fun idx x ->
+          if not (Float.is_finite x) then
+            Alcotest.failf "%s[%d] is non-finite (%h)" name idx x)
+        (Interp.get_array env name))
+    [ "S"; "M"; "P"; "Z"; "AV"; "O" ];
+  (* the float64 reference still agrees *)
+  let v = List.assoc "V" inp in
+  check_close "O"
+    (ref_attention ~batch:1 ~seq ~dh ~logit_scale q k v)
+    (Interp.get_array env "O");
+  (* and every paradigm stays bit-exact against the interpreter *)
+  ignore (check_all_paradigms w)
+
+(* ---- runtime guard (satellite) ---- *)
+
+let interp_ops (w : W.t) = Interp.op_count (interp_env w)
+
+let test_runtime_budget () =
+  (* worst-case shape each generator can draw, times the property's
+     iteration count, bounded in interpreter ops; 6 paradigm runs per
+     iteration cost a small multiple of this. Grows only if someone
+     widens the generators or the counts — which is exactly what this
+     test is meant to make deliberate. *)
+  let budget = 2_000_000 in
+  List.iter
+    (fun (name, count, w) ->
+      let ops = interp_ops w in
+      let total = count * ops in
+      if total > budget then
+        Alcotest.failf
+          "%s: %d qcheck iterations x %d interpreter ops = %d exceeds the \
+           %d-op budget; shrink the generator or the count"
+          name count ops total budget)
+    [
+      ("attention", attention_count, randomized_attention (2, 8, 6, 0));
+      ("layernorm", layernorm_count, randomized_layernorm (12, 10, 0));
+      ("mlp", mlp_count, randomized_mlp (8, 8, 12, 0));
+    ]
+
+(* ---- goldens: attention trace + analyze report pinned byte-for-byte ---- *)
+
+let golden path =
+  let candidates =
+    [
+      Filename.concat (Filename.dirname Sys.executable_name) path;
+      path;
+      Filename.concat "test" path;
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> List.hd candidates
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let first_diff got want =
+  let lines s = String.split_on_char '\n' s in
+  let rec go i = function
+    | g :: gs, w :: ws -> if g = w then go (Stdlib.( + ) i 1) (gs, ws) else (i, g, w)
+    | g :: _, [] -> (i, g, "<end of golden>")
+    | [], w :: _ -> (i, "<end of output>", w)
+    | [], [] -> (i, "<equal?>", "<equal?>")
+  in
+  go 1 (lines got, lines want)
+
+let test_golden_attention_trace () =
+  let buf = Buffer.create 65536 in
+  let trace = Trace.to_buffer Trace.Jsonl buf in
+  let options = { E.default_options with E.trace } in
+  ignore (E.run_exn ~options E.Inf_s (T.attention ~batch:2 ~seq:8 ~dh:4 ()));
+  Trace.close trace;
+  let got = Buffer.contents buf in
+  let want = read_file (golden "golden/attention_inf_s.jsonl") in
+  if got <> want then begin
+    let i, g, w = first_diff got want in
+    Alcotest.failf
+      "attention trace diverges from golden at line %d\n\
+      \  got:    %s\n\
+      \  golden: %s\n\
+       If intentional, regenerate with:\n\
+      \  dune exec bin/infs_run.exe -- run -w attention -p inf-s --scale \
+       test --trace test/golden/attention_inf_s.jsonl"
+      i g w
+  end
+
+let test_golden_attention_analyze () =
+  let rp = Trace_replay.create () in
+  let ic = open_in (golden "golden/attention_inf_s.jsonl") in
+  (match Trace_replay.feed_channel rp ic with
+  | Ok _ -> close_in ic
+  | Error e ->
+    close_in ic;
+    Alcotest.failf "replay failed: %s" e);
+  let got = Trace_replay.report ~top:8 rp in
+  let want = read_file (golden "golden/analyze_attention_inf_s.txt") in
+  if got <> want then begin
+    let i, g, w = first_diff got want in
+    Alcotest.failf
+      "analyze report diverges from golden at line %d\n\
+      \  got:    %s\n\
+      \  golden: %s\n\
+       If intentional, regenerate with:\n\
+      \  dune exec bin/infs_run.exe -- analyze \
+       test/golden/attention_inf_s.jsonl -o \
+       test/golden/analyze_attention_inf_s.txt"
+      i g w
+  end
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest ~rand:(Qcheck_seed.rand ())
+      prop_attention_differential;
+    QCheck_alcotest.to_alcotest ~rand:(Qcheck_seed.rand ())
+      prop_layernorm_differential;
+    QCheck_alcotest.to_alcotest ~rand:(Qcheck_seed.rand ()) prop_mlp_differential;
+    ("attention vs float64 reference", `Quick, test_attention_reference);
+    ("layernorm vs float64 reference", `Quick, test_layernorm_reference);
+    ("mlp vs float64 reference", `Quick, test_mlp_reference);
+    ("softmax stability at |logit| >= 80", `Quick, test_softmax_stability);
+    ("qcheck runtime budget", `Quick, test_runtime_budget);
+    ("golden attention trace", `Quick, test_golden_attention_trace);
+    ("golden attention analyze report", `Quick, test_golden_attention_analyze);
+  ]

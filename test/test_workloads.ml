@@ -11,7 +11,7 @@ let test_catalog_covers_table3 () =
     "table 3 suite"
     [
       "stencil1d"; "stencil2d"; "stencil3d"; "dwt2d"; "gauss_elim"; "conv2d";
-      "conv3d"; "mm"; "kmeans"; "gather_mlp";
+      "conv3d"; "mm"; "kmeans"; "gather_mlp"; "attention"; "layernorm"; "mlp";
     ]
     labels;
   (* the multi-dataflow entries carry both variants *)
