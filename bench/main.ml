@@ -892,6 +892,43 @@ let attn_sweep () =
     attn_sweep_seqs;
   Table.print t
 
+(* ---------- tuned mode (--tuned): search vs the Eq. 2 heuristic ----------
+
+   Tune each entry (infs_tune's candidate search on the worker pool), print
+   tuned-vs-heuristic cycles side by side, then run every winner through the
+   report cache under tag "tuned" — so a --json dump carries the tuned cycle
+   counts and the existing bench-diff gate pins them like any other entry. *)
+
+let tuned_section pairs =
+  let t =
+    Table.create ~title:"Autotuned vs Eq. 2 heuristic (Inf-S baseline)"
+      ~columns:[ "workload"; "heuristic"; "tuned"; "gap"; "explored"; "winner" ]
+  in
+  let gaps = ref [] in
+  List.iter
+    (fun (label, (w : WL.t)) ->
+      match
+        Infs_tune.Tune.tune ~options:suite_options ~jobs:!bench_jobs (fun () -> w)
+      with
+      | Error e -> failwith (Printf.sprintf "tune %s: %s" label e)
+      | Ok res ->
+        let p, options = Infs_tune.Tune.apply res suite_options in
+        ignore (run ~tag:"tuned" ~options p w);
+        gaps := res.gap :: !gaps;
+        Table.add_row t
+          [
+            label;
+            Table.fmt_float res.Infs_tune.Tune.baseline.cycles;
+            Table.fmt_float res.winner.cycles;
+            Table.fmt_float res.gap;
+            string_of_int (List.length res.explored);
+            Json.to_string (Infs_tune.Tune.config_to_json res.winner.config);
+          ])
+    pairs;
+  Table.print t;
+  Printf.printf "tuned geomean gap over Eq. 2 heuristic: %.3fx\n\n"
+    (Stats.geomean !gaps)
+
 (* ---------- seeded degraded-mode section (--faults SPEC) ---------- *)
 
 (* Runs outside the report cache on purpose: fault-afflicted cycle counts
@@ -1035,6 +1072,26 @@ let () =
   | "attn-sweep" -> attn_sweep ()
   | "smoke" -> smoke ()
   | _ -> full ());
+  if List.mem "--tuned" argv then begin
+    let micro n =
+      [
+        ("vec_add", Infs_workloads.Micro.vec_add ~n);
+        ("array_sum", Infs_workloads.Micro.array_sum ~n);
+      ]
+    in
+    let pairs =
+      match suite with
+      | "attn-sweep" ->
+        List.map
+          (fun seq ->
+            ( Printf.sprintf "attention/seq%d" seq,
+              Infs_workloads.Transformer.attention ~batch:1 ~seq ~dh:64 () ))
+          attn_sweep_seqs
+      | "smoke" -> Cat.all_variants (Cat.test_scale ()) @ micro 16_384
+      | _ -> Cat.all_variants (Cat.table3 ()) @ micro 4_194_304
+    in
+    tuned_section pairs
+  end;
   Option.iter fault_section fault_spec;
   Option.iter (dump_json ~suite) json_file;
   let hits, misses, entries = E.compile_cache_stats () in

@@ -167,9 +167,45 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"list available workloads (sorted)")
     Term.(const run $ scale_arg)
 
+(* a tune report is JSON lines (one infs-tune-1 object per tuned
+   workload); pick the entry for [wname] *)
+let tuned_of_file file wname =
+  match
+    let ic = open_in file in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | exception End_of_file -> List.rev acc
+          | l -> go (if String.trim l = "" then acc else l :: acc)
+        in
+        go [])
+  with
+  | exception Sys_error e -> Error ("cannot open tune report: " ^ e)
+  | lines -> (
+    let results =
+      List.filter_map
+        (fun l ->
+          match Json.parse l with
+          | Error _ -> None
+          | Ok j -> Result.to_option (Infs_tune.Tune.result_of_json j))
+        lines
+    in
+    match
+      List.find_opt
+        (fun (r : Infs_tune.Tune.result) -> r.Infs_tune.Tune.workload = wname)
+        results
+    with
+    | Some r -> Ok r
+    | None ->
+      Error
+        (Printf.sprintf "tune report %s has no entry for workload %s" file
+           wname))
+
 let run_cmd =
   let run scale wname pname functional trace_file trace_format metrics_file
-      faults =
+      faults explain tuned_file =
     match (find_workload scale wname, paradigm_of_string pname) with
     | Error e, _ | _, Error e ->
       prerr_endline e;
@@ -193,6 +229,18 @@ let run_cmd =
       let options =
         { E.default_options with functional; trace; metrics; faults }
       in
+      (* a tuned decision vector replaces both the paradigm choice and the
+         layout/Eq. 2 heuristics (-p is overridden; documented) *)
+      let p, options =
+        match tuned_file with
+        | None -> (p, options)
+        | Some f -> (
+          match tuned_of_file f w.WL.wname with
+          | Error e ->
+            prerr_endline ("error: " ^ e);
+            exit 1
+          | Ok r -> Infs_tune.Tune.apply r options)
+      in
       let result = E.run ~options p w in
       Trace.close trace;
       Option.iter close_out oc;
@@ -202,6 +250,7 @@ let run_cmd =
         exit 1
       | Ok r ->
         print_report r;
+        if explain then Format.printf "%a" R.pp_decisions r;
         Option.iter
           (fun f ->
             Format.printf "trace: %d events -> %s@." (Trace.events_seen trace) f)
@@ -226,11 +275,31 @@ let run_cmd =
           exit 1
         | _ -> ()))
   in
+  let explain_arg =
+    Arg.(
+      value & flag
+      & info [ "explain-decisions" ]
+          ~doc:
+            "print each kernel's \u{a7}4.3 offload verdict (Eq. 2 core vs. \
+             in-memory cycles, chosen target, reason) as a compact table \
+             after the report \u{2014} no --trace round-trip needed")
+  in
+  let tuned_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tuned" ] ~docv:"FILE"
+          ~doc:
+            "consume a tuned decision vector from an `infs_run tune --out` \
+             report: the winner's paradigm (overriding -p), tile override \
+             and Eq. 2 policy are applied to this run")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"simulate one workload under one paradigm")
     Term.(
       const run $ scale_arg $ workload_arg $ paradigm_arg $ functional_arg
-      $ trace_arg $ trace_format_arg $ metrics_arg $ faults_arg)
+      $ trace_arg $ trace_format_arg $ metrics_arg $ faults_arg $ explain_arg
+      $ tuned_arg)
 
 let compile_cmd =
   let run scale wname =
@@ -388,6 +457,7 @@ type batch_spec = {
   sp_pre_transposed : bool;
   sp_charge_jit : bool;
   sp_tile : int array option;
+  sp_policy : Decision.policy;
   sp_timeout : float option;
   sp_faults : Fault.spec option;  (* None: use the batch-wide --faults *)
 }
@@ -425,6 +495,34 @@ let spec_of_json j =
         | Some f when f > 0.0 -> Ok (Some f)
         | _ -> Error "field timeout_s must be a positive number")
     in
+    (* "eq2": either a single override string applied to every kernel, or
+       an object of per-kernel overrides with "*" as the default — the
+       spec-level encoding of a tuned decision table *)
+    let policy =
+      match Json.member "eq2" j with
+      | None -> Ok Decision.Heuristic
+      | Some (Json.Str s) -> (
+        match Decision.override_of_string s with
+        | Ok Decision.Auto -> Ok Decision.Heuristic
+        | Ok ov -> Ok (Decision.Tuned { default = ov; per_kernel = [] })
+        | Error e -> Error ("field eq2: " ^ e))
+      | Some (Json.Obj kvs) ->
+        List.fold_left
+          (fun acc (k, v) ->
+            Result.bind acc (fun (default, per_kernel) ->
+                match Option.map Decision.override_of_string (Json.to_str v) with
+                | Some (Ok ov) ->
+                  if k = "*" then Ok (ov, per_kernel)
+                  else Ok (default, (k, ov) :: per_kernel)
+                | Some (Error e) -> Error ("field eq2: " ^ e)
+                | None -> Error "field eq2: overrides must be strings"))
+          (Ok (Decision.Auto, []))
+          kvs
+        |> Result.map (fun (default, per_kernel) ->
+               Decision.Tuned
+                 { default; per_kernel = List.sort compare per_kernel })
+      | Some _ -> Error "field eq2 must be a string or an object"
+    in
     let faults =
       match Json.member "faults" j with
       | None -> Ok None
@@ -443,6 +541,7 @@ let spec_of_json j =
         bool_field "pre_transposed" false,
         bool_field "charge_jit" true,
         tile,
+        policy,
         timeout,
         faults )
     with
@@ -452,6 +551,7 @@ let spec_of_json j =
         Ok sp_pre_transposed,
         Ok sp_charge_jit,
         Ok sp_tile,
+        Ok sp_policy,
         Ok sp_timeout,
         Ok sp_faults ) ->
       Ok
@@ -464,17 +564,19 @@ let spec_of_json j =
           sp_pre_transposed;
           sp_charge_jit;
           sp_tile;
+          sp_policy;
           sp_timeout;
           sp_faults;
         }
-    | (Error _ as e), _, _, _, _, _, _, _
-    | _, (Error _ as e), _, _, _, _, _, _
-    | _, _, (Error _ as e), _, _, _, _, _
-    | _, _, _, (Error _ as e), _, _, _, _
-    | _, _, _, _, (Error _ as e), _, _, _
-    | _, _, _, _, _, (Error _ as e), _, _
-    | _, _, _, _, _, _, (Error _ as e), _
-    | _, _, _, _, _, _, _, (Error _ as e) -> e)
+    | (Error _ as e), _, _, _, _, _, _, _, _
+    | _, (Error _ as e), _, _, _, _, _, _, _
+    | _, _, (Error _ as e), _, _, _, _, _, _
+    | _, _, _, (Error _ as e), _, _, _, _, _
+    | _, _, _, _, (Error _ as e), _, _, _, _
+    | _, _, _, _, _, (Error _ as e), _, _, _
+    | _, _, _, _, _, _, (Error _ as e), _, _
+    | _, _, _, _, _, _, _, (Error _ as e), _
+    | _, _, _, _, _, _, _, _, (Error _ as e) -> e)
 
 (* Each job re-resolves its workload from the catalog, so jobs never share
    mutable workload state (notably the lazy input arrays) across domains;
@@ -499,6 +601,7 @@ let exec_spec scale ~with_metrics ~faults (spec : batch_spec) =
         pre_transposed = spec.sp_pre_transposed;
         charge_jit = spec.sp_charge_jit;
         tile_override = spec.sp_tile;
+        decision_policy = spec.sp_policy;
         share_compile = true;
         metrics;
         faults = (match spec.sp_faults with Some f -> f | None -> faults);
@@ -552,6 +655,7 @@ let matrix_specs scale =
             sp_pre_transposed = false;
             sp_charge_jit = true;
             sp_tile = None;
+            sp_policy = Decision.Heuristic;
             sp_timeout = None;
             sp_faults = None;
           }))
@@ -773,6 +877,139 @@ let batch_cmd =
     Term.(
       const run $ scale_arg $ jobs_arg $ spec_arg $ matrix_arg $ timeout_arg
       $ out_arg $ batch_metrics_arg $ faults_arg $ job_retries_arg)
+
+(* ---------- tune: autotuning decision search ----------
+
+   Enumerates paradigm x tile x Eq. 2-override candidates per workload,
+   scores each with a fast sim run fanned out on the pool, refines
+   per-kernel overrides greedily, and emits one deterministic JSON report
+   line (schema infs-tune-1) per workload. Winners are memoized in a
+   content-addressed cache; --cache persists it across processes. *)
+
+let tune_cmd =
+  let run scale wnames all budget jobs out_file cache_file =
+    let names =
+      if all then workload_names scale
+      else
+        match wnames with
+        | [] ->
+          prerr_endline "error: tune needs -w WORKLOAD (repeatable) or --all";
+          exit 1
+        | ns -> ns
+    in
+    (match cache_file with
+    | Some f when Sys.file_exists f -> (
+      match Infs_tune.Tune.load_cache f with
+      | Ok n ->
+        Printf.eprintf "tune: loaded %d cached decision%s from %s\n" n
+          (if n = 1 then "" else "s")
+          f
+      | Error e ->
+        prerr_endline ("error: cannot load tune cache: " ^ e);
+        exit 1)
+    | _ -> ());
+    let oc =
+      match out_file with
+      | None -> stdout
+      | Some f -> (
+        try open_out f
+        with Sys_error e ->
+          prerr_endline ("error: cannot open output file: " ^ e);
+          exit 1)
+    in
+    let jobs =
+      match jobs with Some j -> max 1 j | None -> Pool.recommended_jobs ()
+    in
+    let failures = ref 0 in
+    List.iter
+      (fun name ->
+        match find_workload scale name with
+        | Error e ->
+          incr failures;
+          prerr_endline ("error: " ^ e)
+        | Ok _ -> (
+          (* each scoring job re-resolves the workload from the catalog so
+             jobs never share lazy input state across domains *)
+          let resolve () =
+            match find_workload scale name with
+            | Ok w -> w
+            | Error e -> failwith e
+          in
+          match Infs_tune.Tune.tune ~budget ~jobs resolve with
+          | Error e ->
+            incr failures;
+            prerr_endline (Printf.sprintf "error: tune %s: %s" name e)
+          | Ok r ->
+            output_string oc (Json.to_string (Infs_tune.Tune.result_to_json r));
+            output_char oc '\n';
+            flush oc;
+            let w = r.Infs_tune.Tune.winner in
+            Printf.eprintf "tune: %-20s %3d explored  gap %.3fx  winner %s%s\n"
+              name
+              (List.length r.Infs_tune.Tune.explored)
+              r.Infs_tune.Tune.gap
+              (Json.to_string
+                 (Infs_tune.Tune.config_to_json w.Infs_tune.Tune.config))
+              (if r.Infs_tune.Tune.from_cache then "  [cached]" else "")))
+      names;
+    if oc != stdout then close_out oc;
+    Option.iter (fun f -> Infs_tune.Tune.save_cache f) cache_file;
+    if !failures > 0 then exit 1
+  in
+  let workloads_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "w"; "workload" ]
+          ~doc:"workload to tune (repeatable; see `infs_run list`)")
+  in
+  let all_arg =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"tune every catalog workload (sorted order)")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int Infs_tune.Tune.default_budget
+      & info [ "budget" ] ~docv:"N"
+          ~doc:"max scoring runs per workload (candidate enumeration plus \
+                per-kernel refinement share the budget)")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ]
+          ~doc:"worker domains for the scoring fan-out (default: the \
+                machine's recommended domain count); the report is \
+                byte-identical at any value")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"write the JSON tuning report (one infs-tune-1 line per \
+                workload) to $(docv) instead of stdout")
+  in
+  let cache_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache" ] ~docv:"FILE"
+          ~doc:"load the memoized decision cache from $(docv) before tuning \
+                (if it exists) and save it back after \u{2014} repeat \
+                invocations then explore 0 new candidates")
+  in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:
+         "search layout x tiling x paradigm x Eq. 2-override configurations \
+          per workload on the worker pool, memoize the winning decision \
+          vector, and emit a deterministic JSON tuning report consumable by \
+          `run --tuned`")
+    Term.(
+      const run $ scale_arg $ workloads_arg $ all_arg $ budget_arg $ jobs_arg
+      $ out_arg $ cache_arg)
 
 (* ---------- serve: persistent request server over the pool ----------
 
@@ -1175,6 +1412,6 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "infs_run" ~doc)
           [
-            list_cmd; run_cmd; compile_cmd; lower_cmd; batch_cmd; serve_cmd;
-            analyze_cmd; bench_diff_cmd;
+            list_cmd; run_cmd; compile_cmd; lower_cmd; batch_cmd; tune_cmd;
+            serve_cmd; analyze_cmd; bench_diff_cmd;
           ]))

@@ -22,6 +22,7 @@ type options = {
   metrics : Metrics.t;
   share_compile : bool;
   faults : Fault.spec;
+  decision_policy : Decision.policy;
 }
 
 let default_options =
@@ -37,6 +38,7 @@ let default_options =
     metrics = Metrics.null;
     share_compile = false;
     faults = Fault.none;
+    decision_policy = Decision.Heuristic;
   }
 
 (* ---- process-wide compile cache (batch / bench paths) ----
@@ -194,6 +196,18 @@ module Residency = struct
     | None -> fst (touch t name ~bytes ~form:Normal)
 end
 
+(* Per-kernel §4.3 verdict aggregation for the report's [decisions] table:
+   the first invocation's latencies/reason plus per-target invocation
+   counts (a kernel can land on different sides across host-loop
+   iterations or fault retries). *)
+type decision_acc = {
+  d_target : string;
+  d_core : float;
+  d_imc : float;
+  d_reason : string;
+  mutable d_counts : (string * int) list;
+}
+
 type state = {
   opts : options;
   paradigm : paradigm;
@@ -218,6 +232,8 @@ type state = {
   mutable jit_commands : int;
   mutable jit_nonmemo : int;
   seen_kernels : (string, unit) Hashtbl.t;
+  decisions : (string, decision_acc) Hashtbl.t;
+  mutable decisions_order : string list;
 }
 
 let cfgv st = st.opts.cfg
@@ -284,6 +300,35 @@ let note_timeline st kname where cycles =
     else (where, cycles) :: prev
   in
   Hashtbl.replace st.timeline kname prev
+
+let note_decision_raw st kname ~target ~core_cycles ~imc_cycles ~reason =
+  match Hashtbl.find_opt st.decisions kname with
+  | Some acc ->
+    acc.d_counts <-
+      (if List.mem_assoc target acc.d_counts then
+         List.map
+           (fun (t, n) -> if t = target then (t, n + 1) else (t, n))
+           acc.d_counts
+       else
+         List.sort
+           (fun (a, _) (b, _) -> compare a b)
+           ((target, 1) :: acc.d_counts))
+  | None ->
+    st.decisions_order <- st.decisions_order @ [ kname ];
+    Hashtbl.replace st.decisions kname
+      {
+        d_target = target;
+        d_core = core_cycles;
+        d_imc = imc_cycles;
+        d_reason = reason;
+        d_counts = [ (target, 1) ];
+      }
+
+let note_decision st kname (v : Decision.verdict) =
+  note_decision_raw st kname
+    ~target:(Decision.target_name v.Decision.target)
+    ~core_cycles:v.Decision.core_cycles ~imc_cycles:v.Decision.imc_cycles
+    ~reason:v.Decision.reason
 
 let concrete_arrays st =
   List.map
@@ -673,14 +718,24 @@ let on_kernel st _env (k : Ast.kernel) =
         run_core st ~threads:(cfgv st).Machine_config.cores region
       else exec_near st region
     in
+    (* regions that never reach Eq. 2 still get a row in the report's
+       decision table; no trace event is emitted (the decision machinery
+       did not run), so golden traces are unchanged *)
+    let fallback_noted reason =
+      note_decision_raw st k.Ast.kname
+        ~target:(if st.paradigm = In_l3 then "core" else "near-memory")
+        ~core_cycles:0.0 ~imc_cycles:0.0 ~reason;
+      fallback ()
+    in
     match region.fallback with
-    | Some _ -> fallback ()
+    | Some _ ->
+      fallback_noted "scalar fallback: region not expressible as a tDFG"
     | None -> begin
       match List.assoc_opt (cfgv st).Machine_config.sram_wordlines region.schedules with
-      | None -> fallback ()
+      | None -> fallback_noted "no schedule for the configured SRAM wordlines"
       | Some schedule -> begin
         match layout_for st region with
-        | Error _ -> fallback ()
+        | Error e -> fallback_noted ("no valid transposed layout: " ^ e)
         | Ok layout ->
           let w = workset_of st region in
           let g = region.optimized in
@@ -696,19 +751,38 @@ let on_kernel st _env (k : Ast.kernel) =
                 | Tdfg.Infinite -> acc)
               1.0 (Tdfg.live_nodes g)
           in
-          if st.paradigm = In_l3 then
+          let override =
+            Decision.resolve st.opts.decision_policy ~kernel:k.Ast.kname
+          in
+          let decide ov =
+            Decision.decide ~trace:(tracev st) ~kernel:k.Ast.kname ~override:ov
+              (cfgv st)
+              ~ops:(Tdfg.op_multiset g)
+              ~node_count:(Tdfg.node_count g) ~dtype:(Tdfg.dtype g) ~elems
+              ~flops:w.Workset.flops
+              ~data_bytes:(Workset.touched_bytes w) ~fits:true
+              ~jit_known:(st.paradigm = Inf_s_nojit || not st.opts.charge_jit)
+          in
+          if st.paradigm = In_l3 then begin
             (* In-L3 has no near-memory support and always offloads
-               expressible regions to the SRAMs *)
-            exec_in_memory st region layout schedule
+               expressible regions to the SRAMs; only a tuned force-core
+               override diverts a region back to the cores (Force_imc is
+               the default behavior). The default path never consults
+               Eq. 2, keeping traces and reports byte-identical. *)
+            match override with
+            | Decision.Auto | Decision.Force_imc ->
+              exec_in_memory st region layout schedule
+            | Decision.Force_core ->
+              let verdict = decide Decision.Force_core in
+              note_decision st k.Ast.kname verdict;
+              if Metrics.enabled (metricsv st) then
+                Metrics.Sim.decision (metricsv st)
+                  ~target:(Decision.target_name verdict.Decision.target);
+              fallback ()
+          end
           else begin
-            let verdict =
-              Decision.decide ~trace:(tracev st) ~kernel:k.Ast.kname (cfgv st)
-                ~ops:(Tdfg.op_multiset g)
-                ~node_count:(Tdfg.node_count g) ~dtype:(Tdfg.dtype g) ~elems
-                ~flops:w.Workset.flops
-                ~data_bytes:(Workset.touched_bytes w) ~fits:true
-                ~jit_known:(st.paradigm = Inf_s_nojit || not st.opts.charge_jit)
-            in
+            let verdict = decide override in
+            note_decision st k.Ast.kname verdict;
             Logs.debug (fun m ->
                 m "eq2 %s: core=%.3e imc=%.3e -> %s" k.Ast.kname
                   verdict.Decision.core_cycles verdict.imc_cycles
@@ -801,6 +875,8 @@ let run ?(options = default_options) paradigm (w : Workload.t) =
           jit_commands = 0;
           jit_nonmemo = 0;
           seen_kernels = Hashtbl.create 16;
+          decisions = Hashtbl.create 8;
+          decisions_order = [];
         }
       in
       if options.warm_data then begin
@@ -884,6 +960,19 @@ let run ?(options = default_options) paradigm (w : Workload.t) =
                (let total = st.in_mem_elems +. st.other_elems in
                 if total <= 0.0 then 0.0 else st.in_mem_elems /. total);
              correctness;
+             decisions =
+               List.map
+                 (fun kname ->
+                   let acc = Hashtbl.find st.decisions kname in
+                   {
+                     Report.kernel = kname;
+                     target = acc.d_target;
+                     core_cycles = acc.d_core;
+                     imc_cycles = acc.d_imc;
+                     reason = acc.d_reason;
+                     verdicts = acc.d_counts;
+                   })
+                 st.decisions_order;
              faults =
                (match st.faults with
                | None -> None

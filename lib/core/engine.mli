@@ -80,6 +80,18 @@ type options = {
           the report gains a [faults] summary. Streams are scoped to
           (workload, paradigm), so identical specs give byte-identical
           reports at any [--jobs] count. *)
+  decision_policy : Decision.policy;
+      (** how per-region offload targets are chosen (default
+          {!Decision.Heuristic}: Eq. 2 as-is, byte-identical to before
+          this field existed). A [Decision.Tuned] table pins kernels to a
+          side of the offload boundary: [Force_imc] sends a mappable
+          region to the SRAM arrays, [Force_core] keeps it off them — on
+          the cores for [In_l3], the near-memory stream engines for
+          [Inf_s] (the decision layer names that side "near-memory" in
+          either case). Overrides only affect mappable regions; scalar
+          fallbacks, missing schedules and unmappable layouts take the
+          usual fallback path regardless. [Base_1]/[Base]/[Near_l3] have
+          no offload boundary and ignore the policy. *)
 }
 
 val default_options : options

@@ -20,6 +20,15 @@ type fault_summary = {
   degraded : bool;  (** at least one fault was injected *)
 }
 
+type decision_entry = {
+  kernel : string;
+  target : string;
+  core_cycles : float;
+  imc_cycles : float;
+  reason : string;
+  verdicts : (string * int) list;
+}
+
 type t = {
   workload : string;
   paradigm : string;
@@ -35,6 +44,7 @@ type t = {
   timeline : timeline_entry list;
   in_mem_op_fraction : float;
   correctness : [ `Checked of float | `Skipped ];
+  decisions : decision_entry list;
   faults : fault_summary option;
       (** [None] when fault injection is disabled (the default); the
           report then serializes byte-identically to a faultless build *)
@@ -80,7 +90,7 @@ let to_json t =
       ( "timeline",
         Json.Arr
           (List.map
-             (fun e ->
+             (fun (e : timeline_entry) ->
                Json.Obj
                  [
                    ("kernel", Json.Str e.kernel);
@@ -94,6 +104,32 @@ let to_json t =
         | `Checked err -> Json.Num err
         | `Skipped -> Json.Null );
     ]
+    @
+    (* appended only when the decision machinery ran, so paradigms that
+       never consult Eq. 2 keep their exact pre-existing byte layout *)
+    (match t.decisions with
+    | [] -> []
+    | ds ->
+      [
+        ( "decisions",
+          Json.Arr
+            (List.map
+               (fun (d : decision_entry) ->
+                 Json.Obj
+                   [
+                     ("kernel", Json.Str d.kernel);
+                     ("target", Json.Str d.target);
+                     ("core_cycles", Json.Num d.core_cycles);
+                     ("imc_cycles", Json.Num d.imc_cycles);
+                     ("reason", Json.Str d.reason);
+                     ( "verdicts",
+                       Json.Obj
+                         (List.map
+                            (fun (tgt, n) -> (tgt, Json.Num (float_of_int n)))
+                            d.verdicts) );
+                   ])
+               ds) );
+      ])
     @
     (* appended only when fault injection was armed, so default reports
        keep their exact pre-fault byte layout *)
@@ -138,3 +174,34 @@ let pp ppf t =
       f.retries f.fallbacks f.wasted_cycles
       (if f.degraded then " DEGRADED" else ""));
   Format.fprintf ppf "@]"
+
+(* The [--explain-decisions] table: one row per kernel with the Eq. 2
+   latencies, chosen target and reason — everything a [--trace]
+   round-trip through [Offload_decision] events would show, inline. *)
+let pp_decisions ppf t =
+  match t.decisions with
+  | [] ->
+    Format.fprintf ppf
+      "no offload decisions: paradigm %s never consults Eq. 2@." t.paradigm
+  | ds ->
+    let kw =
+      List.fold_left (fun acc d -> max acc (String.length d.kernel)) 6 ds
+    in
+    let tw =
+      List.fold_left (fun acc d -> max acc (String.length d.target)) 6 ds
+    in
+    Format.fprintf ppf "%-*s  %12s  %12s  %-*s  %s@." kw "kernel" "core-cyc"
+      "imc-cyc" tw "target" "reason";
+    List.iter
+      (fun d ->
+        let calls =
+          match d.verdicts with
+          | [ (_, 1) ] -> ""
+          | vs ->
+            Printf.sprintf " [%s]"
+              (String.concat ","
+                 (List.map (fun (tgt, n) -> Printf.sprintf "%s:%d" tgt n) vs))
+        in
+        Format.fprintf ppf "%-*s  %12.4e  %12.4e  %-*s  %s%s@." kw d.kernel
+          d.core_cycles d.imc_cycles tw d.target d.reason calls)
+      ds

@@ -28,6 +28,17 @@ type fault_summary = {
                         retry / paradigm fallback *)
 }
 
+type decision_entry = {
+  kernel : string;
+  target : string;  (** chosen target of the first invocation *)
+  core_cycles : float;  (** Eq. 2 LHS of the first invocation *)
+  imc_cycles : float;  (** Eq. 2 RHS of the first invocation *)
+  reason : string;
+  verdicts : (string * int) list;
+      (** per-target invocation counts, sorted by target name — a kernel
+          re-invoked under fault fallback can land on several targets *)
+}
+
 type t = {
   workload : string;
   paradigm : string;
@@ -44,6 +55,11 @@ type t = {
   in_mem_op_fraction : float;  (** Fig. 14's dots *)
   correctness : [ `Checked of float | `Skipped ];
       (** max abs error vs the golden model when run functionally *)
+  decisions : decision_entry list;
+      (** per-kernel §4.3 verdicts in first-seen order; empty for
+          paradigms that never consult the decision machinery, and
+          omitted from [to_json] when empty so pre-existing report
+          bytes are unchanged *)
   faults : fault_summary option;
       (** [None] unless fault injection was armed; [to_json]/[pp] output
           is byte-identical to the pre-fault format when [None] *)
@@ -60,3 +76,8 @@ val to_json : t -> Json.t
 val energy_efficiency : baseline:t -> t -> float
 val where_to_string : where -> string
 val pp : Format.formatter -> t -> unit
+
+val pp_decisions : Format.formatter -> t -> unit
+(** Compact per-kernel Eq. 2 verdict table (the [--explain-decisions]
+    output): kernel, core cycles, in-memory cycles, chosen target,
+    reason. Prints a placeholder line when [decisions] is empty. *)

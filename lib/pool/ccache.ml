@@ -44,6 +44,27 @@ let find_or_compute t ~key f =
     in
     (v, false)
 
+(* Deterministic iteration: snapshot every shard under its lock, then fold
+   in sorted-key order — callers persist cache contents and need stable
+   bytes regardless of shard layout or insertion order. *)
+let fold f t init =
+  let entries =
+    Array.fold_left
+      (fun acc s ->
+        Mutex.protect s.m (fun () ->
+            Hashtbl.fold (fun k v l -> (k, v) :: l) s.tbl acc))
+      [] t.shards
+  in
+  let entries =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) entries
+  in
+  List.fold_left (fun acc (k, v) -> f k v acc) init entries
+
+let insert t ~key v =
+  let s = shard_of t key in
+  Mutex.protect s.m (fun () ->
+      if not (Hashtbl.mem s.tbl key) then Hashtbl.replace s.tbl key v)
+
 let length t =
   Array.fold_left
     (fun acc s -> acc + Mutex.protect s.m (fun () -> Hashtbl.length s.tbl))

@@ -25,6 +25,18 @@ val find_or_compute : 'v t -> key:string -> (unit -> 'v) -> 'v * bool
 val find_opt : 'v t -> string -> 'v option
 (** Pure lookup; counts as a hit or a miss. *)
 
+val insert : 'v t -> key:string -> 'v -> unit
+(** Seed an entry without touching the hit/miss counters (loading a
+    persisted cache). An existing entry for [key] is kept — first store
+    wins, matching [find_or_compute]'s race rule. *)
+
+val fold : (string -> 'v -> 'acc -> 'acc) -> 'v t -> 'acc -> 'acc
+(** Fold over a snapshot of every entry in ascending key order —
+    deterministic regardless of shard layout or insertion order, so
+    callers can persist cache contents with stable bytes. The snapshot is
+    taken shard-by-shard under the shard locks; entries added concurrently
+    may or may not be observed. *)
+
 val length : 'v t -> int
 val hits : 'v t -> int
 val misses : 'v t -> int

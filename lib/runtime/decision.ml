@@ -9,6 +9,33 @@ type verdict = {
 
 let target_name = function In_memory -> "in-memory" | Near_memory -> "near-memory"
 
+type override = Auto | Force_imc | Force_core
+
+type policy =
+  | Heuristic
+  | Tuned of { default : override; per_kernel : (string * override) list }
+
+let override_name = function
+  | Auto -> "auto"
+  | Force_imc -> "force-imc"
+  | Force_core -> "force-core"
+
+let override_of_string = function
+  | "auto" | "heuristic" -> Ok Auto
+  | "force-imc" | "imc" -> Ok Force_imc
+  | "force-core" | "core" -> Ok Force_core
+  | s ->
+    Error
+      (Printf.sprintf "unknown eq2 override %s (auto|force-imc|force-core)" s)
+
+let resolve policy ~kernel =
+  match policy with
+  | Heuristic -> Auto
+  | Tuned { default; per_kernel } -> (
+    match List.assoc_opt kernel per_kernel with
+    | Some ov -> ov
+    | None -> default)
+
 (* Mitigation re-targeting rides the same decision machinery as Eq. 2 so a
    trace shows fault fallbacks next to ordinary offload verdicts. The
    faulted target's latency is recorded as infinite — that is what the
@@ -25,8 +52,8 @@ let fault_fallback ?(trace = Trace.null) ?(kernel = "") ~site ~target () =
            reason = Printf.sprintf "fault fallback: %s fault exhausted retries" site;
          })
 
-let decide ?(trace = Trace.null) ?(kernel = "") cfg ~ops ~node_count ~dtype ~elems
-    ~flops ~data_bytes ~fits ~jit_known =
+let decide ?(trace = Trace.null) ?(kernel = "") ?(override = Auto) cfg ~ops
+    ~node_count ~dtype ~elems ~flops ~data_bytes ~fits ~jit_known =
   let traced v =
     if Trace.enabled trace then
       Trace.emit trace
@@ -75,20 +102,54 @@ let decide ?(trace = Trace.null) ?(kernel = "") cfg ~ops ~node_count ~dtype ~ele
         +. float_of_int (node_count * cfg.Machine_config.jit_cycles_per_command)
     in
     let imc = op_lat +. jit in
-    if core > imc then
+    (* Tie-break: at [core = imc] exactly, offloading buys nothing and
+       still occupies compute arrays and a LOT entry, so ties stay
+       near-memory — Eq. 2's inequality is strict. *)
+    let eq2_target = if core > imc then In_memory else Near_memory in
+    match override with
+    | Force_imc ->
       traced
         {
           target = In_memory;
           core_cycles = core;
           imc_cycles = imc;
-          reason = "core latency exceeds in-memory latency (Eq. 2)";
+          reason =
+            Printf.sprintf "tuned override: force-imc (Eq. 2 picks %s)"
+              (target_name eq2_target);
         }
-    else
+    | Force_core ->
       traced
         {
           target = Near_memory;
           core_cycles = core;
           imc_cycles = imc;
-          reason = "insufficient parallelism to amortize bit-serial latency";
+          reason =
+            Printf.sprintf "tuned override: force-core (Eq. 2 picks %s)"
+              (target_name eq2_target);
         }
+    | Auto ->
+      if core > imc then
+        traced
+          {
+            target = In_memory;
+            core_cycles = core;
+            imc_cycles = imc;
+            reason = "core latency exceeds in-memory latency (Eq. 2)";
+          }
+      else if core = imc then
+        traced
+          {
+            target = Near_memory;
+            core_cycles = core;
+            imc_cycles = imc;
+            reason = "tie: core latency equals in-memory latency (ties stay near-memory)";
+          }
+      else
+        traced
+          {
+            target = Near_memory;
+            core_cycles = core;
+            imc_cycles = imc;
+            reason = "insufficient parallelism to amortize bit-serial latency";
+          }
   end

@@ -19,6 +19,31 @@ type verdict = {
 val target_name : target -> string
 (** ["in-memory"] / ["near-memory"] — the names used in trace events. *)
 
+type override = Auto | Force_imc | Force_core
+(** Per-kernel Eq. 2 override. [Auto] applies the heuristic unchanged.
+    [Force_imc] pins the kernel to the in-memory side, [Force_core] to the
+    other side of the offload boundary — the core for In-L3, the
+    near-memory stream engines for Inf-S (the same side an [Auto]
+    [Near_memory] verdict lands on). Overrides only apply when a valid
+    transposed layout exists ([fits]); an unmappable region always stays
+    near-memory. *)
+
+type policy =
+  | Heuristic  (** Eq. 2 as-is for every kernel — the default. *)
+  | Tuned of { default : override; per_kernel : (string * override) list }
+      (** Tuned-table lookup: [per_kernel] maps kernel names to overrides,
+          anything absent falls back to [default]. *)
+
+val override_name : override -> string
+(** ["auto"] / ["force-imc"] / ["force-core"]. *)
+
+val override_of_string : string -> (override, string) result
+(** Inverse of [override_name]; also accepts ["heuristic"], ["imc"] and
+    ["core"] as aliases. *)
+
+val resolve : policy -> kernel:string -> override
+(** The override a policy assigns to [kernel]. *)
+
 val fault_fallback :
   ?trace:Trace.t -> ?kernel:string -> site:string -> target:string -> unit -> unit
 (** Emit an [Offload_decision] trace event recording that the runtime
@@ -30,6 +55,7 @@ val fault_fallback :
 val decide :
   ?trace:Trace.t ->
   ?kernel:string ->
+  ?override:override ->
   Machine_config.t ->
   ops:(Op.t * int) list ->
   node_count:int ->
@@ -45,4 +71,14 @@ val decide :
     [data_bytes] the working set it would stream through the NoC (the core
     is bounded by whichever is slower at peak), [fits] whether a valid
     transposed layout exists, [jit_known] whether lowered commands are
-    already memoized (drops the JIT term). *)
+    already memoized (drops the JIT term).
+
+    Tie-break: Eq. 2's inequality is strict — when the core latency exactly
+    equals the in-memory latency, offloading buys nothing yet still
+    occupies compute arrays and a LOT entry, so ties resolve to
+    [Near_memory] (with an explicit tie reason in the verdict).
+
+    [override] (default [Auto]) pins the target regardless of the Eq. 2
+    comparison; the verdict's [core_cycles]/[imc_cycles] still report the
+    computed latencies and the reason records what Eq. 2 would have
+    picked. *)

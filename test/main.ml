@@ -33,4 +33,5 @@ let () =
          ("pool", Test_pool.suite);
          ("metrics", Test_metrics.suite);
          ("serve", Test_serve.suite);
+         ("tune", Test_tune.suite);
        ])

@@ -75,9 +75,44 @@ let test_batch_byte_identity () =
         Alcotest.failf "%s: batch job failed: %s" name (Pool.error_to_string e))
     (List.combine serial parallel)
 
+(* ---- tuner smoke over the whole catalog ----
+
+   Every test-scale entry goes through the autotuner (small budget: the
+   macro candidates — paradigm x Eq. 2 override — come first in the
+   enumeration, so even budget 8 covers the decision space that matters).
+   The tuned winner must never be worse than the Eq. 2 / layout-heuristic
+   baseline, and the search must strictly beat the heuristic somewhere —
+   otherwise the subsystem would be dead weight (EXPERIMENTS.md records
+   the entries where it wins). [vec_add] rides along: its cold-run Eq. 2
+   pick is the documented strictly-better case. *)
+
+let test_tuner_covers_catalog () =
+  Infs_tune.Tune.cache_clear ();
+  let pairs =
+    Cat.all_variants (Cat.test_scale ())
+    @ [ ("vec_add", Infs_workloads.Micro.vec_add ~n:16_384) ]
+  in
+  let strictly_better = ref 0 in
+  List.iter
+    (fun (name, w) ->
+      match Infs_tune.Tune.tune ~budget:8 ~jobs:4 (fun () -> w) with
+      | Error e -> Alcotest.failf "%s: tune failed: %s" name e
+      | Ok r ->
+        if r.Infs_tune.Tune.winner.cycles > r.Infs_tune.Tune.baseline.cycles
+        then
+          Alcotest.failf "%s: tuned winner (%g cycles) worse than heuristic (%g)"
+            name r.Infs_tune.Tune.winner.cycles
+            r.Infs_tune.Tune.baseline.cycles;
+        if r.Infs_tune.Tune.winner.cycles < r.Infs_tune.Tune.baseline.cycles
+        then incr strictly_better)
+    pairs;
+  Alcotest.(check bool) "search strictly beats Eq. 2 on >= 1 entry" true
+    (!strictly_better >= 1)
+
 let suite =
   [
     ("agreement matrix covers catalog", `Quick, test_agreement_matrix_covers);
     ("fault oracle covers catalog", `Quick, test_fault_oracle_covers);
     ("batch byte-identity covers catalog", `Quick, test_batch_byte_identity);
+    ("tuner smoke covers catalog", `Quick, test_tuner_covers_catalog);
   ]

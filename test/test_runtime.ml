@@ -212,6 +212,73 @@ let test_decision_no_layout () =
   Alcotest.(check bool) "no layout -> near" true
     (v.Decision.target = Decision.Near_memory)
 
+(* Eq. 2's inequality is strict: [core > imc] offloads, so an exact tie
+   must stay near-memory (documented in decision.mli). Zero work on both
+   sides (no ops, no flops, no bytes, JIT memoized) is an exact 0 = 0
+   tie, reproducible in floating point. *)
+let test_decision_exact_tie_stays_near () =
+  let v =
+    Decision.decide cfg ~ops:[] ~node_count:0 ~dtype:Dtype.Fp32 ~elems:0.0
+      ~flops:0.0 ~data_bytes:0.0 ~fits:true ~jit_known:true
+  in
+  Alcotest.(check (float 0.0)) "core side" 0.0 v.Decision.core_cycles;
+  Alcotest.(check (float 0.0)) "imc side" 0.0 v.Decision.imc_cycles;
+  Alcotest.(check bool) "tie resolves to near-memory" true
+    (v.Decision.target = Decision.Near_memory);
+  Alcotest.(check bool) "reason names the tie" true
+    (String.length v.Decision.reason >= 4
+    && String.sub v.Decision.reason 0 4 = "tie:")
+
+let test_decision_override_force_imc () =
+  (* same inputs as the small-stays-near case: the override flips it *)
+  let v =
+    Decision.decide cfg ~override:Decision.Force_imc
+      ~ops:[ (Op.Add, 1) ]
+      ~node_count:5 ~dtype:Dtype.Fp32 ~elems:4096.0 ~flops:4096.0
+      ~data_bytes:49152.0 ~fits:true ~jit_known:false
+  in
+  Alcotest.(check bool) "forced in-memory" true
+    (v.Decision.target = Decision.In_memory);
+  Alcotest.(check bool) "reason records the Eq. 2 verdict" true
+    (v.Decision.reason = "tuned override: force-imc (Eq. 2 picks near-memory)")
+
+let test_decision_override_force_core () =
+  let v =
+    Decision.decide cfg ~override:Decision.Force_core
+      ~ops:[ (Op.Add, 5) ]
+      ~node_count:10 ~dtype:Dtype.Fp32 ~elems:4.0e6 ~flops:2.0e7
+      ~data_bytes:3.2e7 ~fits:true ~jit_known:false
+  in
+  Alcotest.(check bool) "forced off the in-memory path" true
+    (v.Decision.target = Decision.Near_memory);
+  Alcotest.(check bool) "reason records the Eq. 2 verdict" true
+    (v.Decision.reason = "tuned override: force-core (Eq. 2 picks in-memory)")
+
+let test_decision_override_ignored_without_layout () =
+  (* fits=false is a hard constraint: no override can offload *)
+  let v =
+    Decision.decide cfg ~override:Decision.Force_imc ~ops:[] ~node_count:0
+      ~dtype:Dtype.Fp32 ~elems:1.0 ~flops:1.0 ~data_bytes:1.0 ~fits:false
+      ~jit_known:false
+  in
+  Alcotest.(check bool) "no layout -> near even under force-imc" true
+    (v.Decision.target = Decision.Near_memory)
+
+let test_decision_policy_resolve () =
+  let policy =
+    Decision.Tuned
+      {
+        default = Decision.Force_core;
+        per_kernel = [ ("k2", Decision.Force_imc) ];
+      }
+  in
+  Alcotest.(check bool) "heuristic resolves to Auto" true
+    (Decision.resolve Decision.Heuristic ~kernel:"k2" = Decision.Auto);
+  Alcotest.(check bool) "per-kernel entry wins" true
+    (Decision.resolve policy ~kernel:"k2" = Decision.Force_imc);
+  Alcotest.(check bool) "other kernels get the default" true
+    (Decision.resolve policy ~kernel:"k1" = Decision.Force_core)
+
 let test_decision_memoized_jit_lowers_threshold () =
   let mk jit_known =
     Decision.decide cfg
@@ -235,5 +302,10 @@ let suite =
     ("Eq2: small stays near", `Quick, test_decision_small_stays_near);
     ("Eq2: large offloads", `Quick, test_decision_large_goes_in_memory);
     ("Eq2: no layout", `Quick, test_decision_no_layout);
+    ("Eq2: exact tie stays near", `Quick, test_decision_exact_tie_stays_near);
+    ("Eq2: force-imc override", `Quick, test_decision_override_force_imc);
+    ("Eq2: force-core override", `Quick, test_decision_override_force_core);
+    ("Eq2: override needs a layout", `Quick, test_decision_override_ignored_without_layout);
+    ("Eq2: policy resolution", `Quick, test_decision_policy_resolve);
     ("Eq2: memoized JIT", `Quick, test_decision_memoized_jit_lowers_threshold);
   ]

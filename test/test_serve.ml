@@ -42,7 +42,7 @@ let with_server ?(jobs = 2) ?(queue_depth = 64) ?default_timeout_s ~tag ~handler
           Serve.request_stop t;
           final := Serve.wait t;
           try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
-        (fun () -> f path)
+        (fun () -> f t path)
     in
     (r, !final, Serve.metrics t)
 
@@ -71,7 +71,7 @@ let status j =
 let test_malformed_line_keeps_connection () =
   let handler j = Ok j in
   let (), st, m =
-    with_server ~tag:"malformed" ~handler (fun path ->
+    with_server ~tag:"malformed" ~handler (fun _t path ->
         let fd, ic, oc = connect path in
         send oc "this is { not json";
         let r0 = response (input_line ic) in
@@ -108,11 +108,17 @@ let test_shed_beyond_bound () =
     Ok j
   in
   let (), st, m =
-    with_server ~tag:"shed" ~jobs:1 ~queue_depth:1 ~handler (fun path ->
+    with_server ~tag:"shed" ~jobs:1 ~queue_depth:1 ~handler (fun t path ->
         let fd, ic, oc = connect path in
         (* first request occupies the whole queue; the rest must shed *)
         for i = 0 to 3 do
           send oc (Printf.sprintf {|{"id": %d}|} i)
+        done;
+        (* only release the worker once the server has admission-checked
+           all four lines — releasing earlier lets the queue drain and a
+           late-read request get admitted instead of shed *)
+        while (Serve.stats t).Serve.received < 4 do
+          Unix.sleepf 0.001
         done;
         Atomic.set release true;
         let statuses = List.init 4 (fun _ -> status (response (input_line ic))) in
@@ -136,7 +142,7 @@ let test_deadline_answers_timeout () =
     Ok Json.Null
   in
   let (), st, _ =
-    with_server ~tag:"deadline" ~jobs:1 ~handler (fun path ->
+    with_server ~tag:"deadline" ~jobs:1 ~handler (fun _t path ->
         let fd, ic, oc = connect path in
         let t0 = Unix.gettimeofday () in
         send oc {|{"id": 0, "timeout_s": 0.05}|};
@@ -164,7 +170,7 @@ let test_drain_answers_admitted () =
   in
   let sent = 6 in
   let responses, st, m =
-    with_server ~tag:"drain" ~jobs:2 ~queue_depth:16 ~handler (fun path ->
+    with_server ~tag:"drain" ~jobs:2 ~queue_depth:16 ~handler (fun _t path ->
         let fd, ic, oc = connect path in
         for i = 0 to sent - 1 do
           send oc (Printf.sprintf {|{"id": %d}|} i)
@@ -232,7 +238,7 @@ let prop_served_equals_direct =
     (fun picks ->
       QCheck.assume (picks <> []);
       let reports, st, _ =
-        with_server ~tag:"prop" ~jobs:4 ~handler:engine_handler (fun path ->
+        with_server ~tag:"prop" ~jobs:4 ~handler:engine_handler (fun _t path ->
             (* spread the requests over up to 3 concurrent connections;
                responses arrive in request order per connection *)
             let nconn = min 3 (List.length picks) in
