@@ -718,8 +718,12 @@ let bechamel_section () =
 (* Dump every cached (workload, paradigm, tag) cycle count as
    schema infs-bench-1, the input format of `infs_run bench-diff` — the
    CI regression gate diffs this against a committed baseline. Sorted by
-   key, so the file is deterministic for a given suite. *)
-let dump_json ~suite file =
+   key, so the file is deterministic for a given suite.
+
+   [meta] is provenance the caller supplies (--meta-commit / --meta-time);
+   the dump never reads the clock itself, so the bytes stay reproducible
+   and `infs_run trend` can order snapshots without trusting filenames. *)
+let dump_json ~suite ~meta file =
   let entries =
     Mutex.protect cache_mu (fun () ->
         Hashtbl.fold (fun k r acc -> (k, r) :: acc) cache [])
@@ -747,11 +751,16 @@ let dump_json ~suite file =
   in
   let j =
     Json.Obj
-      [
-        ("schema", Json.Str "infs-bench-1");
-        ("suite", Json.Str suite);
-        ("results", Json.Arr results);
-      ]
+      ([
+         ("schema", Json.Str "infs-bench-1");
+         ("suite", Json.Str suite);
+         ("results", Json.Arr results);
+       ]
+      @
+      match meta with
+      | [] -> []
+      | kvs ->
+        [ ("meta", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) kvs)) ])
   in
   let oc = open_out file in
   output_string oc (Json.to_string j);
@@ -791,6 +800,40 @@ let metrics_overhead_check () =
   if overhead >= 0.02 then begin
     Printf.eprintf
       "FAIL: disabled-metrics overhead %.2f%% exceeds the 2%% budget\n"
+      (100.0 *. overhead);
+    exit 1
+  end
+
+(* Same contract for the profiler: Prof.null must cost one bool test per
+   span site. Bound the disabled-run overhead as sites x guard cost /
+   wall-time; fail the bench if the estimate crosses 2%. *)
+let prof_overhead_check () =
+  let guard_ns =
+    let n = 20_000_000 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do
+      if Prof.enabled (Sys.opaque_identity Prof.null) then
+        ignore (Sys.opaque_identity n)
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int n
+  in
+  let w = Infs_workloads.Stencil.stencil2d ~iters:2 ~n:256 in
+  let prof = Prof.create () in
+  ignore (E.run_exn ~options:{ suite_options with E.prof } E.Inf_s w);
+  let calls = Prof.calls prof in
+  (* time the disabled run after a warmup (compile cache, allocator) *)
+  ignore (E.run_exn ~options:suite_options E.Inf_s w);
+  let t0 = Unix.gettimeofday () in
+  ignore (E.run_exn ~options:suite_options E.Inf_s w);
+  let wall = Unix.gettimeofday () -. t0 in
+  let overhead = float_of_int calls *. guard_ns *. 1e-9 /. Float.max 1e-9 wall in
+  Printf.printf
+    "prof overhead: %d disabled guards x %.2f ns = %.4f%% of a %.1f ms run \
+     (budget 2%%)\n\n"
+    calls guard_ns (100.0 *. overhead) (1e3 *. wall);
+  if overhead >= 0.02 then begin
+    Printf.eprintf
+      "FAIL: disabled-prof overhead %.2f%% exceeds the 2%% budget\n"
       (100.0 *. overhead);
     exit 1
   end
@@ -982,6 +1025,26 @@ let trace_demo file =
     (Trace.events_seen trace) file;
   ignore r
 
+(* ---------- profile hook ---------- *)
+
+let prof_demo file =
+  (* profiler hook: run one representative workload instrumented and write
+     the span report (format by extension) plus folded stacks alongside *)
+  let prof = Prof.create () in
+  let options = { suite_options with E.prof } in
+  let w = Infs_workloads.Stencil.stencil2d ~iters:2 ~n:48 in
+  let r = E.run_exn ~options E.Inf_s w in
+  Prof.write_file prof file;
+  let folded = file ^ ".folded" in
+  let oc = open_out folded in
+  output_string oc (Prof.to_folded prof);
+  close_out oc;
+  Printf.printf "profile: %s [Inf-S] %d span paths, %d calls -> %s (+ %s)\n\n"
+    w.WL.wname
+    (List.length (Prof.rows prof))
+    (Prof.calls prof) file folded;
+  ignore r
+
 (* ---------- main ---------- *)
 
 let full () =
@@ -1015,6 +1078,7 @@ let smoke () =
   fig14 entries;
   jit_overheads entries;
   metrics_overhead_check ();
+  prof_overhead_check ();
   fault_overhead_check ()
 
 let () =
@@ -1036,6 +1100,25 @@ let () =
       | [] -> None
     in
     find argv
+  in
+  let prof_file =
+    let rec find = function
+      | "--prof" :: f :: _ -> Some f
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find argv
+  in
+  let meta =
+    let rec find flag = function
+      | f :: v :: _ when f = flag -> Some v
+      | _ :: rest -> find flag rest
+      | [] -> None
+    in
+    List.filter_map
+      (fun (k, flag) ->
+        Option.map (fun v -> (k, v)) (find flag argv))
+      [ ("commit", "--meta-commit"); ("timestamp", "--meta-time") ]
   in
   let jobs =
     let rec find = function
@@ -1063,6 +1146,7 @@ let () =
   bench_jobs := jobs;
   let t0 = Unix.gettimeofday () in
   Option.iter trace_demo trace_file;
+  Option.iter prof_demo prof_file;
   let suite =
     if List.mem "--attn-sweep" argv then "attn-sweep"
     else if List.mem "--smoke" argv then "smoke"
@@ -1093,7 +1177,7 @@ let () =
     tuned_section pairs
   end;
   Option.iter fault_section fault_spec;
-  Option.iter (dump_json ~suite) json_file;
+  Option.iter (dump_json ~suite ~meta) json_file;
   let hits, misses, entries = E.compile_cache_stats () in
   Printf.printf
     "total: %.2f s wall-clock on %d domain%s; compile cache: %d hits / %d \

@@ -149,6 +149,27 @@ let faults_conv =
   in
   Arg.conv (parse, fun ppf sp -> Format.pp_print_string ppf (Fault.to_string sp))
 
+let prof_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "prof" ] ~docv:"FILE"
+        ~doc:
+          "profile the run with host-time spans and write the report to \
+           $(docv): .json selects infs-prof-1 JSON, .folded flamegraph \
+           folded stacks, anything else a text table. Span counts are \
+           deterministic; times are wall-clock.")
+
+let write_prof prof file =
+  try
+    Prof.write_file prof file;
+    Format.printf "profile: %d span paths, %d calls -> %s@."
+      (List.length (Prof.rows prof))
+      (Prof.calls prof) file
+  with Sys_error e ->
+    prerr_endline ("error: cannot write profile file: " ^ e);
+    exit 1
+
 let faults_arg =
   Arg.(
     value & opt faults_conv Fault.none
@@ -205,7 +226,7 @@ let tuned_of_file file wname =
 
 let run_cmd =
   let run scale wname pname functional trace_file trace_format metrics_file
-      faults explain tuned_file =
+      prof_file faults explain tuned_file =
     match (find_workload scale wname, paradigm_of_string pname) with
     | Error e, _ | _, Error e ->
       prerr_endline e;
@@ -226,8 +247,9 @@ let run_cmd =
       let metrics =
         if metrics_file = None then Metrics.null else Metrics.create ()
       in
+      let prof = if prof_file = None then Prof.null else Prof.create () in
       let options =
-        { E.default_options with functional; trace; metrics; faults }
+        { E.default_options with functional; trace; metrics; prof; faults }
       in
       (* a tuned decision vector replaces both the paradigm choice and the
          layout/Eq. 2 heuristics (-p is overridden; documented) *)
@@ -265,6 +287,7 @@ let run_cmd =
               (List.length (Metrics.snapshot metrics))
               f)
           metrics_file;
+        Option.iter (write_prof prof) prof_file;
         (* batch scripts rely on the exit status: a functional mismatch
            against the golden model is a failure, not a report footnote *)
         (match r.R.correctness with
@@ -298,8 +321,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"simulate one workload under one paradigm")
     Term.(
       const run $ scale_arg $ workload_arg $ paradigm_arg $ functional_arg
-      $ trace_arg $ trace_format_arg $ metrics_arg $ faults_arg $ explain_arg
-      $ tuned_arg)
+      $ trace_arg $ trace_format_arg $ metrics_arg $ prof_arg $ faults_arg
+      $ explain_arg $ tuned_arg)
 
 let compile_cmd =
   let run scale wname =
@@ -584,14 +607,17 @@ let spec_of_json j =
    With [with_metrics] each job owns a fresh registry (registries are
    single-domain) and returns its snapshot as JSON; the snapshot holds only
    simulated quantities, so report lines stay byte-identical across
-   [--jobs] settings. *)
-let exec_spec scale ~with_metrics ~faults (spec : batch_spec) =
+   [--jobs] settings. [with_prof] likewise gives the job a private span
+   profiler (returned for the caller to merge in submission order). *)
+let exec_spec scale ~with_metrics ?(with_prof = false) ~faults
+    (spec : batch_spec) =
   match
     (find_workload scale spec.sp_workload, paradigm_of_string spec.sp_paradigm)
   with
   | Error e, _ | _, Error e -> Error e
   | Ok w, Ok p -> (
     let metrics = if with_metrics then Metrics.create () else Metrics.null in
+    let prof = if with_prof then Prof.create () else Prof.null in
     let options =
       {
         E.default_options with
@@ -604,6 +630,7 @@ let exec_spec scale ~with_metrics ~faults (spec : batch_spec) =
         decision_policy = spec.sp_policy;
         share_compile = true;
         metrics;
+        prof;
         faults = (match spec.sp_faults with Some f -> f | None -> faults);
       }
     in
@@ -637,7 +664,7 @@ let exec_spec scale ~with_metrics ~faults (spec : batch_spec) =
                   (Metrics.snapshot metrics)))
         else None
       in
-      Ok (r, mj))
+      Ok (r, mj, prof))
 
 let batch_paradigm_names = [ "base1"; "base"; "near-l3"; "in-l3"; "inf-s"; "inf-s-nojit" ]
 
@@ -684,8 +711,8 @@ let read_spec_lines ic =
   go [] 0
 
 let batch_cmd =
-  let run scale jobs spec_file matrix timeout_s out_file metrics_file faults
-      job_retries =
+  let run scale jobs spec_file matrix timeout_s out_file metrics_file
+      prof_file meta_commit faults job_retries =
     let specs =
       if matrix then matrix_specs scale
       else
@@ -714,6 +741,10 @@ let batch_cmd =
     let pool = Pool.create ~jobs () in
     let failures = ref 0 in
     let degraded = ref 0 in
+    let meta = match meta_commit with None -> [] | Some c -> [ ("commit", c) ] in
+    (* each job profiles into its own registry (single-domain); merging in
+       submission order here keeps the aggregate's counts deterministic *)
+    let batch_prof = if prof_file = None then Prof.null else Prof.create () in
     let emit id json_fields =
       output_string oc (Json.to_string (Json.Obj (("id", Json.Num (float_of_int id)) :: json_fields)));
       output_char oc '\n';
@@ -736,7 +767,7 @@ let batch_cmd =
                      ?timeout_s (fun () ->
                        exec_spec scale
                          ~with_metrics:(metrics_file <> None)
-                         ~faults sp)))
+                         ~with_prof:(prof_file <> None) ~faults sp)))
             specs
         in
         List.iteri
@@ -762,9 +793,10 @@ let batch_cmd =
                   ]
               | Error pe -> error (Pool.error_to_string pe)
               | Ok (Error e) -> error e
-              | Ok (Ok (r, mj)) ->
+              | Ok (Ok (r, mj, jprof)) ->
+                Prof.merge_into ~dst:batch_prof jprof;
                 emit id
-                  (("ok", Json.Bool true) :: ("report", R.to_json r)
+                  (("ok", Json.Bool true) :: ("report", R.to_json ~meta r)
                   :: (match mj with
                      | Some j -> [ ("metrics", j) ]
                      | None -> []))))
@@ -792,6 +824,12 @@ let batch_cmd =
           prerr_endline ("error: cannot write metrics file: " ^ e);
           exit 1)
       metrics_file;
+    (* the pool is shut down here, so its per-worker rows are exact *)
+    Option.iter
+      (fun f ->
+        Pool.profile_into pool batch_prof;
+        write_prof batch_prof f)
+      prof_file;
     let elapsed = Unix.gettimeofday () -. t0 in
     let hits, misses, entries = E.compile_cache_stats () in
     let total = List.length specs in
@@ -869,6 +907,17 @@ let batch_cmd =
              extra times with exponential backoff; structured degraded \
              outcomes are never retried")
   in
+  let meta_commit_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "meta-commit" ] ~docv:"HASH"
+          ~doc:
+            "append a provenance meta block with this commit hash to every \
+             report line (supplied by the caller — the tool never reads \
+             the clock or the repository itself, so output stays \
+             deterministic)")
+  in
   Cmd.v
     (Cmd.info "batch"
        ~doc:
@@ -876,7 +925,8 @@ let batch_cmd =
           streaming one JSON report line per job in submission order")
     Term.(
       const run $ scale_arg $ jobs_arg $ spec_arg $ matrix_arg $ timeout_arg
-      $ out_arg $ batch_metrics_arg $ faults_arg $ job_retries_arg)
+      $ out_arg $ batch_metrics_arg $ prof_arg $ meta_commit_arg $ faults_arg
+      $ job_retries_arg)
 
 (* ---------- tune: autotuning decision search ----------
 
@@ -1020,7 +1070,7 @@ let tune_cmd =
 
 let serve_cmd =
   let run scale socket client jobs queue_depth timeout_s metrics_file
-      trace_file faults rps duration connections wname pname =
+      trace_file prof_file faults rps duration connections wname pname =
     if client then begin
       let line =
         Json.to_string
@@ -1083,6 +1133,8 @@ let serve_cmd =
           default_timeout_s = timeout_s;
           metrics_path = metrics_file;
           trace;
+          prof = (if prof_file = None then Prof.null else Prof.create ());
+          prof_path = prof_file;
         }
       in
       let handler j =
@@ -1091,7 +1143,7 @@ let serve_cmd =
         | Ok sp -> (
           match exec_spec scale ~with_metrics:false ~faults sp with
           | Error e -> Error e
-          | Ok (r, _) -> Ok (R.to_json r))
+          | Ok (r, _, _) -> Ok (R.to_json r))
       in
       match Serve.start cfg ~handler with
       | Error e ->
@@ -1201,8 +1253,9 @@ let serve_cmd =
           p50/p95/p99 latency")
     Term.(
       const run $ scale_arg $ socket_arg $ client_arg $ jobs_arg $ queue_arg
-      $ timeout_arg $ serve_metrics_arg $ trace_arg $ faults_arg $ rps_arg
-      $ duration_arg $ connections_arg $ serve_workload_arg $ paradigm_arg)
+      $ timeout_arg $ serve_metrics_arg $ trace_arg $ prof_arg $ faults_arg
+      $ rps_arg $ duration_arg $ connections_arg $ serve_workload_arg
+      $ paradigm_arg)
 
 (* ---------- analyze: offline trace -> bottleneck report ---------- *)
 
@@ -1272,7 +1325,7 @@ let analyze_cmd =
 
 (* ---------- bench-diff: the regression gate ---------- *)
 
-let load_bench f =
+let read_whole_file f =
   match
     let ic = open_in f in
     Fun.protect
@@ -1280,43 +1333,15 @@ let load_bench f =
       (fun () -> really_input_string ic (in_channel_length ic))
   with
   | exception Sys_error e -> Error ("cannot open " ^ f ^ ": " ^ e)
-  | s -> (
-    match Json.parse s with
-    | Error e -> Error (f ^ ": " ^ e)
-    | Ok j -> (
-      (match Option.bind (Json.member "schema" j) Json.to_str with
-      | Some "infs-bench-1" -> Ok ()
-      | Some other -> Error (f ^ ": unknown schema " ^ other)
-      | None -> Error (f ^ ": missing \"schema\" field"))
-      |> Result.map (fun () -> j)
-      |> fun r ->
-      Result.bind r (fun j ->
-          match Option.bind (Json.member "results" j) Json.to_list with
-          | None -> Error (f ^ ": missing \"results\" array")
-          | Some rs ->
-            let entry e =
-              match
-                ( Option.bind (Json.member "workload" e) Json.to_str,
-                  Option.bind (Json.member "paradigm" e) Json.to_str,
-                  Option.bind (Json.member "cycles" e) Json.to_num )
-              with
-              | Some w, Some p, Some c ->
-                let tag =
-                  Option.value ~default:""
-                    (Option.bind (Json.member "tag" e) Json.to_str)
-                in
-                let key =
-                  w ^ " [" ^ p ^ "]" ^ if tag = "" then "" else " #" ^ tag
-                in
-                Ok (key, c)
-              | _ -> Error (f ^ ": malformed result entry")
-            in
-            List.fold_left
-              (fun acc e ->
-                Result.bind acc (fun l ->
-                    Result.map (fun kv -> kv :: l) (entry e)))
-              (Ok []) rs
-            |> Result.map List.rev)))
+  | s -> Ok s
+
+let load_bench_file f =
+  Result.bind (read_whole_file f) (fun s ->
+      match Bench_file.of_string s with
+      | Error e -> Error (f ^ ": " ^ e)
+      | Ok b -> Ok b)
+
+let load_bench f = Result.map Bench_file.to_alist (load_bench_file f)
 
 let bench_diff_cmd =
   let pct_conv =
@@ -1330,7 +1355,7 @@ let bench_diff_cmd =
     in
     Arg.conv (parse, fun ppf f -> Format.fprintf ppf "%g%%" f)
   in
-  let run old_f new_f warn max_regress =
+  let run old_f new_f warn max_regress json_file =
     match (load_bench old_f, load_bench new_f) with
     | Error e, _ | _, Error e ->
       prerr_endline ("error: " ^ e);
@@ -1341,38 +1366,87 @@ let bench_diff_cmd =
       and warned = ref 0
       and improved = ref 0
       and worst = ref neg_infinity in
+      (* one JSON entry per printed line, new-file order then removals —
+         the machine-readable twin of the text output for CI archival *)
+      let jentries = ref [] in
+      let jentry key status fields =
+        jentries :=
+          Json.Obj (("key", Json.Str key) :: ("status", Json.Str status) :: fields)
+          :: !jentries
+      in
       List.iter
         (fun (key, nc) ->
           match List.assoc_opt key old_r with
-          | None -> Printf.printf "new entry   %-44s %12.4e cycles\n" key nc
+          | None ->
+            Printf.printf "new entry   %-44s %12.4e cycles\n" key nc;
+            jentry key "new" [ ("new_cycles", Json.Num nc) ]
           | Some oc ->
             incr compared;
             let delta = 100.0 *. (nc -. oc) /. Float.max 1e-9 oc in
             if delta > !worst then worst := delta;
+            let fields =
+              [
+                ("old_cycles", Json.Num oc);
+                ("new_cycles", Json.Num nc);
+                ("delta_pct", Json.Num delta);
+              ]
+            in
             if delta > max_regress then begin
               incr regressed;
               Printf.printf "REGRESSION  %-44s %+8.2f%%  (%.4e -> %.4e cycles)\n"
-                key delta oc nc
+                key delta oc nc;
+              jentry key "regression" fields
             end
             else if delta > warn then begin
               incr warned;
-              Printf.printf "warn        %-44s %+8.2f%%\n" key delta
+              Printf.printf "warn        %-44s %+8.2f%%\n" key delta;
+              jentry key "warn" fields
             end
             else if delta < -.warn then begin
               incr improved;
-              Printf.printf "improved    %-44s %+8.2f%%\n" key delta
-            end)
+              Printf.printf "improved    %-44s %+8.2f%%\n" key delta;
+              jentry key "improved" fields
+            end
+            else jentry key "ok" fields)
         new_r;
       List.iter
-        (fun (key, _) ->
-          if not (List.mem_assoc key new_r) then
-            Printf.printf "removed     %s\n" key)
+        (fun (key, oc) ->
+          if not (List.mem_assoc key new_r) then begin
+            Printf.printf "removed     %s\n" key;
+            jentry key "removed" [ ("old_cycles", Json.Num oc) ]
+          end)
         old_r;
       Printf.printf
         "bench-diff: %d compared; %d regressed (> %g%%), %d warned (> %g%%), \
          %d improved; worst %s\n"
         !compared !regressed max_regress !warned warn !improved
         (if !compared = 0 then "n/a" else Printf.sprintf "%+.2f%%" !worst);
+      Option.iter
+        (fun f ->
+          let j =
+            Json.Obj
+              [
+                ("schema", Json.Str "infs-bench-diff-1");
+                ("warn_pct", Json.Num warn);
+                ("max_regress_pct", Json.Num max_regress);
+                ("compared", Json.Num (float_of_int !compared));
+                ("regressed", Json.Num (float_of_int !regressed));
+                ("warned", Json.Num (float_of_int !warned));
+                ("improved", Json.Num (float_of_int !improved));
+                ( "worst_pct",
+                  if !compared = 0 then Json.Null else Json.Num !worst );
+                ("entries", Json.Arr (List.rev !jentries));
+              ]
+          in
+          try
+            let oc = open_out f in
+            output_string oc (Json.to_string j);
+            output_char oc '\n';
+            close_out oc
+          with Sys_error e ->
+            prerr_endline ("error: cannot write json diff: " ^ e);
+            exit 1)
+        json_file;
       if !regressed > 0 then exit 1
   in
   let old_arg =
@@ -1399,12 +1473,175 @@ let bench_diff_cmd =
       & info [ "max-regress" ] ~docv:"PCT"
           ~doc:"exit non-zero if any entry is slower by more than $(docv)")
   in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "also write the diff as machine-readable JSON (schema \
+             infs-bench-diff-1: per-entry status/old/new/delta plus the \
+             summary counts) to $(docv) — what the CI gate archives")
+  in
   Cmd.v
     (Cmd.info "bench-diff"
        ~doc:
          "compare two bench --json result files per (workload, paradigm) \
           and fail on cycle-count regressions above the threshold")
-    Term.(const run $ old_arg $ new_arg $ warn_arg $ max_arg)
+    Term.(const run $ old_arg $ new_arg $ warn_arg $ max_arg $ json_arg)
+
+(* ---------- trend: per-commit snapshots -> sparkline page ---------- *)
+
+let trend_cmd =
+  let run dir out_md out_html threshold =
+    let files =
+      match Sys.readdir dir with
+      | exception Sys_error e ->
+        prerr_endline ("error: cannot read snapshot directory: " ^ e);
+        exit 1
+      | fs ->
+        Array.to_list fs
+        |> List.filter (fun f -> Filename.check_suffix f ".json")
+        |> List.sort String.compare
+    in
+    if files = [] then begin
+      prerr_endline ("error: no .json snapshots in " ^ dir);
+      exit 1
+    end;
+    let snaps =
+      List.map
+        (fun f ->
+          match load_bench_file (Filename.concat dir f) with
+          | Error e ->
+            prerr_endline ("error: " ^ e);
+            exit 1
+          | Ok b -> (f, b))
+        files
+    in
+    (* chronological order: meta.timestamp when every snapshot carries one
+       (lexicographic — timestamps are ISO-8601), else filename *)
+    let snaps =
+      if List.for_all (fun (_, b) -> Bench_file.timestamp b <> None) snaps then
+        List.stable_sort
+          (fun (_, a) (_, b) ->
+            compare (Bench_file.timestamp a) (Bench_file.timestamp b))
+          snaps
+      else snaps
+    in
+    let labeled =
+      List.map
+        (fun (f, b) ->
+          ( (match Bench_file.commit b with
+            | Some c -> (if String.length c > 12 then String.sub c 0 12 else c)
+            | None -> Filename.remove_extension f),
+            b ))
+        snaps
+    in
+    let t = Trend.build ~threshold labeled in
+    let write f s =
+      try
+        let oc = open_out f in
+        output_string oc s;
+        close_out oc
+      with Sys_error e ->
+        prerr_endline ("error: cannot write trend page: " ^ e);
+        exit 1
+    in
+    (match out_md with None -> print_string (Trend.to_markdown t) | Some f -> write f (Trend.to_markdown t));
+    Option.iter (fun f -> write f (Trend.to_html t)) out_html;
+    let regs = Trend.regressions t in
+    List.iter
+      (fun (key, d) ->
+        Printf.eprintf "trend: REGRESSION %s %+.2f%% (last vs previous)\n" key d)
+      regs
+  in
+  let dir_arg =
+    Arg.(
+      required
+      & pos 0 (some dir) None
+      & info [] ~docv:"DIR"
+          ~doc:
+            "directory of per-commit infs-bench-1 snapshots (*.json, e.g. \
+             archived bench --json dumps); ordered by meta.timestamp when \
+             every file has one, else by filename")
+  in
+  let md_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"write the markdown trend page to $(docv) instead of stdout")
+  in
+  let html_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "html" ] ~docv:"FILE"
+          ~doc:"also write a standalone HTML trend page to $(docv)")
+  in
+  let threshold_arg =
+    Arg.(
+      value & opt float 5.0
+      & info [ "threshold" ] ~docv:"PCT"
+          ~doc:"flag a key whose last snapshot moved beyond $(docv)% \
+                against the previous one")
+  in
+  Cmd.v
+    (Cmd.info "trend"
+       ~doc:
+         "render a directory of per-commit bench --json snapshots as a \
+          markdown (and optionally HTML) trend page: per-workload \
+          sparkline tables of cycles per paradigm, with last-vs-previous \
+          regression flags")
+    Term.(const run $ dir_arg $ md_arg $ html_arg $ threshold_arg)
+
+(* ---------- bench-bisect: minimize a bench regression ---------- *)
+
+let bench_bisect_cmd =
+  let run old_f new_f threshold json =
+    match (load_bench_file old_f, load_bench_file new_f) with
+    | Error e, _ | _, Error e ->
+      prerr_endline ("error: " ^ e);
+      exit 1
+    | Ok old_, Ok new_ ->
+      let r = Bisect.minimize ~threshold ~old_ ~new_ () in
+      if json then
+        print_endline (Json.to_string (Bisect.to_json ~threshold r))
+      else print_string (Bisect.to_text ~threshold r)
+  in
+  let old_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"OLD" ~doc:"baseline infs-bench-1 JSON (bench --json)")
+  in
+  let new_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"NEW" ~doc:"candidate infs-bench-1 JSON")
+  in
+  let threshold_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "threshold" ] ~docv:"PCT"
+          ~doc:"only cells whose cycle count moved by more than $(docv)% \
+                count as moved")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"emit the infs-bisect-1 JSON summary instead of text")
+  in
+  Cmd.v
+    (Cmd.info "bench-bisect"
+       ~doc:
+         "minimize the difference between two bench --json files to the \
+          smallest set of (workload, paradigm) groups that moved beyond \
+          the threshold, ranked by cycle impact — a whole-matrix shift \
+          collapses to one root entry, a whole-workload or whole-paradigm \
+          shift to one row each")
+    Term.(const run $ old_arg $ new_arg $ threshold_arg $ json_arg)
 
 let () =
   let doc = "infinity stream - in-/near-memory fusion simulator" in
@@ -1413,5 +1650,6 @@ let () =
        (Cmd.group (Cmd.info "infs_run" ~doc)
           [
             list_cmd; run_cmd; compile_cmd; lower_cmd; batch_cmd; tune_cmd;
-            serve_cmd; analyze_cmd; bench_diff_cmd;
+            serve_cmd; analyze_cmd; bench_diff_cmd; trend_cmd;
+            bench_bisect_cmd;
           ]))

@@ -20,6 +20,7 @@ type options = {
   pre_transposed : bool;
   trace : Trace.t;
   metrics : Metrics.t;
+  prof : Prof.t;
   share_compile : bool;
   faults : Fault.spec;
   decision_policy : Decision.policy;
@@ -36,6 +37,7 @@ let default_options =
     pre_transposed = false;
     trace = Trace.null;
     metrics = Metrics.null;
+    prof = Prof.null;
     share_compile = false;
     faults = Fault.none;
     decision_policy = Decision.Heuristic;
@@ -239,6 +241,7 @@ type state = {
 let cfgv st = st.opts.cfg
 let tracev st = st.opts.trace
 let metricsv st = st.opts.metrics
+let profv st = st.opts.prof
 
 (* Every Breakdown charge goes through here so the trace's per-category
    cycle counters and the metric registry's [cycles{cat}] histograms
@@ -346,7 +349,13 @@ let workset_of st (region : Fat_binary.region) =
 
 (* ----- core / near-memory execution of one kernel invocation ----- *)
 
-let run_core st ~threads (region : Fat_binary.region) =
+(* The three execution paths each wrap their body in a profiler span
+   ("core" / "near" / "imc"). Every invocation calls [note_timeline]
+   exactly once, so each span's call count equals the trace's
+   [Region_exec] event count (and the metrics [regions.<where>] counter)
+   for its target — the reconciliation the profiler tests pin. *)
+
+let run_core_body st ~threads (region : Fat_binary.region) =
   let w = workset_of st region in
   let cold =
     List.fold_left
@@ -378,11 +387,14 @@ let run_core st ~threads (region : Fat_binary.region) =
   note_timeline st region.kernel.Ast.kname Report.On_core r.Corem.cycles;
   if st.opts.functional then Interp.exec_kernel st.env region.kernel
 
+let run_core st ~threads region =
+  Prof.span (profv st) "core" (fun () -> run_core_body st ~threads region)
+
 (* Returns [false] when the watchdog detected a hung stream engine: the
    attempt's cycles were charged (and are wasted), and the kernel's
    functional effect has NOT been applied — the caller must retry or fall
    back so it is applied exactly once. *)
-let run_near st (region : Fat_binary.region) =
+let run_near_body st (region : Fat_binary.region) =
   let w = workset_of st region in
   let cold =
     List.fold_left
@@ -404,6 +416,9 @@ let run_near st (region : Fat_binary.region) =
     if st.opts.functional then Interp.exec_kernel st.env region.kernel;
     true
   end
+
+let run_near st region =
+  Prof.span (profv st) "near" (fun () -> run_near_body st region)
 
 (* ----- in-memory execution ----- *)
 
@@ -518,7 +533,7 @@ let hybrid_cost st ~stream_elems ~final_reduce_elems =
       st.events.Energy.sel3_flops +. stream_elems +. final_reduce_elems;
     `Near (stream_cycles, fr_cycles)
 
-let run_in_memory st (region : Fat_binary.region) (layout : Layout.t)
+let run_in_memory_body st (region : Fat_binary.region) (layout : Layout.t)
     (schedule : Schedule.t) =
   let cfg = cfgv st in
   let g = region.optimized in
@@ -551,10 +566,10 @@ let run_in_memory st (region : Fat_binary.region) (layout : Layout.t)
     arrays;
   let prep =
     Float.max
-      (Dram.load_traced ~metrics:(metricsv st) ?faults:st.faults (tracev st) cfg
-         ~bytes:!dram_bytes)
-      (Dram.transpose_traced ~metrics:(metricsv st) ?faults:st.faults (tracev st)
-         cfg ~bytes:!transpose_bytes)
+      (Dram.load_traced ~metrics:(metricsv st) ~prof:(profv st)
+         ?faults:st.faults (tracev st) cfg ~bytes:!dram_bytes)
+      (Dram.transpose_traced ~metrics:(metricsv st) ~prof:(profv st)
+         ?faults:st.faults (tracev st) cfg ~bytes:!transpose_bytes)
   in
   charge st `Dram prep;
   st.events.Energy.dram_bytes <- st.events.Energy.dram_bytes +. !dram_bytes;
@@ -565,8 +580,11 @@ let run_in_memory st (region : Fat_binary.region) (layout : Layout.t)
       (Layout.to_string layout)
   in
   let cmds, jst =
-    Jit.lower_memo ~trace:(tracev st) st.memo ~key cfg g ~schedule ~layout
-      ~env:(Interp.lookup_int st.env)
+    (* span count == [jit_invocations] (memo hits included — the memoized
+       lookup is itself JIT-phase work) *)
+    Prof.span (profv st) "jit" (fun () ->
+        Jit.lower_memo ~trace:(tracev st) st.memo ~key cfg g ~schedule ~layout
+          ~env:(Interp.lookup_int st.env))
   in
   st.jit_invocations <- st.jit_invocations + 1;
   if not jst.Jit.memoized then begin
@@ -626,6 +644,10 @@ let run_in_memory st (region : Fat_binary.region) (layout : Layout.t)
     if st.opts.functional then Tdfg_eval.eval g st.env;
     true
   end
+
+let run_in_memory st region layout schedule =
+  Prof.span (profv st) "imc" (fun () ->
+      run_in_memory_body st region layout schedule)
 
 (* ----- fault mitigation ----- *)
 
@@ -755,13 +777,17 @@ let on_kernel st _env (k : Ast.kernel) =
             Decision.resolve st.opts.decision_policy ~kernel:k.Ast.kname
           in
           let decide ov =
-            Decision.decide ~trace:(tracev st) ~kernel:k.Ast.kname ~override:ov
-              (cfgv st)
-              ~ops:(Tdfg.op_multiset g)
-              ~node_count:(Tdfg.node_count g) ~dtype:(Tdfg.dtype g) ~elems
-              ~flops:w.Workset.flops
-              ~data_bytes:(Workset.touched_bytes w) ~fits:true
-              ~jit_known:(st.paradigm = Inf_s_nojit || not st.opts.charge_jit)
+            (* span count == [Offload_decision] trace events: this is the
+               only caller of [Decision.decide] in the engine *)
+            Prof.span (profv st) "decide" (fun () ->
+                Decision.decide ~trace:(tracev st) ~kernel:k.Ast.kname
+                  ~override:ov (cfgv st)
+                  ~ops:(Tdfg.op_multiset g)
+                  ~node_count:(Tdfg.node_count g) ~dtype:(Tdfg.dtype g) ~elems
+                  ~flops:w.Workset.flops
+                  ~data_bytes:(Workset.touched_bytes w) ~fits:true
+                  ~jit_known:
+                    (st.paradigm = Inf_s_nojit || not st.opts.charge_jit))
           in
           if st.paradigm = In_l3 then begin
             (* In-L3 has no near-memory support and always offloads
@@ -827,8 +853,8 @@ let max_err st (w : Workload.t) =
 
 (* ----- entry point ----- *)
 
-let run ?(options = default_options) paradigm (w : Workload.t) =
-  match compile options w with
+let run_with options paradigm (w : Workload.t) =
+  match Prof.span options.prof "compile" (fun () -> compile options w) with
   | Error e -> Error e
   | Ok fb -> begin
     match Interp.create w.prog ~params:w.params with
@@ -856,7 +882,7 @@ let run ?(options = default_options) paradigm (w : Workload.t) =
           env;
           traffic =
             Traffic.create ~trace:options.trace ~metrics:options.metrics
-              ?faults options.cfg;
+              ~prof:options.prof ?faults options.cfg;
           faults;
           fault_retries = 0;
           fault_fallbacks = 0;
@@ -897,7 +923,8 @@ let run ?(options = default_options) paradigm (w : Workload.t) =
           w.prog.Ast.arrays
       end;
       (try
-         Interp.run ~on_kernel:(on_kernel st) env;
+         Prof.span options.prof "run" (fun () ->
+             Interp.run ~on_kernel:(on_kernel st) env);
          Energy.of_traffic st.events st.traffic;
          let cycles = Breakdown.total st.bd in
          let correctness =
@@ -993,6 +1020,12 @@ let run ?(options = default_options) paradigm (w : Workload.t) =
            }
        with Failure e -> Error e)
   end
+
+(* Root span "engine": profile paths read
+   engine;compile / engine;run;{core,near,imc,decide} /
+   engine;run;imc;{jit,imc.execute,dram.*} and so on. *)
+let run ?(options = default_options) paradigm (w : Workload.t) =
+  Prof.span options.prof "engine" (fun () -> run_with options paradigm w)
 
 let run_exn ?options paradigm w =
   match run ?options paradigm w with

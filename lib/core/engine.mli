@@ -57,6 +57,20 @@ type options = {
           histograms whose sums reconcile exactly with
           [Report.breakdown]. Registries are single-domain: batch jobs
           each create their own. *)
+  prof : Prof.t;
+      (** host-time span profiler (default [Prof.null], a no-op). With an
+          enabled registry the engine wraps its phases in spans — root
+          ["engine"], then ["compile"] and ["run"], with per-region
+          ["core"]/["near"]/["imc"] spans, the Eq. 2 ["decide"] span and
+          the ["jit"] span nested under [run] — and the instrumented sim
+          components ([Imc], [Near], [Corem], [Dram], [Traffic]) add
+          their own leaves below. Span {b counts} are deterministic and
+          reconcile with trace/metrics counters ([core]/[near]/[imc]
+          counts equal the [Region_exec] per-target event counts, [jit]
+          equals the report's JIT invocations, [decide] equals the
+          [Offload_decision] event count); span {b times} are host
+          wall-clock and vary run to run. Registries are single-domain:
+          batch jobs each create their own and merge. *)
   share_compile : bool;
       (** look up / publish the compiled fat binary in the process-wide
           content-addressed compile cache (keyed by a digest of the program

@@ -64,7 +64,7 @@ let where_to_string = function
    line. Field order is fixed and every quantity is simulated (cycles,
    bytes, energy), never wall-clock, so lines are byte-identical across
    sequential and parallel batch runs. *)
-let to_json t =
+let to_json ?(meta = []) t =
   let num_assoc kvs = Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) kvs) in
   Json.Obj
     ([
@@ -133,7 +133,7 @@ let to_json t =
     @
     (* appended only when fault injection was armed, so default reports
        keep their exact pre-fault byte layout *)
-    match t.faults with
+    (match t.faults with
     | None -> []
     | Some f ->
       [
@@ -153,6 +153,13 @@ let to_json t =
               ("degraded", Json.Bool f.degraded);
             ] );
       ])
+    @
+    (* appended only when the caller supplies provenance (e.g. a commit
+       hash), so default reports keep their exact byte layout *)
+    match meta with
+    | [] -> []
+    | kvs ->
+      [ ("meta", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) kvs)) ])
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>%s [%s]: %.3e cycles, %.3e energy@," t.workload

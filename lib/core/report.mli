@@ -67,11 +67,17 @@ type t = {
 
 val speedup : baseline:t -> t -> float
 
-val to_json : t -> Json.t
+val to_json : ?meta:(string * string) list -> t -> Json.t
 (** The report as one self-contained JSON object (the [infs_run batch]
     report line). Deterministic: fixed field order, canonical float
     formatting, simulated quantities only — no wall-clock values — so
-    parallel batch output is byte-identical to sequential. *)
+    parallel batch output is byte-identical to sequential.
+
+    [meta] (default empty) appends a trailing provenance object of string
+    fields, e.g. [("commit", "abc123")] from [--meta-commit]. It is the
+    caller's — never the library's — job to source these values, and the
+    CLI never reads the clock for them in tests; with [meta = []] the
+    output is byte-identical to before the parameter existed. *)
 
 val energy_efficiency : baseline:t -> t -> float
 val where_to_string : where -> string

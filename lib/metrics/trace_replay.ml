@@ -4,6 +4,9 @@ type region_rec = {
   mutable cats : (string * float ref) list; (* first-charge order *)
 }
 
+(* per-request lifecycle stages from a serving-session trace, host us *)
+type req_rec = { mutable qw : float; mutable run : float; mutable wb : float }
+
 type t = {
   mx : int;
   my : int;
@@ -14,6 +17,8 @@ type t = {
   mutable pending : (string * float ref) list; (* charges since last region *)
   regions : (string * string, region_rec) Hashtbl.t;
   mutable region_order : (string * string) list; (* reversed *)
+  requests : (string, req_rec) Hashtbl.t;
+  mutable request_order : string list; (* first-seen, reversed *)
 }
 
 let create ?(mesh_x = 8) ?(mesh_y = 8) ?(banks = 64) ?(channels = 16) () =
@@ -27,6 +32,8 @@ let create ?(mesh_x = 8) ?(mesh_y = 8) ?(banks = 64) ?(channels = 16) () =
     pending = [];
     regions = Hashtbl.create 16;
     region_order = [];
+    requests = Hashtbl.create 16;
+    request_order = [];
   }
 
 let metrics t = t.m
@@ -142,6 +149,29 @@ let apply t j =
     Metrics.Sim.counter t.m ~name ~value;
     if String.length name > 7 && String.sub name 0 7 = "cycles." then
       pending_add t (String.sub name 7 (String.length name - 7)) value
+  | "req" ->
+    t.n_events <- t.n_events + 1;
+    let request = Option.value ~default:"" (str j "request") in
+    let stage = Option.value ~default:"" (str j "stage") in
+    let us = num j "us" in
+    (* mirror [Trace.record_metrics] so a replayed serving trace lands on
+       the same derived counters as the live sink *)
+    Metrics.Sim.counter t.m ~name:("serve.spans." ^ stage) ~value:1.0;
+    Metrics.Sim.counter t.m ~name:("serve.span_us." ^ stage) ~value:us;
+    let r =
+      match Hashtbl.find_opt t.requests request with
+      | Some r -> r
+      | None ->
+        let r = { qw = 0.0; run = 0.0; wb = 0.0 } in
+        Hashtbl.add t.requests request r;
+        t.request_order <- request :: t.request_order;
+        r
+    in
+    (match stage with
+    | "queue_wait" -> r.qw <- r.qw +. us
+    | "run" -> r.run <- r.run +. us
+    | "write_back" -> r.wb <- r.wb +. us
+    | _ -> ())
   | _ -> () (* unknown event kind: skip (forward compatibility) *)
 
 let feed_line t line =
@@ -412,5 +442,44 @@ let report ?(top = 8) t =
           (fmt ptotal) cat (pct v ptotal)
       | None -> ()
     end
+  end;
+
+  (* serve requests: only present in serving-session traces, so
+     simulator-run reports stay byte-identical *)
+  if t.request_order <> [] then begin
+    let reqs =
+      List.rev_map
+        (fun id ->
+          let r = Hashtbl.find t.requests id in
+          (id, r, r.qw +. r.run +. r.wb))
+        t.request_order
+    in
+    let n = List.length reqs in
+    let sum f = List.fold_left (fun a (_, r, _) -> a +. f r) 0.0 reqs in
+    let qw = sum (fun r -> r.qw)
+    and rn = sum (fun r -> r.run)
+    and wb = sum (fun r -> r.wb) in
+    let all = qw +. rn +. wb in
+    Printf.bprintf b "\nserve requests (%d, queueing vs execution)\n" n;
+    List.iter
+      (fun (stage, v) ->
+        Printf.bprintf b "  %-12s %14.1f us  %6s  (mean %.1f us)\n" stage v
+          (pct v all)
+          (v /. float_of_int (max 1 n)))
+      [ ("queue_wait", qw); ("run", rn); ("write_back", wb) ];
+    (* slowest requests, total-descending (id-ascending on ties) *)
+    let ranked =
+      List.sort
+        (fun (ia, _, ta) (ib, _, tb) ->
+          match compare tb ta with 0 -> String.compare ia ib | c -> c)
+        reqs
+    in
+    Printf.bprintf b "  slowest requests (top %d)\n" (min top n);
+    List.iteri
+      (fun i (id, r, tot) ->
+        if i < top then
+          Printf.bprintf b "  %2d. id=%-12s %10.1f us  queue %s / run %s\n"
+            (i + 1) id tot (pct r.qw tot) (pct r.run tot))
+      ranked
   end;
   Buffer.contents b

@@ -44,4 +44,11 @@ val report : ?top:int -> t -> string
     category, top-[top] hottest NoC links with an ASCII mesh heatmap of
     router egress load, busiest SRAM banks, DRAM/JIT summaries and the
     per-region critical-category table. Byte-stable for a given trace
-    (golden-tested). *)
+    (golden-tested).
+
+    A serving-session trace (one carrying [Request_span] events)
+    additionally gets a "serve requests" section attributing latency to
+    queueing vs execution: per-stage totals over
+    [queue_wait]/[run]/[write_back] and the top-[top] slowest requests by
+    id with their queue/run split. Simulator-run traces have no such
+    events, so their reports are unchanged. *)

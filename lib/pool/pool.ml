@@ -40,7 +40,9 @@ type 'a cell = {
 
 type 'a ticket = 'a cell
 
-type job = Job : 'a cell * (unit -> 'a) -> job
+(* [submitted_at] feeds the per-worker queue-wait accounting: the gap
+   between submission and a worker starting the job. *)
+type job = Job : 'a cell * (unit -> 'a) * float -> job
 
 type shard = {
   sm : Mutex.t;
@@ -51,7 +53,11 @@ type shard = {
 (* Written only by the owning worker domain; reading after [shutdown] is
    race-free (Domain.join gives the happens-before edge), reads from a live
    pool are advisory. *)
-type worker_stats = { mutable jobs_run : int; mutable busy_s : float }
+type worker_stats = {
+  mutable jobs_run : int;
+  mutable busy_s : float;
+  mutable wait_s : float; (* summed queue wait of the jobs this worker ran *)
+}
 
 type stats = { wall_s : float; workers : (int * float) array }
 
@@ -79,7 +85,7 @@ let jobs t = Array.length t.shards
 
 (* ---- worker side ---- *)
 
-let exec (Job (cell, f)) =
+let exec (Job (cell, f, _)) =
   let skip =
     Mutex.protect cell.m (fun () ->
         match cell.result with
@@ -120,11 +126,12 @@ let steal t k =
 
 let rec worker t k =
   match steal t k with
-  | Some job ->
+  | Some (Job (_, _, submitted_at) as job) ->
     let t0 = now () in
     exec job;
     let ws = t.wstats.(k) in
     ws.busy_s <- ws.busy_s +. (now () -. t0);
+    ws.wait_s <- ws.wait_s +. Float.max 0.0 (t0 -. submitted_at);
     ws.jobs_run <- ws.jobs_run + 1;
     worker t k
   | None ->
@@ -206,7 +213,8 @@ let create ?jobs () =
       wcv = Condition.create ();
       watchers = [];
       ticks = Atomic.make 0;
-      wstats = Array.init n (fun _ -> { jobs_run = 0; busy_s = 0.0 });
+      wstats =
+        Array.init n (fun _ -> { jobs_run = 0; busy_s = 0.0; wait_s = 0.0 });
       created_at = now ();
     }
   in
@@ -220,7 +228,7 @@ let drain_cancelled (sh : shard) =
       js)
   in
   List.iter
-    (fun (Job (cell, _)) ->
+    (fun (Job (cell, _, _)) ->
       Mutex.protect cell.m (fun () ->
           if cell.result = None then begin
             cell.result <- Some (Error Cancelled);
@@ -255,6 +263,21 @@ let stats t =
   }
 
 let ticker_ticks t = Atomic.get t.ticks
+
+(* Per-worker queue-wait vs busy time as profiler rows. Worker stats are
+   worker-owned plain fields, so this must only run once the domains have
+   joined ([shutdown] gives the happens-before edge); at that point the
+   registry is touched from one domain only and [record_path] is safe. *)
+let profile_into t prof =
+  if Prof.enabled prof then
+    Array.iteri
+      (fun i ws ->
+        let p name = Printf.sprintf "pool;worker%d;%s" i name in
+        Prof.record_path prof (p "busy") ~count:ws.jobs_run
+          ~ns:(ws.busy_s *. 1e9) ();
+        Prof.record_path prof (p "queue_wait") ~count:ws.jobs_run
+          ~ns:(ws.wait_s *. 1e9) ())
+      t.wstats
 
 (* ---- submission / results ---- *)
 
@@ -299,7 +322,7 @@ let submit t ?(retries = 0) ?(backoff_s = 0.0) ?timeout_s f =
   let k = Atomic.fetch_and_add t.rr 1 mod n in
   Atomic.incr t.gen; (* publish intent before the job becomes visible *)
   let sh = t.shards.(k) in
-  Mutex.protect sh.sm (fun () -> Queue.push (Job (cell, f)) sh.queue);
+  Mutex.protect sh.sm (fun () -> Queue.push (Job (cell, f, now ())) sh.queue);
   (* a shutdown that raced us may already have drained the queues *)
   if Atomic.get t.stopped then drain_cancelled sh;
   (* wake the home worker, and every sibling that might be idle-stealing *)

@@ -74,6 +74,15 @@ val stats : t -> stats
     join publishes the workers' writes); on a live pool the values are
     advisory. Busy-fraction per worker is [busy_s /. wall_s]. *)
 
+val profile_into : t -> Prof.t -> unit
+(** Record per-worker utilization into a profiler registry: for each
+    worker [i], paths [pool;worker<i>;busy] (time inside jobs) and
+    [pool;worker<i>;queue_wait] (summed submission→start wait of the jobs
+    that worker ran), both with the worker's job count. Call {e after}
+    {!shutdown} — the join publishes the workers' plain-field counters and
+    leaves a single domain touching the (unsynchronized) registry. No-op
+    on a disabled registry. *)
+
 val ticker_ticks : t -> int
 (** Iterations the timeout-ticker domain has run {e with at least one
     armed timeout}. The ticker parks on a condition variable whenever no

@@ -1,0 +1,51 @@
+(** Regression minimization between two [infs-bench-1] snapshots
+    ([infs_run bench-bisect]).
+
+    Given a baseline and a candidate, find the cells — (workload,
+    paradigm, tag) keys present in both — whose cycle count moved beyond a
+    threshold, then {e minimize} the answer: when a whole slice moved
+    together, name the slice, not its cells.
+
+    - every common cell moved → one root group ["* [*]"] (a global shift:
+      cost-model or machine-config change);
+    - every cell of one workload moved → ["<workload> [*]"];
+    - every remaining cell of one paradigm moved → ["* [<paradigm>]"];
+    - anything else is reported cell-by-cell.
+
+    Groups are ranked by {e impact} — summed [|new - old|] cycles — so
+    the first entry is where the cycles went, regardless of sign (both
+    regressions and improvements move cycles). Deterministic: ties break
+    by label. *)
+
+type cell = {
+  workload : string;
+  paradigm : string;
+  tag : string;
+  key : string;  (** {!Bench_file.key} of the entry *)
+  old_cycles : float;
+  new_cycles : float;
+  delta_pct : float;  (** signed; [+] = slower (regression) *)
+}
+
+type group = {
+  label : string;  (** key, ["<w> [*]"], ["* [<p>]"] or ["* [*]"] *)
+  cells : cell list;  (** the common cells the group absorbs *)
+  impact : float;  (** summed [|new - old|] cycles over [cells] *)
+  worst : cell;  (** largest [|delta_pct|] in the group *)
+}
+
+val minimize :
+  ?threshold:float ->
+  old_:Bench_file.t ->
+  new_:Bench_file.t ->
+  unit ->
+  group list * int * int
+(** [(groups, compared, moved)]: ranked groups, common-cell count, and how
+    many of them moved beyond [threshold] percent (default 2.0). [groups]
+    is empty iff nothing moved. *)
+
+val to_json : ?threshold:float -> group list * int * int -> Json.t
+(** Machine-readable summary, schema [infs-bisect-1]. *)
+
+val to_text : ?threshold:float -> group list * int * int -> string
+(** Human-readable table, impact-descending. *)

@@ -1,0 +1,216 @@
+type row = {
+  key : string;
+  workload : string;
+  series : float option array;  (* one slot per snapshot; None = absent *)
+  spark : string;
+  last : float;
+  delta_pct : float option;  (* last vs previous present value *)
+}
+
+type t = {
+  labels : string array;
+  suite : string;
+  threshold : float;
+  rows : row list;  (* key-ascending *)
+}
+
+let spark_levels = [| "▁"; "▂"; "▃"; "▄"; "▅"; "▆"; "▇"; "█" |]
+
+let sparkline series =
+  let present = Array.to_list series |> List.filter_map Fun.id in
+  let lo = List.fold_left Float.min infinity present
+  and hi = List.fold_left Float.max neg_infinity present in
+  let b = Buffer.create 32 in
+  Array.iter
+    (fun v ->
+      match v with
+      | None -> Buffer.add_string b "·"
+      | Some v ->
+        let level =
+          if hi <= lo then 3
+          else
+            let f = (v -. lo) /. (hi -. lo) *. 7.0 in
+            max 0 (min 7 (int_of_float (f +. 0.5)))
+        in
+        Buffer.add_string b spark_levels.(level))
+    series;
+  Buffer.contents b
+
+let build ?(threshold = 5.0) snapshots =
+  let n = List.length snapshots in
+  let labels = Array.of_list (List.map fst snapshots) in
+  let suite =
+    match snapshots with (_, (s : Bench_file.t)) :: _ -> s.suite | [] -> ""
+  in
+  let keys = Hashtbl.create 64 in
+  List.iteri
+    (fun i (_, (snap : Bench_file.t)) ->
+      List.iter
+        (fun (e : Bench_file.entry) ->
+          let key = Bench_file.key e in
+          let series =
+            match Hashtbl.find_opt keys key with
+            | Some (_, s) -> s
+            | None ->
+              let s = Array.make n None in
+              Hashtbl.add keys key (e.workload, s);
+              s
+          in
+          series.(i) <- Some e.cycles)
+        snap.results)
+    snapshots;
+  let rows =
+    Hashtbl.fold
+      (fun key (workload, series) acc ->
+        let present =
+          Array.to_list series
+          |> List.filter_map Fun.id
+        in
+        match List.rev present with
+        | [] -> acc
+        | last :: older ->
+          let delta_pct =
+            match older with
+            | prev :: _ -> Some (100.0 *. (last -. prev) /. Float.max 1e-9 prev)
+            | [] -> None
+          in
+          { key; workload; series; spark = sparkline series; last; delta_pct }
+          :: acc)
+      keys []
+    |> List.sort (fun a b -> String.compare a.key b.key)
+  in
+  { labels; suite; threshold; rows }
+
+let flag t r =
+  match r.delta_pct with
+  | Some d when d > t.threshold -> "REGRESSION"
+  | Some d when d < -.t.threshold -> "improved"
+  | _ -> ""
+
+let regressions t =
+  List.filter_map
+    (fun r ->
+      match r.delta_pct with
+      | Some d when d > t.threshold -> Some (r.key, d)
+      | _ -> None)
+    t.rows
+
+let workloads t =
+  List.sort_uniq String.compare (List.map (fun r -> r.workload) t.rows)
+
+let delta_str = function
+  | None -> "–"
+  | Some d -> Printf.sprintf "%+.2f%%" d
+
+(* e-notation keeps columns narrow and is what bench-diff already prints *)
+let cycles_str c = Printf.sprintf "%.4e" c
+
+let to_markdown t =
+  let b = Buffer.create 4096 in
+  Printf.bprintf b "# bench trend\n\n";
+  Printf.bprintf b "%d snapshots" (Array.length t.labels);
+  if Array.length t.labels > 0 then
+    Printf.bprintf b " (%s → %s)" t.labels.(0)
+      t.labels.(Array.length t.labels - 1);
+  if t.suite <> "" then Printf.bprintf b ", suite `%s`" t.suite;
+  Printf.bprintf b ", regression threshold %g%% (last vs previous)\n" t.threshold;
+  let regs = regressions t in
+  if regs <> [] then begin
+    Printf.bprintf b "\n**%d regression(s):**\n\n" (List.length regs);
+    List.iter
+      (fun (key, d) -> Printf.bprintf b "- `%s` %+.2f%%\n" key d)
+      regs
+  end;
+  List.iter
+    (fun w ->
+      Printf.bprintf b "\n## %s\n\n" w;
+      Printf.bprintf b "| paradigm | trend | last (cycles) | Δ | flag |\n";
+      Printf.bprintf b "|---|---|---:|---:|---|\n";
+      List.iter
+        (fun r ->
+          if r.workload = w then
+            Printf.bprintf b "| `%s` | `%s` | %s | %s | %s |\n" r.key r.spark
+              (cycles_str r.last) (delta_str r.delta_pct) (flag t r))
+        t.rows)
+    (workloads t);
+  Buffer.contents b
+
+let html_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string b "&amp;"
+      | '<' -> Buffer.add_string b "&lt;"
+      | '>' -> Buffer.add_string b "&gt;"
+      | '"' -> Buffer.add_string b "&quot;"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_html t =
+  let b = Buffer.create 8192 in
+  Buffer.add_string b
+    "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n\
+     <title>bench trend</title>\n<style>\n\
+     body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem; }\n\
+     table { border-collapse: collapse; margin: 0.5rem 0 1.5rem; }\n\
+     th, td { border: 1px solid #ccc; padding: 0.25rem 0.6rem; }\n\
+     td.num { text-align: right; font-variant-numeric: tabular-nums; }\n\
+     td.spark { font-size: 18px; letter-spacing: 1px; }\n\
+     .regression { background: #fdd; font-weight: bold; }\n\
+     .improved { background: #dfd; }\n\
+     code { background: #f4f4f4; padding: 0 0.2em; }\n\
+     </style>\n</head>\n<body>\n<h1>bench trend</h1>\n";
+  Printf.bprintf b "<p>%d snapshots" (Array.length t.labels);
+  if Array.length t.labels > 0 then
+    Printf.bprintf b " (%s &rarr; %s)"
+      (html_escape t.labels.(0))
+      (html_escape t.labels.(Array.length t.labels - 1));
+  if t.suite <> "" then
+    Printf.bprintf b ", suite <code>%s</code>" (html_escape t.suite);
+  Printf.bprintf b ", regression threshold %g%% (last vs previous)</p>\n"
+    t.threshold;
+  let regs = regressions t in
+  if regs <> [] then begin
+    Printf.bprintf b "<p class=\"regression\">%d regression(s):</p>\n<ul>\n"
+      (List.length regs);
+    List.iter
+      (fun (key, d) ->
+        Printf.bprintf b "<li><code>%s</code> %+.2f%%</li>\n" (html_escape key) d)
+      regs;
+    Buffer.add_string b "</ul>\n"
+  end;
+  List.iter
+    (fun w ->
+      Printf.bprintf b "<h2>%s</h2>\n<table>\n" (html_escape w);
+      Buffer.add_string b
+        "<tr><th>paradigm</th><th>trend</th><th>last (cycles)</th>\
+         <th>&Delta;</th><th>flag</th></tr>\n";
+      List.iter
+        (fun r ->
+          if r.workload = w then begin
+            let cls =
+              match flag t r with
+              | "REGRESSION" -> " class=\"regression\""
+              | "improved" -> " class=\"improved\""
+              | _ -> ""
+            in
+            Printf.bprintf b
+              "<tr%s><td><code>%s</code></td><td class=\"spark\" \
+               title=\"%s\">%s</td><td class=\"num\">%s</td><td \
+               class=\"num\">%s</td><td>%s</td></tr>\n"
+              cls (html_escape r.key)
+              (html_escape
+                 (String.concat " "
+                    (Array.to_list
+                       (Array.map
+                          (function None -> "-" | Some v -> cycles_str v)
+                          r.series))))
+              r.spark (cycles_str r.last) (delta_str r.delta_pct) (flag t r)
+          end)
+        t.rows;
+      Buffer.add_string b "</table>\n")
+    (workloads t);
+  Buffer.add_string b "</body>\n</html>\n";
+  Buffer.contents b

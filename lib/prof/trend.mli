@@ -1,0 +1,45 @@
+(** Performance trend page over a sequence of [infs-bench-1] snapshots
+    ([infs_run trend]).
+
+    Given per-commit benchmark snapshots in chronological order (the CLI
+    orders a directory by [meta.timestamp] when every file carries one,
+    else by filename), build per-(workload, paradigm, tag) cycle series
+    and render them as unicode-sparkline tables — one table per workload —
+    in markdown and as a standalone HTML page. A key whose last snapshot
+    moved beyond the threshold against the previous one is flagged
+    ([REGRESSION] when slower, [improved] when faster).
+
+    Output is deterministic for a given snapshot list: keys sort
+    ascending, sparklines scale per key over its own min/max, and no
+    wall-clock value is ever read — timestamps come from the snapshots'
+    [meta], written by the bench runner's [--meta-*] flags. *)
+
+type row = {
+  key : string;  (** {!Bench_file.key} *)
+  workload : string;
+  series : float option array;
+      (** cycles per snapshot, [None] where the key is absent *)
+  spark : string;  (** one glyph per snapshot; [·] for absent *)
+  last : float;  (** most recent present value *)
+  delta_pct : float option;
+      (** last vs previous present value; [None] with fewer than two *)
+}
+
+type t = {
+  labels : string array;  (** one per snapshot, caller-provided *)
+  suite : string;  (** from the first snapshot *)
+  threshold : float;
+  rows : row list;  (** key-ascending *)
+}
+
+val build : ?threshold:float -> (string * Bench_file.t) list -> t
+(** Snapshots oldest-first with display labels (commit hash or filename).
+    [threshold] (percent, default 5.0) controls regression flagging. *)
+
+val regressions : t -> (string * float) list
+(** Flagged keys with their last-vs-previous delta, key-ascending. *)
+
+val to_markdown : t -> string
+
+val to_html : t -> string
+(** Standalone page, no scripts — sparklines are text. *)

@@ -31,6 +31,8 @@ type config = {
   default_timeout_s : float option;
   metrics_path : string option;
   trace : Trace.t;
+  prof : Prof.t;
+  prof_path : string option;
 }
 
 let default_config ~socket_path =
@@ -41,6 +43,8 @@ let default_config ~socket_path =
     default_timeout_s = None;
     metrics_path = None;
     trace = Trace.null;
+    prof = Prof.null;
+    prof_path = None;
   }
 
 type stats = {
@@ -94,13 +98,16 @@ let response_json id resp =
     | R_degraded e -> [ ("status", Json.Str "degraded"); ("error", Json.Str e) ]
     | R_cancelled -> [ ("status", Json.Str "cancelled") ]))
 
-(* one request the writer still owes a response line *)
+(* one request the writer still owes a response line. Ticket jobs return
+   (start, stop, result) wall times so the writer can split the request's
+   latency into queue-wait (admission -> worker start) and run. *)
 type entry = {
   e_id : Json.t;  (* echoed request id (or the per-connection sequence) *)
   e_t0 : float;  (* wall time the request line was read *)
   e_admitted : bool;
   e_outcome :
-    [ `Ticket of (Json.t, string) result Pool.ticket | `Now of response ];
+    [ `Ticket of (float * float * (Json.t, string) result) Pool.ticket
+    | `Now of response ];
 }
 
 type conn = {
@@ -154,22 +161,48 @@ let pop conn =
   Mutex.unlock conn.c_qm;
   v
 
+(* Response plus, when the handler actually ran to completion, the
+   request's (queue_wait_us, run_us) split. Timeouts, cancellations and
+   crashed handlers have no reliable timing and yield [None]. *)
 let resolve_outcome entry =
   match entry.e_outcome with
-  | `Now r -> r
+  | `Now r -> (r, None)
   | `Ticket tk -> (
     match Pool.await tk with
-    | Ok (Ok payload) -> R_ok payload
-    | Ok (Error e) -> R_error e
-    | Error (Pool.Failed e) -> R_error e
-    | Error Pool.Timed_out -> R_timeout
-    | Error (Pool.Degraded e) -> R_degraded e
-    | Error Pool.Cancelled -> R_cancelled)
+    | Ok (start, stop, r) ->
+      let timing =
+        Some ((start -. entry.e_t0) *. 1e6, (stop -. start) *. 1e6)
+      in
+      ((match r with Ok payload -> R_ok payload | Error e -> R_error e), timing)
+    | Error (Pool.Failed e) -> (R_error e, None)
+    | Error Pool.Timed_out -> (R_timeout, None)
+    | Error (Pool.Degraded e) -> (R_degraded e, None)
+    | Error Pool.Cancelled -> (R_cancelled, None))
+
+(* One lifecycle-stage span for [entry]: a [Request_span] trace event and
+   a [serve;request;<stage>] profiler row, both under [mm] (the prof
+   registry, like the trace sink, is unsynchronized — the server lock is
+   its synchronization). *)
+let request_span t entry stage us =
+  if Trace.enabled t.cfg.trace || Prof.enabled t.cfg.prof then
+    Mutex.protect t.mm (fun () ->
+        if Trace.enabled t.cfg.trace then
+          Trace.emit t.cfg.trace
+            (Trace.Request_span
+               { request = Json.to_string entry.e_id; stage; us });
+        if Prof.enabled t.cfg.prof then
+          Prof.record_path t.cfg.prof ("serve;request;" ^ stage)
+            ~ns:(us *. 1e3) ())
 
 (* Resolve-time accounting. Shed and malformed requests were already
    counted when the reader answered them immediately, so only admitted
    entries bump outcome counters (and the latency histogram) here. *)
-let account t entry resp =
+let account t entry resp timing =
+  (match timing with
+  | None -> ()
+  | Some (queue_wait_us, run_us) ->
+    request_span t entry "queue_wait" queue_wait_us;
+    request_span t entry "run" run_us);
   let lat_us = (now () -. entry.e_t0) *. 1e6 in
   Mutex.protect t.mm (fun () ->
       if entry.e_admitted then begin
@@ -208,15 +241,21 @@ let writer t conn oc =
     match pop conn with
     | None -> ()
     | Some entry ->
-      let resp = resolve_outcome entry in
-      account t entry resp;
+      let resp, timing = resolve_outcome entry in
+      account t entry resp timing;
       (* a client that hung up must not stop us from awaiting (and
          accounting) the rest of its admitted requests *)
+      let w0 = now () in
       (try
          output_string oc (Json.to_string (response_json entry.e_id resp));
          output_char oc '\n';
          flush oc
        with Sys_error _ -> ());
+      (* write_back closes the admission->answer span triple; requests
+         without timing (timeout/cancel/crash) emit no spans at all, so
+         every stage has the same event count *)
+      if timing <> None then
+        request_span t entry "write_back" ((now () -. w0) *. 1e6);
       loop ()
   in
   loop ();
@@ -282,7 +321,12 @@ let handle_line t conn seq line =
       in
       if not admitted then immediate R_overloaded false
       else
-        let tk = Pool.submit t.pool ?timeout_s (fun () -> t.handler j) in
+        let tk =
+          Pool.submit t.pool ?timeout_s (fun () ->
+              let start = now () in
+              let r = t.handler j in
+              (start, now (), r))
+        in
         push conn
           (Some { e_id = id; e_t0 = t0; e_admitted = true; e_outcome = `Ticket tk })))
 
@@ -342,6 +386,16 @@ let flush_side_file t =
           ps.Pool.workers;
         try Metrics.write_file t.metrics path with Sys_error _ -> ())
 
+(* Only after [Pool.shutdown]: the join makes the worker counters exact
+   and leaves this the sole domain touching the registry. *)
+let flush_prof_file t =
+  if Prof.enabled t.cfg.prof then begin
+    Pool.profile_into t.pool t.cfg.prof;
+    match t.cfg.prof_path with
+    | None -> ()
+    | Some path -> ( try Prof.write_file t.cfg.prof path with Sys_error _ -> ())
+  end
+
 let drain t =
   Mutex.protect t.mm (fun () -> t.draining <- true);
   (try Unix.close t.lfd with Unix.Unix_error _ -> ());
@@ -359,6 +413,7 @@ let drain t =
     conns;
   Pool.shutdown t.pool;
   flush_side_file t;
+  flush_prof_file t;
   Mutex.protect t.mm (fun () -> t.final <- Some t.st)
 
 let accept_loop t =

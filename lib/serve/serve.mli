@@ -62,12 +62,31 @@ type config = {
           ([.prom] → Prometheus exposition, else JSON) *)
   trace : Trace.t;
       (** lifecycle-event sink (default {!Trace.null}); closed by the
-          caller, not the server *)
+          caller, not the server. With an enabled sink every request whose
+          handler ran to completion additionally emits three
+          [Request_span] events — [queue_wait] (admission to worker
+          start), [run] (handler execution) and [write_back] (response
+          serialization + flush) — carrying the request's echoed id, so a
+          trace of a serving session attributes tail latency to queueing
+          vs execution. Timed-out, cancelled and crashed requests emit no
+          spans (their split is unknowable), keeping the three stages'
+          event counts equal. *)
+  prof : Prof.t;
+      (** span profiler (default {!Prof.null}). Records the same three
+          request stages under [serve;request;<stage>] plus — at drain
+          time, via {!Pool.profile_into} — per-worker
+          [pool;worker<i>;busy] / [pool;worker<i>;queue_wait] rows. The
+          (unsynchronized) registry is only ever touched under the server
+          lock, or after the pool has joined. *)
+  prof_path : string option;
+      (** side file the drain writes the profile to ([.json] →
+          [infs-prof-1] JSON, [.folded] → flamegraph folded stacks, else
+          text table); [None] keeps the registry in-memory only *)
 }
 
 val default_config : socket_path:string -> config
 (** [jobs = Pool.recommended_jobs ()], [queue_depth = 64], no default
-    deadline, no metrics side file, no trace. *)
+    deadline, no metrics side file, no trace, no profiler. *)
 
 type stats = {
   connections : int;  (** connections accepted *)

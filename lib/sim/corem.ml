@@ -3,7 +3,7 @@ type result = { cycles : float; dram_cycles : float }
 let omp_fork_cycles = 6000.0
 let omp_barrier_cycles = 500.0
 
-let run cfg traffic (w : Workset.t) ~threads ~cold_bytes ~first_invocation =
+let run_sim cfg traffic (w : Workset.t) ~threads ~cold_bytes ~first_invocation =
   let avg_hops = Machine_config.avg_hops cfg in
   let lanes = float_of_int cfg.Machine_config.simd_fp32_lanes in
   let peak_flops = float_of_int threads *. lanes in
@@ -39,3 +39,7 @@ let run cfg traffic (w : Workset.t) ~threads ~cold_bytes ~first_invocation =
   in
   let busy = Float.max compute noc_time in
   { cycles = busy +. omp +. dram; dram_cycles = dram }
+
+let run cfg traffic (w : Workset.t) ~threads ~cold_bytes ~first_invocation =
+  Prof.span (Traffic.prof_of traffic) "corem.run" (fun () ->
+      run_sim cfg traffic w ~threads ~cold_bytes ~first_invocation)

@@ -31,22 +31,34 @@ let stall_penalty ?faults trace metrics ~bytes =
       stall
     end
 
-let load_traced ?(metrics = Metrics.null) ?faults trace cfg ~bytes =
+let load_traced ?(metrics = Metrics.null) ?(prof = Prof.null) ?faults trace
+    cfg ~bytes =
+  let t0 = if Prof.enabled prof then Prof.now_ns () else 0.0 in
   let cycles = load_cycles cfg ~bytes in
   if bytes > 0.0 && Trace.enabled trace then
     Trace.emit trace (Trace.Dram_burst { bytes; cycles });
   if bytes > 0.0 && Metrics.enabled metrics then
     Metrics.Sim.dram_burst metrics ~channels:cfg.Machine_config.mem_ctrls ~bytes
       ~cycles;
-  cycles +. stall_penalty ?faults trace metrics ~bytes
+  let r = cycles +. stall_penalty ?faults trace metrics ~bytes in
+  (* recorded under the same [bytes > 0] guard as the [Dram_burst] event,
+     so the span count reconciles with the trace's burst count *)
+  if bytes > 0.0 && Prof.enabled prof then
+    Prof.record prof "dram.load" ~ns:(Prof.now_ns () -. t0);
+  r
 
-let transpose_traced ?(metrics = Metrics.null) ?faults trace cfg ~bytes =
+let transpose_traced ?(metrics = Metrics.null) ?(prof = Prof.null) ?faults
+    trace cfg ~bytes =
+  let t0 = if Prof.enabled prof then Prof.now_ns () else 0.0 in
   let cycles = transpose_cycles cfg ~bytes in
   if bytes > 0.0 && Trace.enabled trace then
     Trace.emit trace (Trace.Ttu_transpose { bytes; cycles });
   if bytes > 0.0 && Metrics.enabled metrics then
     Metrics.Sim.ttu metrics ~bytes ~cycles;
-  cycles +. stall_penalty ?faults trace metrics ~bytes
+  let r = cycles +. stall_penalty ?faults trace metrics ~bytes in
+  if bytes > 0.0 && Prof.enabled prof then
+    Prof.record prof "dram.transpose" ~ns:(Prof.now_ns () -. t0);
+  r
 
 let fill_transposed_cycles cfg ~bytes ~resident =
   let fetch = if resident then 0.0 else load_cycles cfg ~bytes in

@@ -46,7 +46,7 @@ let kind_name = function
   | Command.Inter_shift _ -> "inter-shift"
   | Command.Broadcast _ -> "broadcast"
 
-let execute cfg traffic ~layout cmds =
+let execute_sim cfg traffic ~layout cmds =
   let trace = Traffic.trace_of traffic in
   let metrics = Traffic.metrics_of traffic in
   let move = ref 0.0
@@ -266,3 +266,10 @@ let execute cfg traffic ~layout cmds =
     elements_computed = !elems;
     faulted = !faulted;
   }
+
+(* Span at region granularity, not per command: the command loop is the
+   hot path the profiler exists to measure, so instrumenting inside it
+   would distort exactly what we are trying to observe. *)
+let execute cfg traffic ~layout cmds =
+  Prof.span (Traffic.prof_of traffic) "imc.execute" (fun () ->
+      execute_sim cfg traffic ~layout cmds)

@@ -5,7 +5,7 @@ let stream_setup_cycles cfg ~streams =
     (cfg.Machine_config.sel3_init_cycles * streams * cfg.Machine_config.l3_banks
     / max 1 (cfg.Machine_config.l3_banks / 4))
 
-let run cfg traffic (w : Workset.t) ~cold_bytes =
+let run_sim cfg traffic (w : Workset.t) ~cold_bytes =
   let banks = float_of_int cfg.Machine_config.l3_banks in
   let avg_hops = Machine_config.avg_hops cfg in
   (* Near-memory compute throughput: SEL3-coordinated SIMD at each bank. *)
@@ -72,8 +72,8 @@ let run cfg traffic (w : Workset.t) ~cold_bytes =
   let metrics = Traffic.metrics_of traffic in
   let faults = Traffic.faults_of traffic in
   let dram =
-    Dram.load_traced ~metrics ?faults (Traffic.trace_of traffic) cfg
-      ~bytes:cold_bytes
+    Dram.load_traced ~metrics ~prof:(Traffic.prof_of traffic) ?faults
+      (Traffic.trace_of traffic) cfg ~bytes:cold_bytes
   in
   let busy = Float.max compute (Float.max local_mem reuse_noc) in
   (* Stall breakdown: which resource bounds the stream engines. These are
@@ -121,3 +121,7 @@ let run cfg traffic (w : Workset.t) ~cold_bytes =
       hung
   in
   { cycles = busy +. setup +. dram; dram_cycles = dram; watchdog }
+
+let run cfg traffic (w : Workset.t) ~cold_bytes =
+  Prof.span (Traffic.prof_of traffic) "near.run" (fun () ->
+      run_sim cfg traffic w ~cold_bytes)

@@ -12,6 +12,7 @@ type t = {
   cfg : Machine_config.t;
   trace : Trace.t;
   metrics : Metrics.t;
+  prof : Prof.t;
   faults : Fault.injector option;
   control : bucket;
   data : bucket;
@@ -23,11 +24,13 @@ type t = {
 
 let fresh_bucket () = { bytes = 0.0; byte_hops = 0.0; packets = 0.0 }
 
-let create ?(trace = Trace.null) ?(metrics = Metrics.null) ?faults cfg =
+let create ?(trace = Trace.null) ?(metrics = Metrics.null)
+    ?(prof = Prof.null) ?faults cfg =
   {
     cfg;
     trace;
     metrics;
+    prof;
     faults;
     control = fresh_bucket ();
     data = fresh_bucket ();
@@ -39,6 +42,7 @@ let create ?(trace = Trace.null) ?(metrics = Metrics.null) ?faults cfg =
 
 let trace_of t = t.trace
 let metrics_of t = t.metrics
+let prof_of t = t.prof
 let faults_of t = t.faults
 
 let reset t =
@@ -137,26 +141,32 @@ let bulk_cycles cfg ~bytes ~avg_hops =
    event so analyze can attribute it. The [detail] string names the call
    site (deterministic, scheduling-independent). *)
 let bulk_cycles_in t ~detail ~bytes ~avg_hops =
+  let t0 = if Prof.enabled t.prof then Prof.now_ns () else 0.0 in
   let base = bulk_cycles t.cfg ~bytes ~avg_hops in
-  match t.faults with
-  | None -> base
-  | Some fi ->
-    if bytes <= 0.0 then base
-    else begin
-      let factor = Fault.noc_factor fi in
-      if factor > 1.0 then begin
-        let extra = base *. (factor -. 1.0) in
-        if Trace.enabled t.trace then
-          Trace.emit t.trace
-            (Trace.Fault
-               { site = "noc"; action = "inject"; detail; cycles = extra });
-        if Metrics.enabled t.metrics then
-          Metrics.Sim.fault t.metrics ~site:"noc" ~action:"inject"
-            ~cycles:extra;
-        base +. extra
+  let cycles =
+    match t.faults with
+    | None -> base
+    | Some fi ->
+      if bytes <= 0.0 then base
+      else begin
+        let factor = Fault.noc_factor fi in
+        if factor > 1.0 then begin
+          let extra = base *. (factor -. 1.0) in
+          if Trace.enabled t.trace then
+            Trace.emit t.trace
+              (Trace.Fault
+                 { site = "noc"; action = "inject"; detail; cycles = extra });
+          if Metrics.enabled t.metrics then
+            Metrics.Sim.fault t.metrics ~site:"noc" ~action:"inject"
+              ~cycles:extra;
+          base +. extra
+        end
+        else base
       end
-      else base
-    end
+  in
+  if Prof.enabled t.prof then
+    Prof.record t.prof "noc.bulk" ~ns:(Prof.now_ns () -. t0);
+  cycles
 
 let merge_into ~dst src =
   List.iter2

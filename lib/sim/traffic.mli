@@ -20,14 +20,22 @@ val category_name : category -> string
 type t
 
 val create :
-  ?trace:Trace.t -> ?metrics:Metrics.t -> ?faults:Fault.injector -> Machine_config.t -> t
-(** [create ?trace ?metrics ?faults cfg]: every [add] / [add_local]
+  ?trace:Trace.t ->
+  ?metrics:Metrics.t ->
+  ?prof:Prof.t ->
+  ?faults:Fault.injector ->
+  Machine_config.t ->
+  t
+(** [create ?trace ?metrics ?prof ?faults cfg]: every [add] / [add_local]
     additionally emits a typed trace event on [trace] (default
     {!Trace.null}, a no-op) and updates [metrics] (default
     [Metrics.null]) — per-category NoC counters that mirror the buckets
-    bit-exactly plus per-link load gauges. When [faults] is given, the
-    injector rides along for downstream models ([Imc], [Near], [Dram]
-    call sites) and {!bulk_cycles_in} draws NoC-degradation faults. *)
+    bit-exactly plus per-link load gauges. [prof] (default [Prof.null])
+    rides along to the downstream models ([Imc], [Near], [Corem]) for
+    host-time span accounting; {!bulk_cycles_in} records a ["noc.bulk"]
+    leaf on it. When [faults] is given, the injector rides along for
+    downstream models ([Imc], [Near], [Dram] call sites) and
+    {!bulk_cycles_in} draws NoC-degradation faults. *)
 
 val trace_of : t -> Trace.t
 (** The trace context this accounting was created with — downstream models
@@ -36,6 +44,10 @@ val trace_of : t -> Trace.t
 val metrics_of : t -> Metrics.t
 (** The metric registry this accounting was created with — downstream
     models record their own series on it. *)
+
+val prof_of : t -> Prof.t
+(** The span profiler this accounting was created with — downstream
+    models wrap their entry points in spans on it. *)
 
 val faults_of : t -> Fault.injector option
 (** The fault injector this accounting was created with, if any. *)

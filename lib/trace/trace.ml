@@ -34,6 +34,7 @@ type event =
   | Region_exec of { kernel : string; where : string; cycles : float }
   | Fault of { site : string; action : string; detail : string; cycles : float }
   | Counter of { name : string; value : float }
+  | Request_span of { request : string; stage : string; us : float }
 
 type format = Jsonl | Chrome
 
@@ -118,7 +119,10 @@ let event_to_json ~seq ev =
       (json_float cycles)
   | Counter { name; value } ->
     Printf.bprintf b "\"ev\":\"ctr\",\"k\":%s,\"v\":%s" (json_string name)
-      (json_float value));
+      (json_float value)
+  | Request_span { request; stage; us } ->
+    Printf.bprintf b "\"ev\":\"req\",\"request\":%s,\"stage\":%s,\"us\":%s"
+      (json_string request) (json_string stage) (json_float us));
   Buffer.add_char b '}';
   Buffer.contents b
 
@@ -217,6 +221,9 @@ let record_metrics m = function
     Metrics.add m (Printf.sprintf "fault.%s.%s" site action) 1.0;
     if cycles > 0.0 then Metrics.add m ("fault.cycles." ^ site) cycles
   | Counter { name; value } -> Metrics.add m name value
+  | Request_span { stage; us; _ } ->
+    Metrics.add m ("serve.spans." ^ stage) 1.0;
+    Metrics.add m ("serve.span_us." ^ stage) us
 
 (* Chrome trace_event rendering: cycle-bearing events become complete ("X")
    slices on a per-family track, advancing a sequential clock; the rest are
@@ -227,6 +234,7 @@ let chrome_row = function
   | Noc_packet _ | Local_move _ -> ("noc", 2)
   | Jit_span _ | Memo _ -> ("jit", 3)
   | Offload_decision _ | Region_exec _ | Fault _ | Counter _ -> ("engine", 4)
+  | Request_span _ -> ("serve", 5)
 
 let chrome_event (c : chrome_state) ev =
   let name, detail, dur =
@@ -260,6 +268,12 @@ let chrome_event (c : chrome_state) ev =
         Printf.sprintf "\"cycles\":%s" (json_float cycles),
         0.0 )
     | Counter _ -> ("", "", 0.0)
+    | Request_span { request; stage; us } ->
+      (* host-time span: render as an instant (the Chrome clock on this
+         timeline counts simulated cycles, not microseconds) *)
+      ( Printf.sprintf "req:%s:%s" request stage,
+        Printf.sprintf "\"us\":%s" (json_float us),
+        0.0 )
   in
   (match ev with
   | Counter _ -> None (* rendered by [emit], which sees the cumulative value *)

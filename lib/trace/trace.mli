@@ -77,6 +77,14 @@ type event =
           simulated time lost to this event (stall penalty, wasted attempt) *)
   | Counter of { name : string; value : float }
       (** a metrics charge, e.g. [cycles.core] — the reconciliation spine *)
+  | Request_span of { request : string; stage : string; us : float }
+      (** one lifecycle stage of a served request
+          ([stage = "queue_wait" | "run" | "write_back"]), attributed to
+          the request's echoed id. Unlike every other event, [us] is {e
+          host} microseconds — serving latency is a wall-clock quantity —
+          so serve traces are not golden-testable byte-for-byte; their
+          event {e counts} still are. Derived counters:
+          [serve.spans.<stage>] and [serve.span_us.<stage>]. *)
 
 type format = Jsonl | Chrome
 

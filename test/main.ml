@@ -33,5 +33,6 @@ let () =
          ("pool", Test_pool.suite);
          ("metrics", Test_metrics.suite);
          ("serve", Test_serve.suite);
+         ("prof", Test_prof.suite);
          ("tune", Test_tune.suite);
        ])
