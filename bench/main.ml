@@ -1068,6 +1068,58 @@ let full () =
   area ();
   bechamel_section ()
 
+(* ---------- sim-rate: hot-path throughput + cost-memo effectiveness ----------
+
+   Simulated cycles per wall-clock second over the test-scale catalog on
+   the four main paradigms — warm data, shared compiles, single domain:
+   the exact hot path the identity tier pins byte-for-byte. [baseline]
+   is this loop's rate measured at the PR 8 head (commit adb2913), before
+   the flat-core rewrite; the printed speedup tracks the rewrite. The
+   hard assertion is on the cost-memo hit rate (wall-clock depends on the
+   host; memo behavior does not). *)
+let sim_rate_baseline = 1.02e8
+
+let sim_rate_section () =
+  let combos =
+    List.concat_map
+      (fun (e : Cat.entry) ->
+        match e.variants with
+        | (_, w) :: _ ->
+          List.map (fun p -> (p, w)) [ E.Base; E.Near_l3; E.In_l3; E.Inf_s ]
+        | [] -> [])
+      (Cat.test_scale ())
+  in
+  (* bypass the report cache: this section times simulation, not lookup *)
+  List.iter (fun (p, w) -> ignore (E.run_exn ~options:suite_options p w)) combos;
+  Costmemo.reset ();
+  let reps = 20 in
+  let simulated = ref 0.0 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    List.iter
+      (fun (p, w) ->
+        simulated :=
+          !simulated +. (E.run_exn ~options:suite_options p w).R.cycles)
+      combos
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  let rate = !simulated /. wall in
+  Printf.printf
+    "sim rate: %.3e simulated cycles/sec (%d combos x %d reps, %.1f ms wall)\n"
+    rate (List.length combos) reps (wall *. 1e3);
+  Printf.printf "sim speedup: %.1fx the pre-rewrite baseline %.2e cycles/sec\n"
+    (rate /. sim_rate_baseline)
+    sim_rate_baseline;
+  let hr = Costmemo.hit_rate () in
+  Printf.printf
+    "cost memo: sim.costmemo.hit=%d sim.costmemo.miss=%d -> %.2f%% hit rate \
+     (floor 90%%)\n\n"
+    (Costmemo.hits ()) (Costmemo.misses ()) (100.0 *. hr);
+  if hr <= 0.90 then begin
+    Printf.printf "FAIL: cost-memo hit rate %.2f%% <= 90%%\n" (100.0 *. hr);
+    exit 1
+  end
+
 (* CI target: the full pipeline (compile, simulate, aggregate) on the
    test-scale suite in a few seconds instead of minutes *)
 let smoke () =
@@ -1077,6 +1129,7 @@ let smoke () =
   fig11 entries;
   fig14 entries;
   jit_overheads entries;
+  sim_rate_section ();
   metrics_overhead_check ();
   prof_overhead_check ();
   fault_overhead_check ()

@@ -443,7 +443,7 @@ let lower_cmd =
               let cmds, stats =
                 Jit.lower Machine_config.default g ~schedule ~layout ~env:envf
               in
-              List.iter (fun c -> print_endline ("  " ^ Command.to_string c)) cmds;
+              Array.iter (fun c -> print_endline ("  " ^ Command.to_string c)) cmds;
               Format.printf
                 "%d commands; jit %.1f us; %g in-memory element-ops; %g stream elems@."
                 stats.Jit.commands
@@ -1643,6 +1643,36 @@ let bench_bisect_cmd =
           shift to one row each")
     Term.(const run $ old_arg $ new_arg $ threshold_arg $ json_arg)
 
+(* ---------- identity-golden: regenerate the byte-identity tier ---------- *)
+
+let identity_golden_cmd =
+  let run dir =
+    (try
+       if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+     with Unix.Unix_error (e, _, _) ->
+       prerr_endline ("error: cannot create " ^ dir ^ ": " ^ Unix.error_message e);
+       exit 1);
+    let paths = Infs_workloads.Identity.write_dir dir in
+    List.iter (fun p -> Printf.printf "wrote %s\n" p) paths;
+    Printf.printf "%d identity golden files\n" (List.length paths)
+  in
+  let dir_arg =
+    Arg.(
+      value
+      & opt string "test/golden/identity"
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"directory to write <entry>.json files into")
+  in
+  Cmd.v
+    (Cmd.info "identity-golden"
+       ~doc:
+         "regenerate the byte-identity golden tier: the full test-scale \
+          catalog x all paradigms rendered as report JSON + metrics \
+          snapshot + normalized profile, one file per catalog entry \
+          (test/test_identity.ml byte-compares against these; only \
+          regenerate for an intentional cost-model change)")
+    Term.(const run $ dir_arg)
+
 let () =
   let doc = "infinity stream - in-/near-memory fusion simulator" in
   exit
@@ -1651,5 +1681,5 @@ let () =
           [
             list_cmd; run_cmd; compile_cmd; lower_cmd; batch_cmd; tune_cmd;
             serve_cmd; analyze_cmd; bench_diff_cmd; trend_cmd;
-            bench_bisect_cmd;
+            bench_bisect_cmd; identity_golden_cmd;
           ]))

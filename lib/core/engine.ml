@@ -56,7 +56,18 @@ let default_options =
 
 let compile_cache : (Fat_binary.t, string) result Ccache.t = Ccache.create ()
 
-let compile_key (options : options) (w : Workload.t) =
+(* The digest is a pure function of the printed program, the machine config
+   and the optimizer flag, but pretty-printing a large AST costs tens of
+   microseconds — comparable to the whole per-run dispatch floor. Bench
+   loops re-run the same [Workload.t] values, so a small per-domain cache
+   keyed on physical identity of (prog, cfg) recovers the digest without
+   reprinting. Same inputs produce the same hex, so behaviour is
+   unchanged. *)
+let compile_key_cache :
+    (Ast.program * Machine_config.t * bool * string) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let compile_key_uncached (options : options) (w : Workload.t) =
   Digest.to_hex
     (Digest.string
        (String.concat "\x00"
@@ -65,6 +76,24 @@ let compile_key (options : options) (w : Workload.t) =
             Marshal.to_string options.cfg [];
             string_of_bool options.optimize;
           ]))
+
+let compile_key (options : options) (w : Workload.t) =
+  let cache = Domain.DLS.get compile_key_cache in
+  let rec find = function
+    | (p, c, o, d) :: _
+      when p == w.prog && c == options.cfg && o = options.optimize ->
+      Some d
+    | _ :: tl -> find tl
+    | [] -> None
+  in
+  match find !cache with
+  | Some d -> d
+  | None ->
+    let d = compile_key_uncached options w in
+    let prev = !cache in
+    let prev = if List.length prev >= 64 then List.filteri (fun i _ -> i < 63) prev else prev in
+    cache := (w.prog, options.cfg, options.optimize, d) :: prev;
+    d
 
 let compile (options : options) (w : Workload.t) =
   if not options.share_compile then
@@ -114,25 +143,31 @@ module Residency = struct
     tbl : (string, form * float) Hashtbl.t; (* name -> form, bytes *)
     mutable order : string list; (* FIFO for eviction *)
     mutable resident_bytes : float;
+    (* count of Transposed entries, maintained incrementally: every
+       in-memory touch consults it, and folding the table per touch showed
+       up in the dispatch profile *)
+    mutable transposed : int;
   }
 
-  let create cfg = { cfg; tbl = Hashtbl.create 8; order = []; resident_bytes = 0.0 }
+  let create cfg =
+    {
+      cfg;
+      tbl = Hashtbl.create 8;
+      order = [];
+      resident_bytes = 0.0;
+      transposed = 0;
+    }
 
   let capacity t =
     float_of_int
       (t.cfg.Machine_config.l3_banks * t.cfg.l3_ways * t.cfg.arrays_per_way
       * t.cfg.sram_wordlines * t.cfg.sram_bitlines / 8)
 
-  let transposed_count t =
-    Hashtbl.fold
-      (fun _ (f, _) acc -> if f = Transposed then acc + 1 else acc)
-      t.tbl 0
-
   (* The layout override table holds a fixed number of transposed regions
      (16 in Table 2); exceeding it releases the oldest transposed array
      back to normal layout (§5.2's delayed release / LOT capacity). *)
   let evict_transposed_if_full t =
-    while transposed_count t >= t.cfg.Machine_config.lot_regions do
+    while t.transposed >= t.cfg.Machine_config.lot_regions do
       let victim =
         List.find_opt
           (fun name ->
@@ -144,7 +179,8 @@ module Residency = struct
       match victim with
       | Some name ->
         let _, b = Hashtbl.find t.tbl name in
-        Hashtbl.replace t.tbl name (Normal, b)
+        Hashtbl.replace t.tbl name (Normal, b);
+        t.transposed <- t.transposed - 1
       | None -> raise Exit
     done
 
@@ -159,9 +195,10 @@ module Residency = struct
       | [] -> false
       | victim :: rest ->
         (match Hashtbl.find_opt t.tbl victim with
-        | Some (_, b) ->
+        | Some (f, b) ->
           Hashtbl.remove t.tbl victim;
-          t.resident_bytes <- t.resident_bytes -. b
+          t.resident_bytes <- t.resident_bytes -. b;
+          if f = Transposed then t.transposed <- t.transposed - 1
         | None -> ());
         t.order <- rest;
         true
@@ -181,12 +218,15 @@ module Residency = struct
     | Some (_, _) ->
       (* resident but in the other layout: convert in place *)
       Hashtbl.replace t.tbl name (form, bytes);
+      t.transposed <-
+        (t.transposed + if form = Transposed then 1 else -1);
       (0.0, true)
     | None ->
       evict_until t bytes;
       Hashtbl.replace t.tbl name (form, bytes);
       t.order <- t.order @ [ name ];
       t.resident_bytes <- t.resident_bytes +. bytes;
+      if form = Transposed then t.transposed <- t.transposed + 1;
       (bytes, form = Transposed)
 
   (* Core and near-memory accesses work on resident data in either layout:
@@ -224,6 +264,11 @@ type state = {
   events : Energy.events;
   memo : Jit.memo;
   layouts : (string, (Layout.t, string) result) Hashtbl.t;
+  (* dispatch fast-path caches, all keyed by kernel name: the region's
+     live-node ids (the graph is frozen after compile) and the rendered
+     layout half of the JIT memo key *)
+  lives : (string, Tdfg.id array) Hashtbl.t;
+  layout_strs : (string, string) Hashtbl.t;
   residency : Residency.t;
   timeline : (string, (Report.where * float) list) Hashtbl.t;
   mutable timeline_order : string list;
@@ -343,9 +388,115 @@ let array_bytes st name =
   let dims = Interp.array_dims st.env name in
   float_of_int (List.fold_left ( * ) 1 dims * 4)
 
+(* ---- cross-run invocation cache ----
+
+   The concrete workset of an invocation, the resolved live-node domains,
+   and the domain part of the JIT memo key are pure functions of (region,
+   values of the integer variables they read). Bench loops re-execute
+   identical invocations thousands of times, and host loops (e.g. gauss's
+   64 eliminations) revisit the same variable values run after run — so
+   each region carries a table keyed on the evaluated variable vector, and
+   a repeat dispatch reduces to evaluating a handful of integers plus one
+   lookup. The variable sets are derived from the same symbolic bounds the
+   direct path would evaluate, so a hit returns exactly what recomputation
+   would. Per-domain (DLS) for race freedom under the batch pool; bounded
+   by reset. *)
+
+module Svars = Set.Make (String)
+
+type inv_entry = {
+  ie_region : Fat_binary.region; (* physical identity is the cache key *)
+  mutable ie_ws_vars : string array option;
+  ie_ws : (int array, Workset.t) Hashtbl.t;
+  mutable ie_dom_vars : string array option;
+  ie_doms : (int array, Hyperrect.t option array * string) Hashtbl.t;
+  ie_lays : (int array, (Layout.t, string) result) Hashtbl.t;
+}
+
+let inv_cache : inv_entry list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let inv_cache_max_regions = 256
+let inv_cache_max_entries = 4096
+
+let inv_entry_of (region : Fat_binary.region) =
+  let slot = Domain.DLS.get inv_cache in
+  let rec find = function
+    | e :: _ when e.ie_region == region -> Some e
+    | _ :: tl -> find tl
+    | [] -> None
+  in
+  match find !slot with
+  | Some e -> e
+  | None ->
+    let e =
+      {
+        ie_region = region;
+        ie_ws_vars = None;
+        ie_ws = Hashtbl.create 32;
+        ie_dom_vars = None;
+        ie_doms = Hashtbl.create 32;
+        ie_lays = Hashtbl.create 8;
+      }
+    in
+    let prev = if List.length !slot >= inv_cache_max_regions then [] else !slot in
+    slot := e :: prev;
+    e
+
+let add_aff_vars acc a =
+  List.fold_left (fun acc v -> Svars.add v acc) acc (Symaff.vars a)
+
+(* Variables the workset resolution reads: host-loop bounds, symbolic
+   distinct extents, and — for streams whose footprint falls back to the
+   whole array — the array declaration's dimension expressions. *)
+let ws_vars_of st (region : Fat_binary.region) =
+  let info = region.info in
+  let acc =
+    List.fold_left
+      (fun acc (lo, hi) -> add_aff_vars (add_aff_vars acc lo) hi)
+      Svars.empty info.Kernel_info.loops
+  in
+  let acc =
+    List.fold_left
+      (fun acc (s : Kernel_info.stream) ->
+        match s.distinct with
+        | Some extents -> List.fold_left add_aff_vars acc extents
+        | None -> (
+          match
+            List.find_opt
+              (fun (a : Ast.array_decl) -> a.aname = s.array)
+              st.fb.Fat_binary.prog.Ast.arrays
+          with
+          | Some decl -> List.fold_left add_aff_vars acc decl.dims
+          | None -> acc))
+      acc info.Kernel_info.streams
+  in
+  Array.of_list (Svars.elements acc)
+
+let eval_vars st (vars : string array) =
+  Array.map (fun v -> Interp.lookup_int st.env v) vars
+
 let workset_of st (region : Fat_binary.region) =
-  Workset.resolve region.info ~env:(Interp.lookup_int st.env)
-    ~arrays:(concrete_arrays st)
+  let e = inv_entry_of region in
+  let vars =
+    match e.ie_ws_vars with
+    | Some v -> v
+    | None ->
+      let v = ws_vars_of st region in
+      e.ie_ws_vars <- Some v;
+      v
+  in
+  let vals = eval_vars st vars in
+  match Hashtbl.find_opt e.ie_ws vals with
+  | Some w -> w
+  | None ->
+    let w =
+      Workset.resolve region.info ~env:(Interp.lookup_int st.env)
+        ~arrays:(concrete_arrays st)
+    in
+    if Hashtbl.length e.ie_ws >= inv_cache_max_entries then Hashtbl.reset e.ie_ws;
+    Hashtbl.replace e.ie_ws vals w;
+    w
 
 (* ----- core / near-memory execution of one kernel invocation ----- *)
 
@@ -355,10 +506,13 @@ let workset_of st (region : Fat_binary.region) =
    [Region_exec] event count (and the metrics [regions.<where>] counter)
    for its target — the reconciliation the profiler tests pin. *)
 
-let run_core_body st ~threads (region : Fat_binary.region) =
-  let w = workset_of st region in
+(* [w] is the invocation's resolved workset, computed once per [on_kernel]
+   dispatch and shared by every execution path (the resolution is a pure
+   function of the region and the parameter environment, which does not
+   change within an invocation). *)
+let run_core_body st ~threads ~(w : Workset.t) (region : Fat_binary.region) =
   let cold =
-    List.fold_left
+    Array.fold_left
       (fun acc (s : Workset.stream) ->
         let bytes = Float.min s.distinct_bytes (array_bytes st s.array) in
         acc +. Residency.touch_any st.residency s.array ~bytes)
@@ -387,17 +541,16 @@ let run_core_body st ~threads (region : Fat_binary.region) =
   note_timeline st region.kernel.Ast.kname Report.On_core r.Corem.cycles;
   if st.opts.functional then Interp.exec_kernel st.env region.kernel
 
-let run_core st ~threads region =
-  Prof.span (profv st) "core" (fun () -> run_core_body st ~threads region)
+let run_core st ~threads ~w region =
+  Prof.span (profv st) "core" (fun () -> run_core_body st ~threads ~w region)
 
 (* Returns [false] when the watchdog detected a hung stream engine: the
    attempt's cycles were charged (and are wasted), and the kernel's
    functional effect has NOT been applied — the caller must retry or fall
    back so it is applied exactly once. *)
-let run_near_body st (region : Fat_binary.region) =
-  let w = workset_of st region in
+let run_near_body st ~(w : Workset.t) (region : Fat_binary.region) =
   let cold =
-    List.fold_left
+    Array.fold_left
       (fun acc (s : Workset.stream) ->
         let bytes = Float.min s.distinct_bytes (array_bytes st s.array) in
         acc +. Residency.touch_any st.residency s.array ~bytes)
@@ -417,8 +570,8 @@ let run_near_body st (region : Fat_binary.region) =
     true
   end
 
-let run_near st region =
-  Prof.span (profv st) "near" (fun () -> run_near_body st region)
+let run_near st ~w region =
+  Prof.span (profv st) "near" (fun () -> run_near_body st ~w region)
 
 (* ----- in-memory execution ----- *)
 
@@ -461,38 +614,149 @@ let region_shape st (region : Fat_binary.region) =
     (Tdfg.outputs g);
   shape
 
-let layout_for st (region : Fat_binary.region) =
+(* Live-node ids of a region, computed once per kernel per run (the
+   optimized graph never changes after compile). *)
+let lives_of st (region : Fat_binary.region) =
+  let k = region.kernel.Ast.kname in
+  match Hashtbl.find_opt st.lives k with
+  | Some a -> a
+  | None ->
+    let a = Array.of_list (Tdfg.live_nodes region.optimized) in
+    Hashtbl.replace st.lives k a;
+    a
+
+(* Variables a live finite-node domain reads — the inputs of both the
+   domain-resolution sweep ([doms_of]) and the lattice shape the layout
+   tiles ([region_shape] resolves a subset of the same domains). *)
+let dom_vars_of (region : Fat_binary.region) (live : Tdfg.id array) =
+  let g = region.optimized in
+  let acc =
+    Array.fold_left
+      (fun acc id ->
+        match Tdfg.domain g id with
+        | Tdfg.Finite r ->
+          List.fold_left
+            (fun acc (lo, hi) -> add_aff_vars (add_aff_vars acc lo) hi)
+            acc (Symrect.ranges r)
+        | Tdfg.Infinite -> acc)
+      Svars.empty live
+  in
+  Array.of_list (Svars.elements acc)
+
+let dom_vars_cached (region : Fat_binary.region) (live : Tdfg.id array) e =
+  match e.ie_dom_vars with
+  | Some v -> v
+  | None ->
+    let v = dom_vars_of region live in
+    e.ie_dom_vars <- Some v;
+    v
+
+(* The concrete inputs of [region_shape] + [Layout.choose] for a given
+   region: values of the variables its domains read, the resolved
+   out-tensor dims, and the tile override. cfg, hints, and dtype are
+   fixed per region (the compile cache keys fat binaries on the config),
+   so equal keys imply an identical layout choice. *)
+let lay_key st (region : Fat_binary.region) (live : Tdfg.id array) e =
+  let vals = eval_vars st (dom_vars_cached region live e) in
+  let dims =
+    List.concat_map
+      (function
+        | Tdfg.Out_tensor { array; _ } -> Interp.array_dims st.env array
+        | Tdfg.Out_stream _ -> [])
+      (Tdfg.outputs region.optimized)
+  in
+  let tile = match st.opts.tile_override with Some t -> t | None -> [||] in
+  Array.concat
+    [ vals; [| Array.length tile |]; tile; Array.of_list dims ]
+
+let layout_for st (region : Fat_binary.region) ~live =
   let key = region.kernel.Ast.kname in
   match Hashtbl.find_opt st.layouts key with
   | Some l -> l
   | None ->
-    let shape = region_shape st region in
-    let elems_per_line =
-      (cfgv st).Machine_config.line_bytes / Dtype.bytes (Tdfg.dtype region.optimized)
-    in
+    let e = inv_entry_of region in
+    let k = lay_key st region live e in
     let l =
-      match st.opts.tile_override with
-      | Some tile when Array.length tile = Array.length shape ->
-        Layout.of_tile (cfgv st) ~shape ~tile
-      | Some _ | None ->
-        (* overrides only apply to regions of the same rank (sweeps) *)
-        Layout.choose (cfgv st) ~hints:region.hints ~shape ~elems_per_line
+      match Hashtbl.find_opt e.ie_lays k with
+      | Some l -> l
+      | None ->
+        let shape = region_shape st region in
+        let elems_per_line =
+          (cfgv st).Machine_config.line_bytes
+          / Dtype.bytes (Tdfg.dtype region.optimized)
+        in
+        let l =
+          match st.opts.tile_override with
+          | Some tile when Array.length tile = Array.length shape ->
+            Layout.of_tile (cfgv st) ~shape ~tile
+          | Some _ | None ->
+            (* overrides only apply to regions of the same rank (sweeps) *)
+            Layout.choose (cfgv st) ~hints:region.hints ~shape ~elems_per_line
+        in
+        if Hashtbl.length e.ie_lays >= inv_cache_max_entries then
+          Hashtbl.reset e.ie_lays;
+        Hashtbl.replace e.ie_lays k l;
+        l
     in
     Hashtbl.replace st.layouts key l;
     l
 
-let params_signature st (g : Tdfg.t) =
-  (* resolved bounds of every array the region touches + runtime scalars
-     are irrelevant to lowering; key on the resolved lattice domains *)
-  let buf = Buffer.create 32 in
-  List.iter
-    (fun id ->
-      match Tdfg.domain g id with
-      | Tdfg.Finite r ->
-        Buffer.add_string buf
-          (Hyperrect.to_string (Symrect.resolve r (Interp.lookup_int st.env)))
-      | Tdfg.Infinite -> ())
-    (Tdfg.live_nodes g);
+(* Resolved domain of every live node, indexed by node id — one resolution
+   sweep per invocation, shared by the Eq. 2 [elems] estimate, the JIT
+   memo-key signature, and the lowering itself (which previously each
+   re-resolved the whole graph). Returns the doms array plus the memo-key
+   domain signature (the concatenated per-node [Hyperrect.buf_add] bytes),
+   both cached across runs in the invocation cache keyed on the values of
+   the variables the domains read. *)
+let doms_of st (region : Fat_binary.region) (live : Tdfg.id array) =
+  let e = inv_entry_of region in
+  let vals = eval_vars st (dom_vars_cached region live e) in
+  match Hashtbl.find_opt e.ie_doms vals with
+  | Some r -> r
+  | None ->
+    let g = region.optimized in
+    let doms = Array.make (Tdfg.node_count g) None in
+    let env = Interp.lookup_int st.env in
+    Array.iter
+      (fun id ->
+        match Tdfg.domain g id with
+        | Tdfg.Finite r -> doms.(id) <- Some (Symrect.resolve r env)
+        | Tdfg.Infinite -> ())
+      live;
+    let buf = Buffer.create 96 in
+    Array.iter
+      (fun id ->
+        match doms.(id) with
+        | Some rect -> Hyperrect.buf_add buf rect
+        | None -> ())
+      live;
+    let r = (doms, Buffer.contents buf) in
+    if Hashtbl.length e.ie_doms >= inv_cache_max_entries then
+      Hashtbl.reset e.ie_doms;
+    Hashtbl.replace e.ie_doms vals r;
+    r
+
+let layout_str st (region : Fat_binary.region) layout =
+  let k = region.kernel.Ast.kname in
+  match Hashtbl.find_opt st.layout_strs k with
+  | Some s -> s
+  | None ->
+    let s = Layout.to_string layout in
+    Hashtbl.replace st.layout_strs k s;
+    s
+
+(* The JIT memo key: kernel name + resolved lattice domains + layout,
+   '|'-separated — byte-identical to the former
+   [Printf.sprintf "%s|%s|%s"] over a per-node [Hyperrect.to_string]
+   signature (resolved bounds of runtime scalars are irrelevant to
+   lowering; the key covers exactly the inputs lowering depends on). *)
+let memo_key st (region : Fat_binary.region) layout ~dsig =
+  let buf = Buffer.create 96 in
+  Buffer.add_string buf region.kernel.Ast.kname;
+  Buffer.add_char buf '|';
+  Buffer.add_string buf dsig;
+  Buffer.add_char buf '|';
+  Buffer.add_string buf (layout_str st region layout);
   Buffer.contents buf
 
 (* Near-memory (or core) cost of the embedded streams and final reduce of
@@ -533,24 +797,23 @@ let hybrid_cost st ~stream_elems ~final_reduce_elems =
       st.events.Energy.sel3_flops +. stream_elems +. final_reduce_elems;
     `Near (stream_cycles, fr_cycles)
 
-let run_in_memory_body st (region : Fat_binary.region) (layout : Layout.t)
-    (schedule : Schedule.t) =
+let run_in_memory_body st ~w ~doms ~dsig (region : Fat_binary.region)
+    (layout : Layout.t) (schedule : Schedule.t) =
   let cfg = cfgv st in
   let g = region.optimized in
   (* 1. prepare transposed data (only the touched region of each array) *)
-  let w0 = workset_of st region in
   let touched_of a =
     match
-      List.find_opt (fun (s : Workset.stream) -> s.array = a) w0.Workset.streams
+      Array.find_opt (fun (s : Workset.stream) -> s.array = a) w.Workset.streams
     with
     | Some s -> Float.min s.distinct_bytes (array_bytes st a)
     | None -> array_bytes st a
   in
   let arrays = region.hints.Fat_binary.aligned_arrays in
   let write_only a =
-    List.exists
+    Array.exists
       (fun (s : Workset.stream) -> s.array = a && s.direction = Kernel_info.Write)
-      w0.Workset.streams
+      w.Workset.streams
   in
   let dram_bytes = ref 0.0 and transpose_bytes = ref 0.0 in
   List.iter
@@ -575,15 +838,13 @@ let run_in_memory_body st (region : Fat_binary.region) (layout : Layout.t)
   st.events.Energy.dram_bytes <- st.events.Energy.dram_bytes +. !dram_bytes;
   st.events.Energy.l3_bytes <- st.events.Energy.l3_bytes +. !transpose_bytes;
   (* 2. JIT lower (memoized) *)
-  let key =
-    Printf.sprintf "%s|%s|%s" region.kernel.Ast.kname (params_signature st g)
-      (Layout.to_string layout)
-  in
+  let key = memo_key st region layout ~dsig in
   let cmds, jst =
     (* span count == [jit_invocations] (memo hits included — the memoized
        lookup is itself JIT-phase work) *)
     Prof.span (profv st) "jit" (fun () ->
-        Jit.lower_memo ~trace:(tracev st) st.memo ~key cfg g ~schedule ~layout
+        Jit.lower_memo ~trace:(tracev st) ~doms st.memo ~key cfg g ~schedule
+          ~layout
           ~env:(Interp.lookup_int st.env))
   in
   st.jit_invocations <- st.jit_invocations + 1;
@@ -645,9 +906,9 @@ let run_in_memory_body st (region : Fat_binary.region) (layout : Layout.t)
     true
   end
 
-let run_in_memory st region layout schedule =
+let run_in_memory st ~w ~doms ~dsig region layout schedule =
   Prof.span (profv st) "imc" (fun () ->
-      run_in_memory_body st region layout schedule)
+      run_in_memory_body st ~w ~doms ~dsig region layout schedule)
 
 (* ----- fault mitigation ----- *)
 
@@ -687,31 +948,32 @@ let with_retries st fi ~site ~kname f ~fallback =
 (* Near-memory with watchdog mitigation: retry the offload, then fall back
    to core execution (cores use the reliable demand-paging path and never
    fault — the termination guarantee). *)
-let exec_near st (region : Fat_binary.region) =
+let exec_near st ~w (region : Fat_binary.region) =
   match st.faults with
-  | None -> ignore (run_near st region : bool)
+  | None -> ignore (run_near st ~w region : bool)
   | Some fi ->
     let kname = region.Fat_binary.kernel.Ast.kname in
     with_retries st fi ~site:"watchdog" ~kname
-      (fun () -> run_near st region)
+      (fun () -> run_near st ~w region)
       ~fallback:(fun () ->
         Decision.fault_fallback ~trace:(tracev st) ~kernel:kname ~site:"watchdog"
           ~target:"core" ();
         if Metrics.enabled (metricsv st) then
           Metrics.Sim.decision (metricsv st) ~target:"core";
-        run_core st ~threads:(cfgv st).Machine_config.cores region)
+        run_core st ~threads:(cfgv st).Machine_config.cores ~w region)
 
 (* In-memory with SRAM-flip mitigation: retry (residency and the JIT memo
    make retries much cheaper than first attempts), then re-lower the region
    to the paradigm's fallback target — near-memory for Inf-S, core for
    In-L3 — via the same §4.3 decision machinery, visibly in the trace. *)
-let exec_in_memory st (region : Fat_binary.region) layout schedule =
+let exec_in_memory st ~w ~doms ~dsig (region : Fat_binary.region) layout
+    schedule =
   match st.faults with
-  | None -> ignore (run_in_memory st region layout schedule : bool)
+  | None -> ignore (run_in_memory st ~w ~doms ~dsig region layout schedule : bool)
   | Some fi ->
     let kname = region.Fat_binary.kernel.Ast.kname in
     with_retries st fi ~site:"sram" ~kname
-      (fun () -> run_in_memory st region layout schedule)
+      (fun () -> run_in_memory st ~w ~doms ~dsig region layout schedule)
       ~fallback:(fun () ->
         let target = if st.paradigm = In_l3 then "core" else "near-memory" in
         Decision.fault_fallback ~trace:(tracev st) ~kernel:kname ~site:"sram"
@@ -719,8 +981,8 @@ let exec_in_memory st (region : Fat_binary.region) layout schedule =
         if Metrics.enabled (metricsv st) then
           Metrics.Sim.decision (metricsv st) ~target;
         if st.paradigm = In_l3 then
-          run_core st ~threads:(cfgv st).Machine_config.cores region
-        else exec_near st region)
+          run_core st ~threads:(cfgv st).Machine_config.cores ~w region
+        else exec_near st ~w region)
 
 (* ----- per-kernel dispatch ----- *)
 
@@ -730,15 +992,16 @@ let on_kernel st _env (k : Ast.kernel) =
     | Some r -> r
     | None -> failwith ("unknown kernel region " ^ k.Ast.kname)
   in
+  let w = workset_of st region in
   match st.paradigm with
-  | Base_1 -> run_core st ~threads:1 region
-  | Base -> run_core st ~threads:(cfgv st).Machine_config.cores region
-  | Near_l3 -> exec_near st region
+  | Base_1 -> run_core st ~threads:1 ~w region
+  | Base -> run_core st ~threads:(cfgv st).Machine_config.cores ~w region
+  | Near_l3 -> exec_near st ~w region
   | In_l3 | Inf_s | Inf_s_nojit -> begin
     let fallback () =
       if st.paradigm = In_l3 then
-        run_core st ~threads:(cfgv st).Machine_config.cores region
-      else exec_near st region
+        run_core st ~threads:(cfgv st).Machine_config.cores ~w region
+      else exec_near st ~w region
     in
     (* regions that never reach Eq. 2 still get a row in the report's
        decision table; no trace event is emitted (the decision machinery
@@ -756,27 +1019,25 @@ let on_kernel st _env (k : Ast.kernel) =
       match List.assoc_opt (cfgv st).Machine_config.sram_wordlines region.schedules with
       | None -> fallback_noted "no schedule for the configured SRAM wordlines"
       | Some schedule -> begin
-        match layout_for st region with
+        let live = lives_of st region in
+        match layout_for st region ~live with
         | Error e -> fallback_noted ("no valid transposed layout: " ^ e)
         | Ok layout ->
-          let w = workset_of st region in
           let g = region.optimized in
-          let elems =
-            (* data parallelism: the largest finite node domain *)
-            List.fold_left
-              (fun acc id ->
-                match Tdfg.domain g id with
-                | Tdfg.Finite r ->
-                  Float.max acc
-                    (float_of_int
-                       (Hyperrect.volume (Symrect.resolve r (Interp.lookup_int st.env))))
-                | Tdfg.Infinite -> acc)
-              1.0 (Tdfg.live_nodes g)
-          in
-          let override =
-            Decision.resolve st.opts.decision_policy ~kernel:k.Ast.kname
-          in
+          let doms, dsig = doms_of st region live in
           let decide ov =
+            let elems =
+              (* data parallelism: the largest finite node domain. Computed
+                 here (not at dispatch) so the In-L3 default path, which
+                 never consults Eq. 2, skips the volume sweep entirely. *)
+              Array.fold_left
+                (fun acc id ->
+                  match doms.(id) with
+                  | Some rect ->
+                    Float.max acc (float_of_int (Hyperrect.volume rect))
+                  | None -> acc)
+                1.0 live
+            in
             (* span count == [Offload_decision] trace events: this is the
                only caller of [Decision.decide] in the engine *)
             Prof.span (profv st) "decide" (fun () ->
@@ -789,6 +1050,9 @@ let on_kernel st _env (k : Ast.kernel) =
                   ~jit_known:
                     (st.paradigm = Inf_s_nojit || not st.opts.charge_jit))
           in
+          let override =
+            Decision.resolve st.opts.decision_policy ~kernel:k.Ast.kname
+          in
           if st.paradigm = In_l3 then begin
             (* In-L3 has no near-memory support and always offloads
                expressible regions to the SRAMs; only a tuned force-core
@@ -797,7 +1061,7 @@ let on_kernel st _env (k : Ast.kernel) =
                Eq. 2, keeping traces and reports byte-identical. *)
             match override with
             | Decision.Auto | Decision.Force_imc ->
-              exec_in_memory st region layout schedule
+              exec_in_memory st ~w ~doms ~dsig region layout schedule
             | Decision.Force_core ->
               let verdict = decide Decision.Force_core in
               note_decision st k.Ast.kname verdict;
@@ -819,7 +1083,7 @@ let on_kernel st _env (k : Ast.kernel) =
               Metrics.Sim.decision (metricsv st)
                 ~target:(Decision.target_name verdict.Decision.target);
             match verdict.Decision.target with
-            | Decision.In_memory -> exec_in_memory st region layout schedule
+            | Decision.In_memory -> exec_in_memory st ~w ~doms ~dsig region layout schedule
             | Decision.Near_memory -> fallback ()
           end
       end
@@ -891,6 +1155,8 @@ let run_with options paradigm (w : Workload.t) =
           events = Energy.fresh ();
           memo = Jit.memo_create ();
           layouts = Hashtbl.create 8;
+          lives = Hashtbl.create 8;
+          layout_strs = Hashtbl.create 8;
           residency = Residency.create options.cfg;
           timeline = Hashtbl.create 8;
           timeline_order = [];

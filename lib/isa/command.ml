@@ -30,6 +30,27 @@ let sync =
     label = "sync";
   }
 
+(* Structural equality without polymorphic compare: the simulator runs
+   this once per command in its dedup check, and [Op.t] constructors are
+   immediates, so field-wise [=] on ints suffices. *)
+let kind_equal a b =
+  match (a, b) with
+  | ( Compute { op = o1; const_operands = c1 },
+      Compute { op = o2; const_operands = c2 } ) ->
+    o1 == o2 && c1 = c2
+  | ( Intra_shift { dim = d1; distance = x1 },
+      Intra_shift { dim = d2; distance = x2 } ) ->
+    d1 = d2 && x1 = x2
+  | ( Inter_shift { dim = d1; tile_dist = t1; intra_dist = i1 },
+      Inter_shift { dim = d2; tile_dist = t2; intra_dist = i2 } ) ->
+    d1 = d2 && t1 = t2 && i1 = i2
+  | Broadcast { dim = d1; copies = c1 }, Broadcast { dim = d2; copies = c2 } ->
+    d1 = d2 && c1 = c2
+  | Reduce { op = o1; width = w1 }, Reduce { op = o2; width = w2 } ->
+    o1 == o2 && w1 = w2
+  | Sync, Sync -> true
+  | _ -> false
+
 let tiles_touched t = Hyperrect.volume t.tile_box
 let elements_touched t = tiles_touched t * t.lanes_per_tile
 

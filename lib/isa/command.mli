@@ -51,6 +51,10 @@ val make :
 val sync : t
 (** A bare synchronization barrier (applies to no tiles). *)
 
+val kind_equal : kind -> kind -> bool
+(** Structural equality on [kind] (same result as polymorphic [=], without
+    the generic-compare cost; hot in the simulator's dedup check). *)
+
 val tiles_touched : t -> int
 val elements_touched : t -> int
 (** [tiles_touched * lanes_per_tile]. *)

@@ -1,6 +1,10 @@
 let fp32 = Dense.fp32
 
-type array_store = { dims : int list; data : float array }
+(* [data] is allocated lazily on first access: performance-only runs
+   (functional = false) never read or write array contents, and zeroing
+   every declared array dominates [create] for large workloads. Arrays
+   observable through any accessor start zeroed exactly as before. *)
+type array_store = { dims : int list; size : int; mutable data : float array }
 
 type env = {
   prog : Ast.program;
@@ -12,13 +16,16 @@ type env = {
   kernel_iters : (string, int) Hashtbl.t;
 }
 
+(* Exception-based lookups avoid the [Some v] allocation of [find_opt];
+   this is the innermost call of every symbolic-bound resolution. *)
 let lookup_int env name =
-  match Hashtbl.find_opt env.ivars name with
-  | Some v -> v
-  | None -> (
-    match Hashtbl.find_opt env.params name with
-    | Some v -> v
-    | None -> failwith (Printf.sprintf "Interp: unbound integer %s" name))
+  match Hashtbl.find env.ivars name with
+  | v -> v
+  | exception Not_found -> (
+    match Hashtbl.find env.params name with
+    | v -> v
+    | exception Not_found ->
+      failwith (Printf.sprintf "Interp: unbound integer %s" name))
 
 let eval_saff env a = Symaff.eval a (lookup_int env)
 
@@ -52,10 +59,14 @@ let create prog ~params =
             bad := Some (Printf.sprintf "array %s has a negative extent" a.aname)
           else
             let size = List.fold_left ( * ) 1 dims in
-            Hashtbl.replace env.arrays a.aname { dims; data = Array.make size 0.0 })
+            Hashtbl.replace env.arrays a.aname { dims; size; data = [||] })
         prog.Ast.arrays;
       match !bad with Some e -> Error e | None -> Ok env
     end
+
+let data_of (a : array_store) =
+  if Array.length a.data = 0 && a.size > 0 then a.data <- Array.make a.size 0.0;
+  a.data
 
 let find_array env name =
   match Hashtbl.find_opt env.arrays name with
@@ -64,13 +75,13 @@ let find_array env name =
 
 let set_array env name data =
   let a = find_array env name in
-  if Array.length data <> Array.length a.data then
+  if Array.length data <> a.size then
     invalid_arg
       (Printf.sprintf "Interp.set_array %s: length %d, expected %d" name
-         (Array.length data) (Array.length a.data));
-  Array.blit (Array.map fp32 data) 0 a.data 0 (Array.length data)
+         (Array.length data) a.size);
+  Array.blit (Array.map fp32 data) 0 (data_of a) 0 (Array.length data)
 
-let get_array env name = Array.copy (find_array env name).data
+let get_array env name = Array.copy (data_of (find_array env name))
 let array_dims env name = (find_array env name).dims
 
 let flat_index ~aname dims idxs =
@@ -91,14 +102,14 @@ let rec eval_index env = function
   | Ast.Indirect { array; indices } ->
     let st = find_array env array in
     let idxs = List.map (eval_saff env) indices in
-    let v = st.data.(flat_index ~aname:array st.dims idxs) in
+    let v = (data_of st).(flat_index ~aname:array st.dims idxs) in
     int_of_float v
 
 and eval_expr env = function
   | Ast.Load { array; indices } ->
     let st = find_array env array in
     let idxs = List.map (eval_index env) indices in
-    st.data.(flat_index ~aname:array st.dims idxs)
+    (data_of st).(flat_index ~aname:array st.dims idxs)
   | Ast.Float_const f -> fp32 f
   | Ast.Scalar s -> (
     match Hashtbl.find_opt env.scalars s with
@@ -119,11 +130,12 @@ let exec_kernel_stmt env (st : Ast.kernel_stmt) =
   let arr = find_array env st.target in
   let idxs = List.map (eval_index env) st.target_indices in
   let flat = flat_index ~aname:st.target arr.dims idxs in
+  let data = data_of arr in
   match st.accum with
-  | None -> arr.data.(flat) <- v
+  | None -> data.(flat) <- v
   | Some op ->
     env.ops <- env.ops + 1;
-    arr.data.(flat) <- fp32 (Op.eval op [ arr.data.(flat); v ])
+    data.(flat) <- fp32 (Op.eval op [ data.(flat); v ])
 
 let with_ivar env name v f =
   let old = Hashtbl.find_opt env.ivars name in
@@ -173,11 +185,11 @@ let get_scalar env s =
 
 let read_cell env name idxs =
   let a = find_array env name in
-  a.data.(flat_index ~aname:name a.dims idxs)
+  (data_of a).(flat_index ~aname:name a.dims idxs)
 
 let write_cell env name idxs v =
   let a = find_array env name in
-  a.data.(flat_index ~aname:name a.dims idxs) <- fp32 v
+  (data_of a).(flat_index ~aname:name a.dims idxs) <- fp32 v
 
 let op_count env = env.ops
 

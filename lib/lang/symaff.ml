@@ -43,8 +43,15 @@ let subst t x e =
   if c = 0 then t
   else add { t with terms = List.remove_assoc x t.terms } (scale c e)
 
-let eval t env =
-  List.fold_left (fun acc (x, c) -> acc + (c * env x)) t.consts t.terms
+(* Top-level recursion instead of a fold so evaluation allocates nothing:
+   a closure over [env] per call adds up — the JIT resolves every live
+   node's bounds through here on each kernel invocation. *)
+let rec eval_terms env acc terms =
+  match terms with
+  | [] -> acc
+  | (x, c) :: tl -> eval_terms env (acc + (c * env x)) tl
+
+let eval t env = eval_terms env t.consts t.terms
 
 let equal (a : t) (b : t) = a = b
 let compare (a : t) (b : t) = Stdlib.compare a b

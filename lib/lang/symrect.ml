@@ -99,16 +99,27 @@ let is_empty ?min_var t =
   Array.exists (fun (l, h) -> Symaff.leq ?min_var h l) t
 
 let resolve t env =
-  let lo = Array.map (fun (l, _) -> Symaff.eval l env) t in
-  let hi = Array.map (fun (_, h) -> Symaff.eval h env) t in
-  Array.iteri
-    (fun i l ->
-      if l > hi.(i) then
-        invalid_arg
-          (Printf.sprintf "Symrect.resolve: reversed bounds [%d,%d) in dim %d" l
-             hi.(i) i))
-    lo;
-  Hyperrect.make ~lo ~hi
+  (* Manual loops (rather than Array.map with closures) keep this hot path
+     allocation-free apart from the two result arrays themselves. Bounds
+     are evaluated lo-sweep then hi-sweep then validated, matching the
+     original map/map/check ordering for exception behaviour. *)
+  let n = Array.length t in
+  let lo = Array.make n 0 in
+  for i = 0 to n - 1 do
+    lo.(i) <- Symaff.eval (fst (Array.unsafe_get t i)) env
+  done;
+  let hi = Array.make n 0 in
+  for i = 0 to n - 1 do
+    hi.(i) <- Symaff.eval (snd (Array.unsafe_get t i)) env
+  done;
+  for i = 0 to n - 1 do
+    if lo.(i) > hi.(i) then
+      invalid_arg
+        (Printf.sprintf "Symrect.resolve: reversed bounds [%d,%d) in dim %d"
+           lo.(i) hi.(i) i)
+  done;
+  (* bounds just validated; the fresh arrays are handed over un-copied *)
+  Hyperrect.unsafe_make ~lo ~hi
 
 let to_string t =
   if Array.length t = 0 then "[scalar]"

@@ -27,14 +27,17 @@ type stats = {
 }
 
 val lower :
+  ?doms:Hyperrect.t option array ->
   Machine_config.t ->
   Tdfg.t ->
   schedule:Schedule.t ->
   layout:Layout.t ->
   env:(string -> int) ->
-  Command.t list * stats
+  Command.t array * stats
 (** Lower one region instance. [env] resolves parameters and enclosing
-    host-loop variables. *)
+    host-loop variables. [doms], when given, supplies the already-resolved
+    domain of every live node indexed by id (the engine computes them once
+    per invocation for the memo-key signature); [env] is then unused. *)
 
 (** {1 Memoization (paper §4.2 "Reducing JIT Overheads")} *)
 
@@ -44,6 +47,7 @@ val memo_create : unit -> memo
 
 val lower_memo :
   ?trace:Trace.t ->
+  ?doms:Hyperrect.t option array ->
   memo ->
   key:string ->
   Machine_config.t ->
@@ -51,8 +55,8 @@ val lower_memo :
   schedule:Schedule.t ->
   layout:Layout.t ->
   env:(string -> int) ->
-  Command.t list * stats
-(** Like {!lower} but reuses the command list when the same [key] (region
+  Command.t array * stats
+(** Like {!lower} but reuses the command array when the same [key] (region
     name + resolved parameters + layout) was lowered before; memoized hits
     charge only a small lookup cost and set [memoized]. When [trace] is
     enabled, emits a [Memo] event per lookup and an [Enter]/[Exit]

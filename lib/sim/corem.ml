@@ -13,7 +13,7 @@ let run_sim cfg traffic (w : Workset.t) ~threads ~cold_bytes ~first_invocation =
      goes to L3. *)
   let l2_bytes = float_of_int (threads * cfg.Machine_config.l2_kb * 1024) in
   let noc_bytes =
-    List.fold_left
+    Array.fold_left
       (fun acc (s : Workset.stream) ->
         let once = s.distinct_bytes in
         let every = s.accesses *. s.elem_bytes in

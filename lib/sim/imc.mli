@@ -35,4 +35,4 @@ val tile_bank : Machine_config.t -> layout_view -> int array -> int
 (** Home L3 bank of a tile (linear index modulo bank count). *)
 
 val execute :
-  Machine_config.t -> Traffic.t -> layout:layout_view -> Command.t list -> result
+  Machine_config.t -> Traffic.t -> layout:layout_view -> Command.t array -> result

@@ -18,7 +18,7 @@ let run_sim cfg traffic (w : Workset.t) ~cold_bytes =
      here even though their distinct footprint is small — the paper's
      Fig. 15 Near-L3 behaviour. *)
   let accessed_bytes =
-    List.fold_left
+    Array.fold_left
       (fun acc (s : Workset.stream) -> acc +. (s.accesses *. s.elem_bytes))
       0.0 w.streams
   in
@@ -42,7 +42,7 @@ let run_sim cfg traffic (w : Workset.t) ~cold_bytes =
   let buffer_bytes = float_of_int (cfg.Machine_config.sel3_buffer_kb * 1024) in
   let broadcast_threshold = 4.0e6 in
   let reuse_noc_bytes =
-    List.fold_left
+    Array.fold_left
       (fun acc (s : Workset.stream) ->
         let total = s.accesses *. s.elem_bytes in
         let extra = Float.max 0.0 (total -. s.distinct_bytes) in
@@ -63,11 +63,11 @@ let run_sim cfg traffic (w : Workset.t) ~cold_bytes =
   in
   (* Offload management: stream configuration plus flow-control messages
      every 16 cache lines between SEcore and SEL3. *)
-  let setup = stream_setup_cycles cfg ~streams:(List.length w.streams) in
+  let setup = stream_setup_cycles cfg ~streams:(Array.length w.streams) in
   let lines = Workset.touched_bytes w /. float_of_int cfg.Machine_config.line_bytes in
   let flow_msgs = lines /. 16.0 in
   Traffic.add traffic Traffic.Offload
-    ~bytes:((flow_msgs *. 8.0) +. (float_of_int (List.length w.streams) *. 64.0))
+    ~bytes:((flow_msgs *. 8.0) +. (float_of_int (Array.length w.streams) *. 64.0))
     ~hops:avg_hops;
   let metrics = Traffic.metrics_of traffic in
   let faults = Traffic.faults_of traffic in

@@ -12,19 +12,23 @@ type t = {
   iters : float;
   flops_per_iter : float;
   flops : float;
-  streams : stream list;
+  streams : stream array;
   has_indirect : bool;
 }
 
 let resolve (info : Kernel_info.t) ~env ~arrays =
   let iters = float_of_int (Kernel_info.iterations info env) in
-  let streams =
-    List.map
-      (fun (s : Kernel_info.stream) ->
-        let distinct =
-          float_of_int (Kernel_info.stream_distinct_elems s env ~arrays)
-          *. float_of_int s.elem_bytes
-        in
+  (* Built through a doubling push (Vec) rather than list-map-then-convert:
+     the engine resolves one workset per kernel invocation, so the builder
+     is on the dispatch hot path. *)
+  let sv = Vec.create () in
+  List.iter
+    (fun (s : Kernel_info.stream) ->
+      let distinct =
+        float_of_int (Kernel_info.stream_distinct_elems s env ~arrays)
+        *. float_of_int s.elem_bytes
+      in
+      Vec.push sv
         {
           array = s.array;
           direction = s.direction;
@@ -33,19 +37,18 @@ let resolve (info : Kernel_info.t) ~env ~arrays =
           accesses = iters *. float_of_int s.accesses_per_iter;
           distinct_bytes = distinct;
         })
-      info.streams
-  in
+    info.streams;
   {
     name = info.kname;
     iters;
     flops_per_iter = float_of_int info.flops_per_iter;
     flops = iters *. float_of_int info.flops_per_iter;
-    streams;
+    streams = Vec.to_array sv;
     has_indirect = info.has_indirect;
   }
 
 let read_bytes t =
-  List.fold_left
+  Array.fold_left
     (fun acc s ->
       match s.direction with
       | Kernel_info.Read | Kernel_info.Read_write -> acc +. s.distinct_bytes
@@ -53,7 +56,7 @@ let read_bytes t =
     0.0 t.streams
 
 let write_bytes t =
-  List.fold_left
+  Array.fold_left
     (fun acc s ->
       match s.direction with
       | Kernel_info.Write | Kernel_info.Read_write -> acc +. s.distinct_bytes
@@ -61,7 +64,7 @@ let write_bytes t =
     0.0 t.streams
 
 let touched_bytes t =
-  List.fold_left (fun acc s -> acc +. s.distinct_bytes) 0.0 t.streams
+  Array.fold_left (fun acc s -> acc +. s.distinct_bytes) 0.0 t.streams
 
 let reuse_factor s =
   if s.distinct_bytes <= 0.0 then 1.0

@@ -18,7 +18,7 @@ type t = {
   iters : float;
   flops_per_iter : float;  (** arithmetic ops per iteration *)
   flops : float;
-  streams : stream list;
+  streams : stream array;
   has_indirect : bool;
 }
 

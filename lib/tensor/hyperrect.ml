@@ -8,6 +8,8 @@ let make ~lo ~hi =
     lo;
   { lo = Array.copy lo; hi = Array.copy hi }
 
+let unsafe_make ~lo ~hi = { lo; hi }
+
 let of_ranges ranges =
   let lo = Array.of_list (List.map fst ranges) in
   let hi = Array.of_list (List.map snd ranges) in
@@ -135,50 +137,102 @@ let point_of_linear t idx =
   done;
   point
 
-let to_string t =
-  if dims t = 0 then "[scalar]"
+(* Renders into a caller-supplied buffer so hot paths (JIT memo-key
+   signatures) avoid the intermediate strings; the byte format is pinned
+   by golden traces and must not change. *)
+let buf_add buf t =
+  let n = dims t in
+  if n = 0 then Buffer.add_string buf "[scalar]"
   else
-    String.concat "x"
-      (List.init (dims t) (fun i -> Printf.sprintf "[%d,%d)" t.lo.(i) t.hi.(i)))
+    for i = 0 to n - 1 do
+      if i > 0 then Buffer.add_char buf 'x';
+      Buffer.add_char buf '[';
+      Buffer.add_string buf (string_of_int t.lo.(i));
+      Buffer.add_char buf ',';
+      Buffer.add_string buf (string_of_int t.hi.(i));
+      Buffer.add_char buf ')'
+    done
+
+let to_string t =
+  let buf = Buffer.create 32 in
+  buf_add buf t;
+  Buffer.contents buf
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
 
-(* Paper Algorithm 1, one dimension. [a;b] bracket p down/up to the tile
-   boundary and [c] brackets q down; aligned middle runs are kept whole
-   (possibly spanning several full tiles, cf. Fig 9), while unaligned head
-   and tail intervals are split off. *)
-let decompose_dim ~p ~q ~tile =
-  assert (tile >= 1 && p < q);
-  let fdiv x y = if x >= 0 then x / y else -(((-x) + y - 1) / y) in
-  let a = fdiv p tile * tile in
-  let b = fdiv (p + tile - 1) tile * tile in
-  let c = fdiv q tile * tile in
-  if b <= c then begin
-    let segs =
-      if a < p then (p, b) :: (if b < c then [ (b, c) ] else [])
-      else if a < c then [ (a, c) ]
-      else []
-    in
-    if c < q then segs @ [ (c, q) ] else segs
-  end
-  else [ (p, q) ]
+let fdiv x y = if x >= 0 then x / y else -(((-x) + y - 1) / y)
 
-let decompose t ~tile =
+(* Paper Algorithm 1, cross product of the per-dimension splits. Each
+   dimension yields at most three segments: [a;b] bracket p down/up to the
+   tile boundary and [c] brackets q down; aligned middle runs are kept
+   whole (possibly spanning several full tiles, cf. Fig 9), while
+   unaligned head and tail intervals are split off. Pieces are emitted in
+   row-major order (dimension 0 slowest) via an odometer, so the hot
+   caller (JIT lowering) allocates nothing beyond the piece boxes
+   themselves. *)
+let decompose_iter t ~tile ~f =
   if Array.length tile <> dims t then
     invalid_arg "Hyperrect.decompose: tile dimension mismatch";
   Array.iter (fun ts -> if ts < 1 then invalid_arg "Hyperrect.decompose: tile < 1") tile;
-  if is_empty t then []
-  else begin
+  if not (is_empty t) then begin
     let n = dims t in
-    let rec go i =
-      if i = n then [ [] ]
-      else
-        let rest = go (i + 1) in
-        let segs = decompose_dim ~p:t.lo.(i) ~q:t.hi.(i) ~tile:tile.(i) in
-        List.concat_map (fun seg -> List.map (fun tl -> seg :: tl) rest) segs
-    in
-    List.map of_ranges (go 0)
+    if n = 0 then f { lo = [||]; hi = [||] }
+    else begin
+      (* per-dimension segments, at most 3 each, in a flat buffer *)
+      let seg_lo = Array.make (n * 3) 0 and seg_hi = Array.make (n * 3) 0 in
+      let counts = Array.make n 0 in
+      for i = 0 to n - 1 do
+        let p = t.lo.(i) and q = t.hi.(i) and tl = tile.(i) in
+        let a = fdiv p tl * tl in
+        let b = fdiv (p + tl - 1) tl * tl in
+        let c = fdiv q tl * tl in
+        let base = i * 3 in
+        let k = ref 0 in
+        let add lo hi =
+          seg_lo.(base + !k) <- lo;
+          seg_hi.(base + !k) <- hi;
+          incr k
+        in
+        if b <= c then begin
+          if a < p then begin
+            add p b;
+            if b < c then add b c
+          end
+          else if a < c then add a c;
+          if c < q then add c q
+        end
+        else add p q;
+        counts.(i) <- !k (* >= 1: empty dims were excluded above *)
+      done;
+      let idx = Array.make n 0 in
+      let continue = ref true in
+      while !continue do
+        let lo = Array.make n 0 and hi = Array.make n 0 in
+        for i = 0 to n - 1 do
+          let s = (i * 3) + idx.(i) in
+          lo.(i) <- seg_lo.(s);
+          hi.(i) <- seg_hi.(s)
+        done;
+        f { lo; hi };
+        let rec bump i =
+          if i < 0 then continue := false
+          else begin
+            idx.(i) <- idx.(i) + 1;
+            if idx.(i) >= counts.(i) then begin
+              idx.(i) <- 0;
+              bump (i - 1)
+            end
+          end
+        in
+        bump (n - 1)
+      done
+    end
   end
+
+let decompose t ~tile =
+  let out = ref [] in
+  decompose_iter t ~tile ~f:(fun p -> out := p :: !out);
+  List.rev !out
 
 let tile_origin point ~tile =
   Array.init (Array.length point) (fun i ->

@@ -10,6 +10,12 @@ val make : lo:int array -> hi:int array -> t
 (** [make ~lo ~hi] with [lo.(i) <= hi.(i)] required ([Invalid_argument]
     otherwise). Arrays are copied. *)
 
+val unsafe_make : lo:int array -> hi:int array -> t
+(** [make] without validation or copying: the caller transfers ownership
+    of both arrays and guarantees equal lengths and [lo.(i) <= hi.(i)].
+    For allocation-sensitive paths (e.g. [Symrect.resolve]) that have
+    already validated the bounds. *)
+
 val of_ranges : (int * int) list -> t
 (** [of_ranges [(p0,q0); ...]] builds the box from per-dimension ranges. *)
 
@@ -78,7 +84,15 @@ val point_of_linear : t -> int -> int array
 val to_string : t -> string
 (** E.g. ["[0,4)x[2,3)"]. *)
 
+val buf_add : Buffer.t -> t -> unit
+(** Append exactly the [to_string] rendering to a buffer (hot-path variant
+    that skips the intermediate string). *)
+
 val pp : Format.formatter -> t -> unit
+
+val decompose_iter : t -> tile:int array -> f:(t -> unit) -> unit
+(** Apply [f] to each piece of {!decompose} in the same row-major order
+    without materializing the list (the JIT lowering hot path). *)
 
 val decompose : t -> tile:int array -> t list
 (** Paper Algorithm 1: split the box along tile boundaries so each returned

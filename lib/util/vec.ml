@@ -1,0 +1,39 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let length t = t.len
+
+let push t x =
+  let cap = Array.length t.data in
+  if t.len = cap then begin
+    (* doubling growth: amortized O(1) pushes, O(log n) reallocations *)
+    let ncap = if cap = 0 then 8 else cap * 2 in
+    let nd = Array.make ncap x in
+    Array.blit t.data 0 nd 0 t.len;
+    t.data <- nd
+  end;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Vec.get: index out of bounds";
+  t.data.(i)
+
+let capacity t = Array.length t.data
+
+let clear t = t.len <- 0
+
+let to_array t = Array.sub t.data 0 t.len
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let fold_left f init t =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc

@@ -1,0 +1,31 @@
+(** Growable flat array with doubling growth.
+
+    The allocation-free accumulator for simulator hot paths: [push] is
+    amortized O(1) and reallocates only O(log n) times (capacity doubles
+    when full, it never grows by one). Not thread-safe; each domain or
+    lowering context owns its own vector. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** Empty vector; the backing array is allocated lazily on first push. *)
+
+val length : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+(** Append one element, doubling the backing array when full. *)
+
+val get : 'a t -> int -> 'a
+(** [Invalid_argument] outside [0, length). *)
+
+val capacity : 'a t -> int
+(** Current backing-array size (for allocation regression tests). *)
+
+val clear : 'a t -> unit
+(** Reset length to zero; capacity (and contents) are retained. *)
+
+val to_array : 'a t -> 'a array
+(** Fresh array of exactly [length] elements. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+val fold_left : ('a -> 'b -> 'a) -> 'a -> 'b t -> 'a

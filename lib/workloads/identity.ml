@@ -1,0 +1,51 @@
+(* Byte-identity surface for the simulator speed program (DESIGN.md §16).
+
+   One catalog entry renders to one JSON document covering every
+   (variant, paradigm) combination: the full [Report.to_json], the
+   metrics snapshot, and the normalized profiler report. The rendering
+   is pure text — no timestamps, no host times (prof is normalized), no
+   scheduling-dependent series — so a golden file pins the complete
+   observable output of the simulator for that entry. The hot-path
+   rewrite must leave every byte unchanged; `infs_run identity-golden`
+   regenerates the files when a *cost-model* change is intentional. *)
+
+module E = Infinity_stream.Engine
+module R = Infinity_stream.Report
+
+(* Functional checking on: the scalar-interpreter comparison lands in the
+   report ("correctness"), so the golden also pins bit-exact numerics.
+   Cold data (no [warm_data]): the DRAM / residency / transpose paths are
+   part of the pinned surface. No compile sharing: hermetic per run. *)
+let run_combo paradigm w =
+  let metrics = Metrics.create () in
+  let prof = Prof.create () in
+  let options = { E.default_options with E.functional = true; metrics; prof } in
+  let r = E.run_exn ~options paradigm w in
+  Json.Obj
+    [
+      ("report", R.to_json r);
+      ("metrics", Metrics.to_json (Metrics.snapshot metrics));
+      ("prof", Prof.to_json ~normalize:true prof);
+    ]
+
+let entry_doc (e : Catalog.entry) =
+  Json.Obj
+    (List.concat_map
+       (fun (vlabel, w) ->
+         List.map
+           (fun p ->
+             (vlabel ^ "|" ^ E.paradigm_to_string p, run_combo p w))
+           E.all_paradigms)
+       e.variants)
+
+let render e = Json.to_string (entry_doc e) ^ "\n"
+
+let write_dir dir =
+  List.map
+    (fun (e : Catalog.entry) ->
+      let path = Filename.concat dir (e.label ^ ".json") in
+      let oc = open_out_bin path in
+      output_string oc (render e);
+      close_out oc;
+      path)
+    (Catalog.test_scale ())

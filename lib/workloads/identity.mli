@@ -1,0 +1,12 @@
+(** Byte-identity rendering of the test-scale catalog: the golden surface
+    that pins the simulator's observable output (report JSON, metrics
+    snapshot, normalized profile) across the hot-path rewrite. *)
+
+val render : Catalog.entry -> string
+(** Deterministic JSON document for one catalog entry: every
+    (variant, paradigm) combination run with functional checking,
+    metrics, and the profiler enabled. Ends in a newline. *)
+
+val write_dir : string -> string list
+(** Render every test-scale entry into [dir]/<label>.json (the layout
+    [test/golden/identity] is committed under); returns the paths. *)

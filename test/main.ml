@@ -29,6 +29,7 @@ let () =
          ("sdfg+rules", Test_sdfg.suite);
          ("fault", Test_fault.suite);
          ("fidelity", Test_fidelity.suite);
+         ("identity", Test_identity.suite);
          ("trace", Test_trace.suite);
          ("pool", Test_pool.suite);
          ("metrics", Test_metrics.suite);

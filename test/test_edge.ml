@@ -78,7 +78,8 @@ let test_jit_reduce_width_clamped () =
     | Ok l -> l
     | Error e -> Alcotest.fail e
   in
-  let cmds, stats = Jit.lower cfg g ~schedule ~layout ~env:(fun _ -> 0) in
+  let acmds, stats = Jit.lower cfg g ~schedule ~layout ~env:(fun _ -> 0) in
+  let cmds = Array.to_list acmds in
   let widths =
     List.filter_map
       (fun (c : Command.t) ->
@@ -105,7 +106,8 @@ let test_jit_writeback_copy_emitted () =
     | Ok l -> l
     | Error e -> Alcotest.fail e
   in
-  let cmds, _ = Jit.lower cfg g ~schedule ~layout ~env:(fun _ -> 0) in
+  let acmds, _ = Jit.lower cfg g ~schedule ~layout ~env:(fun _ -> 0) in
+  let cmds = Array.to_list acmds in
   let copies =
     List.filter
       (fun (c : Command.t) ->

@@ -28,7 +28,8 @@ let lower_mv ~ranges ~tile ~dim ~dist =
       tiles_total = 0;
     }
   in
-  let cmds, _ = Jit.lower cfg g ~schedule ~layout ~env:(fun _ -> 0) in
+  let acmds, _ = Jit.lower cfg g ~schedule ~layout ~env:(fun _ -> 0) in
+  let cmds = Array.to_list acmds in
   List.filter
     (fun (c : Command.t) ->
       match c.kind with

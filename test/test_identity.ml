@@ -1,0 +1,169 @@
+(* Byte-identity tier: the safety net under the simulator hot-path
+   rewrite (DESIGN.md §16).
+
+   Every test-scale catalog entry is rendered through
+   [Infs_workloads.Identity.render] — all variants x all 6 paradigms,
+   functional checking on, metrics + profiler enabled — and the
+   resulting JSON document (Report.to_json + metrics snapshot +
+   normalized prof report per combination) must be byte-equal to the
+   committed golden under test/golden/identity/. Each entry renders
+   twice: the two renders must agree with each other (no leaked process
+   state between runs) and with the golden (no drift from the
+   pre-rewrite reference). *)
+
+module Cat = Infs_workloads.Catalog
+module Identity = Infs_workloads.Identity
+
+let golden path =
+  let candidates =
+    [
+      Filename.concat (Filename.dirname Sys.executable_name) path;
+      path;
+      Filename.concat "test" path;
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> List.hd candidates
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* First differing position rendered with context: the documents are one
+   long JSON line, so a line-based diff would be useless. *)
+let show_diff got want =
+  let n = min (String.length got) (String.length want) in
+  let rec first i = if i < n && got.[i] = want.[i] then first (i + 1) else i in
+  let i = first 0 in
+  let ctx s =
+    let lo = max 0 (i - 60) in
+    let hi = min (String.length s) (i + 60) in
+    String.sub s lo (hi - lo)
+  in
+  Printf.sprintf "first divergence at byte %d\n  got:    ...%s...\n  golden: ...%s..."
+    i (ctx got) (ctx want)
+
+let check_entry (e : Cat.entry) () =
+  let path = golden (Filename.concat "golden/identity" (e.label ^ ".json")) in
+  if not (Sys.file_exists path) then
+    Alcotest.failf "missing golden %s; generate with:\n  dune exec bin/infs_run.exe -- identity-golden" path;
+  let want = read_file path in
+  let got1 = Identity.render e in
+  let got2 = Identity.render e in
+  if got1 <> got2 then
+    Alcotest.failf "%s: two renders of the same entry differ (leaked state)\n%s"
+      e.label (show_diff got2 got1);
+  if got1 <> want then
+    Alcotest.failf
+      "%s: identity surface diverges from golden %s\n%s\n\
+       The rewrite contract is byte-identity; only regenerate \
+       (dune exec bin/infs_run.exe -- identity-golden) for an \
+       intentional cost-model change."
+      e.label path (show_diff got1 want)
+
+let suite =
+  List.map
+    (fun (e : Cat.entry) ->
+      (Printf.sprintf "identity: %s" e.label, `Quick, check_entry e))
+    (Cat.test_scale ())
+
+(* ---- qcheck differential tier ----
+
+   Random (workload, paradigm, machine-config perturbation) triples: the
+   performance-only run — the rewritten hot path, which never touches
+   array contents — must produce exactly the cycle total and Breakdown of
+   the functional run, whose scalar interpreter executes the program and
+   checks the numeric outputs against the reference. Catches a rewrite
+   shortcut that keys cost on functional state (or skips charging when
+   data is absent), across config points the goldens never visit. *)
+
+module E = Infinity_stream.Engine
+module R = Infinity_stream.Report
+module W = Infinity_stream.Workload
+
+let paradigms =
+  [ E.Base_1; E.Base; E.Near_l3; E.In_l3; E.Inf_s; E.Inf_s_nojit ]
+
+type triple = { dw : W.t; dp : E.paradigm; dcfg : Machine_config.t }
+
+(* cost-scalar knobs only: structural parameters (mesh, banks, wordlines)
+   would invalidate the fat binary's schedules rather than stress the
+   charging paths *)
+let gen_triple =
+  let open QCheck.Gen in
+  let entries = Cat.test_scale () in
+  let* e = oneofl entries in
+  let* _, dw = oneofl e.Cat.variants in
+  let* dp = oneofl paradigms in
+  let* noc_router_cycles = int_range 1 8 in
+  let* cmd_dispatch_cycles = int_range 1 8 in
+  let* lot_regions = int_range 1 32 in
+  let* imc_cycle_multiplier = float_range 1.0 4.0 in
+  let* dram_gbps = float_range 8.0 64.0 in
+  let dcfg =
+    {
+      Machine_config.default with
+      noc_router_cycles;
+      cmd_dispatch_cycles;
+      lot_regions;
+      imc_cycle_multiplier;
+      dram_gbps;
+    }
+  in
+  return { dw; dp; dcfg }
+
+let print_triple t =
+  Printf.sprintf
+    "%s @ %s (router=%d dispatch=%d lot=%d mult=%.3f dram=%.3f)" t.dw.W.wname
+    (E.paradigm_to_string t.dp) t.dcfg.Machine_config.noc_router_cycles
+    t.dcfg.Machine_config.cmd_dispatch_cycles t.dcfg.Machine_config.lot_regions
+    t.dcfg.Machine_config.imc_cycle_multiplier t.dcfg.Machine_config.dram_gbps
+
+let run_one ~functional t =
+  let options =
+    {
+      E.default_options with
+      E.cfg = t.dcfg;
+      functional;
+      warm_data = true;
+      share_compile = true;
+    }
+  in
+  E.run_exn ~options t.dp t.dw
+
+let breakdown_equal (a : Breakdown.t) (b : Breakdown.t) =
+  a.Breakdown.dram = b.Breakdown.dram
+  && a.jit = b.jit && a.move = b.move && a.compute = b.compute
+  && a.final_reduce = b.final_reduce && a.mix = b.mix
+  && a.near_mem = b.near_mem && a.core = b.core
+
+let prop_differential =
+  QCheck.Test.make
+    ~name:"differential: perf-only run == functional run (cycles, breakdown)"
+    ~count:40
+    (QCheck.make ~print:print_triple gen_triple)
+    (fun t ->
+      let perf = run_one ~functional:false t in
+      let full = run_one ~functional:true t in
+      (match full.R.correctness with
+      | `Checked err ->
+        if err > 1e-3 then
+          QCheck.Test.fail_reportf "%s: functional max error %.2e"
+            (print_triple t) err
+      | `Skipped ->
+        QCheck.Test.fail_reportf "%s: functional run skipped its check"
+          (print_triple t));
+      if perf.R.cycles <> full.R.cycles then
+        QCheck.Test.fail_reportf "%s: cycles diverge: perf %.17g vs full %.17g"
+          (print_triple t) perf.R.cycles full.R.cycles;
+      if not (breakdown_equal perf.R.breakdown full.R.breakdown) then
+        QCheck.Test.fail_reportf "%s: breakdown diverges" (print_triple t);
+      true)
+
+let suite =
+  suite
+  @ [ QCheck_alcotest.to_alcotest ~rand:(Qcheck_seed.rand ()) prop_differential ]

@@ -96,7 +96,8 @@ let test_lowering_stencil_commands () =
     | Ok s -> s
     | Error e -> Alcotest.fail e
   in
-  let cmds, stats = Jit.lower cfg g ~schedule ~layout ~env in
+  let acmds, stats = Jit.lower cfg g ~schedule ~layout ~env in
+  let cmds = Array.to_list acmds in
   Alcotest.(check bool) "commands produced" true (stats.Jit.commands > 0);
   (* the two mv(+-1) nodes each produce intra- and inter-tile shifts at
      tile boundaries, and inter-tile movement forces a sync before use *)
@@ -149,7 +150,8 @@ let prop_mv_lowering_conserves_elements =
         | Ok l -> l
         | Error e -> failwith e
       in
-      let cmds, _ = Jit.lower cfg g ~schedule ~layout ~env:(fun _ -> 0) in
+      let acmds, _ = Jit.lower cfg g ~schedule ~layout ~env:(fun _ -> 0) in
+      let cmds = Array.to_list acmds in
       let moved =
         List.fold_left
           (fun acc (c : Command.t) ->

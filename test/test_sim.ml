@@ -74,7 +74,7 @@ let mk_cmd ?(lanes = 256) ?(tiles = (0, 64)) kind =
 let test_imc_compute () =
   let t = Traffic.create cfg in
   let layout = { Imc.grid = [| 16384 |]; tile = [| 256 |] } in
-  let cmds = [ mk_cmd (Command.Compute { op = Op.Add; const_operands = 0 }) ] in
+  let cmds = [| mk_cmd (Command.Compute { op = Op.Add; const_operands = 0 }) |] in
   let r = Imc.execute cfg t ~layout cmds in
   Alcotest.(check bool) "compute cycles = op latency + dispatch" true
     (r.Imc.compute_cycles
@@ -85,8 +85,8 @@ let test_imc_compute () =
 let test_imc_waves () =
   let t = Traffic.create cfg in
   let layout = { Imc.grid = [| 32768 |]; tile = [| 256 |] } in
-  let small = [ mk_cmd ~tiles:(0, 16384) (Command.Compute { op = Op.Add; const_operands = 0 }) ] in
-  let big = [ mk_cmd ~tiles:(0, 32768) (Command.Compute { op = Op.Add; const_operands = 0 }) ] in
+  let small = [| mk_cmd ~tiles:(0, 16384) (Command.Compute { op = Op.Add; const_operands = 0 }) |] in
+  let big = [| mk_cmd ~tiles:(0, 32768) (Command.Compute { op = Op.Add; const_operands = 0 }) |] in
   let r1 = Imc.execute cfg (Traffic.create cfg) ~layout small in
   let r2 = Imc.execute cfg t ~layout big in
   Alcotest.(check bool) "2x tiles -> ~2x cycles (waves)" true
@@ -100,7 +100,7 @@ let test_imc_intra_vs_inter_shift () =
       ~lanes_per_tile:16
   in
   let t1 = Traffic.create cfg in
-  let _ = Imc.execute cfg t1 ~layout [ mk2 (Command.Intra_shift { dim = 1; distance = 1 }) ] in
+  let _ = Imc.execute cfg t1 ~layout [| mk2 (Command.Intra_shift { dim = 1; distance = 1 }) |] in
   Alcotest.(check (Alcotest.float 1e-9)) "intra stays off the NoC" 0.0
     (Traffic.total_bytes t1);
   Alcotest.(check bool) "intra moves bytes locally" true
@@ -108,7 +108,7 @@ let test_imc_intra_vs_inter_shift () =
   let t2 = Traffic.create cfg in
   let _ =
     Imc.execute cfg t2 ~layout
-      [ mk2 (Command.Inter_shift { dim = 1; tile_dist = 1; intra_dist = 0 }) ]
+      [| mk2 (Command.Inter_shift { dim = 1; tile_dist = 1; intra_dist = 0 }) |]
   in
   Alcotest.(check bool) "inter-tile crosses the NoC" true
     (Traffic.bytes t2 Traffic.Inter_tile > 0.0)
@@ -123,10 +123,10 @@ let test_imc_sync_flushes () =
   let t = Traffic.create cfg in
   let r =
     Imc.execute cfg t ~layout
-      [
+      [|
         mk2 (Command.Inter_shift { dim = 1; tile_dist = 1; intra_dist = 0 });
         Command.sync;
-      ]
+      |]
   in
   Alcotest.(check bool) "sync has cost" true (r.Imc.sync_cycles > 0.0);
   Alcotest.(check bool) "sync sends offload messages" true
@@ -139,7 +139,7 @@ let mk_workset ~flops ~bytes =
     flops_per_iter = 1.0;
     flops;
     streams =
-      [
+      [|
         {
           Workset.array = "A";
           direction = Kernel_info.Read;
@@ -148,7 +148,7 @@ let mk_workset ~flops ~bytes =
           accesses = bytes /. 4.0;
           distinct_bytes = bytes;
         };
-      ];
+      |];
     has_indirect = false;
   }
 
@@ -173,7 +173,7 @@ let test_near_reuse_traffic () =
     }
   in
   let w =
-    { (mk_workset ~flops:1e6 ~bytes:4e6) with Workset.streams = [ reuse_stream ] }
+    { (mk_workset ~flops:1e6 ~bytes:4e6) with Workset.streams = [| reuse_stream |] }
   in
   let t = Traffic.create cfg in
   let _ = Near.run cfg t w ~cold_bytes:0.0 in
@@ -182,7 +182,7 @@ let test_near_reuse_traffic () =
   (* the same table inside the 64kB buffer stays local *)
   let small =
     { (mk_workset ~flops:1e6 ~bytes:4e6) with
-      Workset.streams = [ { reuse_stream with distinct_bytes = 8192.0 } ] }
+      Workset.streams = [| { reuse_stream with distinct_bytes = 8192.0 } |] }
   in
   let t2 = Traffic.create cfg in
   let _ = Near.run cfg t2 small ~cold_bytes:0.0 in
@@ -231,12 +231,59 @@ let test_workset_resolve () =
   let ws = Workset.resolve info ~env ~arrays:[ ("A", [ 64; 64 ]); ("B", [ 64; 64 ]); ("C", [ 64; 64 ]) ] in
   Alcotest.(check (Alcotest.float 0.5)) "iterations" 4096.0 ws.Workset.iters;
   Alcotest.(check (Alcotest.float 0.5)) "flops" 8192.0 ws.flops;
-  let a = List.find (fun (s : Workset.stream) -> s.array = "A") ws.streams in
+  let a = Array.to_list ws.streams
+    |> List.find (fun (s : Workset.stream) -> s.array = "A") in
   Alcotest.(check (Alcotest.float 0.5)) "A column bytes" 256.0 a.distinct_bytes;
   Alcotest.(check bool) "A has heavy reuse" true (Workset.reuse_factor a > 50.0);
   Alcotest.(check (Alcotest.float 1.0)) "touched = 3 regions"
     (256.0 +. 256.0 +. 16384.0)
     (Workset.touched_bytes ws)
+
+(* ---- allocation regression: Workset growth is doubling, not
+   realloc-per-push ----
+
+   [Vec.push] doubles capacity, so n pushes allocate O(n) words across
+   O(log n) backing arrays; the realloc-per-push pattern this replaces
+   allocates ~n^2/2. Backing arrays past the minor-heap threshold land in
+   the major heap, so the growth bound reads [Gc.allocated_bytes]
+   (minor + major) and the per-resolve bound reads [Gc.minor_words]
+   (stream records and small Vecs are all minor). Allocation totals are
+   deterministic, so the bounds cannot flake. *)
+
+let test_vec_doubling_allocation () =
+  let n = 100_000 in
+  let before = Gc.allocated_bytes () in
+  let v = Vec.create () in
+  for i = 0 to n - 1 do
+    Vec.push v i
+  done;
+  let bytes = Gc.allocated_bytes () -. before in
+  Alcotest.(check bool) "vec length" true (Vec.length v = n);
+  (* doubling: <= 2n final capacity + 2n of discarded generations, plus
+     word headers — well under 6n words. n^2/2 words would be ~4e10. *)
+  let bound = 6.0 *. float_of_int n *. 8.0 in
+  if bytes > bound then
+    Alcotest.failf "Vec growth allocated %.0f bytes > doubling bound %.0f"
+      bytes bound
+
+let test_workset_resolve_allocation () =
+  let w = Infs_workloads.Mm.mm_outer ~n:64 in
+  let prog = w.Infinity_stream.Workload.prog in
+  let info = Kernel_info.analyze prog (List.hd (Ast.kernels prog)) in
+  let env = function "N" -> 64 | "k" -> 0 | v -> failwith v in
+  let arrays = [ ("A", [ 64; 64 ]); ("B", [ 64; 64 ]); ("C", [ 64; 64 ]) ] in
+  ignore (Workset.resolve info ~env ~arrays);
+  let reps = 1_000 in
+  let before = Gc.minor_words () in
+  for _ = 1 to reps do
+    ignore (Workset.resolve info ~env ~arrays)
+  done;
+  let per_resolve = (Gc.minor_words () -. before) /. float_of_int reps in
+  (* 3 streams: a few records, boxed floats, and one 8-slot Vec backing
+     array; ~2000 words leaves headroom without hiding a quadratic blowup *)
+  if per_resolve > 2_000.0 then
+    Alcotest.failf "Workset.resolve allocates %.0f minor words per call"
+      per_resolve
 
 let suite =
   [
@@ -257,4 +304,6 @@ let suite =
     ("energy model ordering", `Quick, test_energy_model);
     ("area model", `Quick, test_area_model);
     ("workset resolve", `Quick, test_workset_resolve);
+    ("workset: vec doubling allocation", `Quick, test_vec_doubling_allocation);
+    ("workset: resolve allocation bound", `Quick, test_workset_resolve_allocation);
   ]
