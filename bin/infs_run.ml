@@ -1070,21 +1070,45 @@ let tune_cmd =
 
 let serve_cmd =
   let run scale socket client jobs queue_depth timeout_s metrics_file
-      trace_file prof_file faults rps duration connections wname pname =
+      trace_file prof_file faults rps duration connections wname pname shards
+      tcp_port tenant_quota redispatch_max heartbeat_s target tenant priority
+      check =
     if client then begin
-      let line =
+      let tgt =
+        match (target, socket) with
+        | Some tg, _ -> tg
+        | None, Some s -> s
+        | None, None ->
+          prerr_endline "error: client needs --target (or --socket)";
+          exit 1
+      in
+      (* comma-separated workloads cycle round-robin across requests, so
+         a shard soak exercises several distinct compile-cache keys *)
+      let wnames =
+        List.filter (fun s -> s <> "") (String.split_on_char ',' wname)
+      in
+      let wnames = if wnames = [] then [ "vec_add" ] else wnames in
+      let mk w =
         Json.to_string
           (Json.Obj
-             ([ ("workload", Json.Str wname); ("paradigm", Json.Str pname) ]
+             ([ ("workload", Json.Str w); ("paradigm", Json.Str pname) ]
+             @ (match timeout_s with
+               | Some ts -> [ ("timeout_s", Json.Num ts) ]
+               | None -> [])
+             @ (match tenant with
+               | Some tn -> [ ("tenant", Json.Str tn) ]
+               | None -> [])
              @
-             match timeout_s with
-             | Some ts -> [ ("timeout_s", Json.Num ts) ]
+             match priority with
+             | Some p -> [ ("priority", Json.Str p) ]
              | None -> []))
       in
+      let lines = Array.of_list (List.map mk wnames) in
+      let body i = lines.(i mod Array.length lines) in
       match
-        Serve_client.run ~socket ~rps ~duration_s:duration ~connections
-          ~body:(fun _ -> line)
-          ()
+        Serve_client.run ~socket:tgt ~rps ~duration_s:duration ~connections
+          ~collect_reports:(if check then Array.length lines else 0)
+          ~body ()
       with
       | Error e ->
         prerr_endline ("error: " ^ e);
@@ -1105,9 +1129,63 @@ let serve_cmd =
             "ok latency: p50 %.2f ms  p95 %.2f ms  p99 %.2f ms  max %.2f ms\n"
             (q 0.5) (q 0.95) (q 0.99) (q 1.0)
         end;
+        (* --check: every served report must be byte-identical to a
+           direct (in-process) run of the same spec *)
+        if check then begin
+          let failed = ref false in
+          if List.length r.ok_reports < Array.length lines then begin
+            Printf.eprintf
+              "check: only %d of %d distinct specs got an ok response\n"
+              (List.length r.ok_reports) (Array.length lines);
+            failed := true
+          end;
+          List.iter
+            (fun (body_line, served) ->
+              let direct =
+                match Json.parse body_line with
+                | Error e -> Error ("parse: " ^ e)
+                | Ok j -> (
+                  match spec_of_json j with
+                  | Error e -> Error e
+                  | Ok sp -> (
+                    match exec_spec scale ~with_metrics:false ~faults sp with
+                    | Error e -> Error e
+                    | Ok (rep, _, _) -> Ok (Json.to_string (R.to_json rep))))
+              in
+              match direct with
+              | Error e ->
+                Printf.eprintf "check: direct run failed for %s: %s\n"
+                  body_line e;
+                failed := true
+              | Ok want ->
+                if want <> served then begin
+                  Printf.eprintf
+                    "check: served report differs from direct run for %s\n"
+                    body_line;
+                  failed := true
+                end)
+            r.ok_reports;
+          let digest =
+            Digest.to_hex
+              (Digest.string
+                 (String.concat "\n"
+                    (List.sort compare (List.map snd r.ok_reports))))
+          in
+          Printf.printf "check: %s (%d distinct specs, %s)\n" digest
+            (List.length r.ok_reports)
+            (if !failed then "MISMATCH" else "byte-identical to direct runs");
+          if !failed then exit 1
+        end;
         if r.error > 0 || r.cancelled > 0 || answered < r.sent then exit 1
     end
     else begin
+      let socket =
+        match socket with
+        | Some s -> s
+        | None ->
+          prerr_endline "error: serve needs --socket";
+          exit 1
+      in
       let toc =
         Option.map
           (fun f ->
@@ -1122,6 +1200,103 @@ let serve_cmd =
         | Some oc -> Trace.to_channel Trace.Jsonl oc
         | None -> Trace.null
       in
+      if shards > 0 then begin
+        (* sharded front tier: N child serve processes, each with its own
+           pool and warm compile cache, behind a consistent-hash router *)
+        let scale_s = match scale with `Paper -> "paper" | `Test -> "test" in
+        let argv_of i sock =
+          Array.of_list
+            ([
+               Sys.executable_name; "serve"; "--socket"; sock; "--queue-depth";
+               string_of_int queue_depth; "--scale"; scale_s;
+             ]
+            @ (match jobs with
+              | Some j -> [ "--jobs"; string_of_int j ]
+              | None -> [])
+            @ (match timeout_s with
+              | Some ts -> [ "--timeout-s"; Printf.sprintf "%g" ts ]
+              | None -> [])
+            @ (if Fault.is_none faults then []
+               else [ "--faults"; Fault.to_string faults ])
+            @ (match metrics_file with
+              | Some f -> [ "--metrics"; Printf.sprintf "%s.shard%d" f i ]
+              | None -> [])
+            @
+            match prof_file with
+            | Some f -> [ "--prof"; Printf.sprintf "%s.shard%d" f i ]
+            | None -> [])
+        in
+        let cfg =
+          {
+            (Shard.default_config ~socket_path:socket ~shards
+               ~backend:(Shard.Proc argv_of))
+            with
+            tcp_port;
+            queue_depth;
+            tenant_quota;
+            redispatch_max;
+            heartbeat_s;
+            default_timeout_s = timeout_s;
+            metrics_path = metrics_file;
+            trace;
+            prof = (if prof_file = None then Prof.null else Prof.create ());
+            prof_path = Option.map (fun f -> f ^ ".front") prof_file;
+          }
+        in
+        match Shard.start cfg with
+        | Error e ->
+          prerr_endline ("error: " ^ e);
+          exit 1
+        | Ok t ->
+          List.iter
+            (fun s ->
+              Sys.set_signal s
+                (Sys.Signal_handle (fun _ -> Shard.request_stop t)))
+            [ Sys.sigterm; Sys.sigint ];
+          (* pid lines let a soak harness kill a specific shard mid-run *)
+          List.iteri
+            (fun i pid ->
+              match pid with
+              | Some pid -> Printf.eprintf "serve: shard %d pid %d\n%!" i pid
+              | None -> ())
+            (Shard.shard_pids t);
+          Printf.eprintf
+            "serve: front listening on %s%s (%d shards, queue depth %d)\n%!"
+            socket
+            (match tcp_port with
+            | Some p -> Printf.sprintf " and tcp:127.0.0.1:%d" p
+            | None -> "")
+            shards queue_depth;
+          let st = Shard.wait t in
+          Trace.close trace;
+          Option.iter close_out toc;
+          Printf.eprintf
+            "serve: front drained: %d connection%s, %d received, %d admitted, \
+             %d answered, %d shed (%d depth, %d quota, %d priority), %d bad, \
+             routes %d hot / %d cold / %d moved, %d redispatched, %d lost, %d \
+             crash%s, %d respawn%s, %d drained\n%!"
+            st.Shard.connections
+            (if st.Shard.connections = 1 then "" else "s")
+            st.Shard.received st.Shard.admitted st.Shard.answered
+            (Shard.shed_total st) st.Shard.shed st.Shard.shed_quota
+            st.Shard.shed_priority st.Shard.bad st.Shard.route_hot
+            st.Shard.route_cold st.Shard.route_moved st.Shard.redispatched
+            st.Shard.lost st.Shard.crashes
+            (if st.Shard.crashes = 1 then "" else "es")
+            st.Shard.respawns
+            (if st.Shard.respawns = 1 then "" else "s")
+            st.Shard.drained;
+          (* a clean drain answers every admitted request, none of them
+             via the re-dispatch-exhausted error path *)
+          if st.Shard.lost > 0 || st.Shard.answered <> st.Shard.admitted
+          then begin
+            prerr_endline
+              "serve: error: front drain lost or left admitted requests \
+               unanswered";
+            exit 1
+          end
+      end
+      else begin
       let jobs =
         match jobs with Some j -> max 1 j | None -> Pool.recommended_jobs ()
       in
@@ -1176,13 +1351,96 @@ let serve_cmd =
           prerr_endline "serve: error: drain left admitted requests unanswered";
           exit 1
         end
+      end
     end
   in
   let socket_arg =
     Arg.(
-      required
+      value
       & opt (some string) None
-      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path")
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Unix-domain socket path (server: required; client: used when \
+             --target is absent)")
+  in
+  let shards_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "server: run a sharded front tier over $(docv) child serve \
+             processes (consistent-hash routing by compile-cache key, \
+             crash re-dispatch, respawn); 0 serves directly in-process")
+  in
+  let tcp_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tcp" ] ~docv:"PORT"
+          ~doc:
+            "server with --shards: additionally listen on loopback TCP \
+             port $(docv)")
+  in
+  let tenant_quota_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tenant-quota" ] ~docv:"N"
+          ~doc:
+            "front tier: max concurrent in-flight requests per distinct \
+             tenant field; beyond it requests are shed as overloaded")
+  in
+  let redispatch_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "redispatch-max" ] ~docv:"N"
+          ~doc:
+            "front tier: re-dispatch budget per request when its shard \
+             crashes; exhaustion answers a structured error")
+  in
+  let heartbeat_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "heartbeat-s" ] ~docv:"S"
+          ~doc:
+            "front tier: ping each shard every $(docv) seconds and declare \
+             it dead after 3 missed pongs (crashes are detected by EOF \
+             even without heartbeats)")
+  in
+  let target_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "target" ] ~docv:"TARGET"
+          ~doc:
+            "client: unix:PATH, tcp:HOST:PORT, or a bare socket path; \
+             overrides --socket")
+  in
+  let tenant_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tenant" ] ~docv:"NAME"
+          ~doc:"client: tenant field to stamp on every request")
+  in
+  let priority_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "priority" ] ~docv:"CLASS"
+          ~doc:
+            "client: priority field to stamp on every request (low is shed \
+             first under load)")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "client: verify every served report is byte-identical to a \
+             direct in-process run of the same spec and print a digest of \
+             the distinct reports")
   in
   let client_arg =
     Arg.(
@@ -1242,20 +1500,27 @@ let serve_cmd =
   let serve_workload_arg =
     Arg.(
       value & opt string "vec_add"
-      & info [ "w"; "workload" ] ~doc:"client: workload to request")
+      & info [ "w"; "workload" ]
+          ~doc:
+            "client: workload(s) to request; a comma-separated list cycles \
+             round-robin across requests")
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "serve the JSON-lines job format persistently over a Unix-domain \
           socket (bounded admission, per-request deadlines, graceful drain \
-          on SIGTERM); --client runs a pacing load generator and reports \
-          p50/p95/p99 latency")
+          on SIGTERM), optionally as a sharded front tier (--shards N) with \
+          cache-affine consistent-hash routing, per-tenant quotas, priority \
+          shedding, crash re-dispatch and TCP ingress; --client runs a \
+          pacing load generator and reports p50/p95/p99 latency")
     Term.(
       const run $ scale_arg $ socket_arg $ client_arg $ jobs_arg $ queue_arg
       $ timeout_arg $ serve_metrics_arg $ trace_arg $ prof_arg $ faults_arg
       $ rps_arg $ duration_arg $ connections_arg $ serve_workload_arg
-      $ paradigm_arg)
+      $ paradigm_arg $ shards_arg $ tcp_arg $ tenant_quota_arg
+      $ redispatch_arg $ heartbeat_arg $ target_arg $ tenant_arg
+      $ priority_arg $ check_arg)
 
 (* ---------- analyze: offline trace -> bottleneck report ---------- *)
 

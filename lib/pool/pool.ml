@@ -73,11 +73,15 @@ type t = {
   wcv : Condition.t; (* signalled when a watcher is added or at shutdown *)
   mutable watchers : (unit -> bool) list; (* true = expired, drop it *)
   ticks : int Atomic.t; (* ticker iterations with >= 1 armed timeout *)
+  subs : int Atomic.t; (* submissions so far: per-job retry-jitter seeds *)
   wstats : worker_stats array; (* one slot per worker, worker-owned *)
   created_at : float;
 }
 
-let now () = Unix.gettimeofday ()
+(* all pool durations (busy time, queue wait, timeout deadlines) read the
+   clamped monotonic clock: an NTP step must not fire deadlines early or
+   record negative busy time *)
+let now () = Clock.now ()
 
 let recommended_jobs () = max 1 (Domain.recommended_domain_count ())
 
@@ -213,6 +217,7 @@ let create ?jobs () =
       wcv = Condition.create ();
       watchers = [];
       ticks = Atomic.make 0;
+      subs = Atomic.make 0;
       wstats =
         Array.init n (fun _ -> { jobs_run = 0; busy_s = 0.0; wait_s = 0.0 });
       created_at = now ();
@@ -285,23 +290,48 @@ let profile_into t prof =
    counts against one job slot (and one timeout budget). [Degradation] is a
    deterministic structured signal — the job itself decided the result is
    degraded — so it is never retried; ordinary exceptions (transient
-   crashes) are, with exponential backoff between attempts. *)
-let with_retries ~retries ~backoff_s f () =
+   crashes) are, with capped full-jitter exponential backoff between
+   attempts. *)
+
+let default_backoff_cap_s = 30.0
+
+(* Full jitter: attempt [k] sleeps a uniform draw from
+   [0, min cap (backoff * 2^k)). The raw exponential alone is a stampede
+   amplifier — N workers (or shards) hitting one transient failure all
+   recompute the same schedule and wake in lockstep, re-arriving together
+   at every attempt; uncapped, the lockstep sleeps also grow without
+   bound. Jitter decorrelates the wakeups, the cap bounds the worst-case
+   stall. The draw comes from a caller-seeded stream, so a given job's
+   retry schedule is reproducible and independent of scheduling. *)
+let backoff_delay ~backoff_s ~cap_s ~attempt rng =
+  if backoff_s <= 0.0 then 0.0
+  else
+    let cap = Float.max 0.0 cap_s in
+    Rng.float rng (Float.min cap (backoff_s *. (2.0 ** float_of_int attempt)))
+
+let with_retries ~retries ~backoff_s ~cap_s ~seed f () =
+  let rng = Rng.create seed in
   let rec go attempt =
     try f ()
     with
     | Degradation _ as e -> raise e
     | _ when attempt < retries ->
-      if backoff_s > 0.0 then
-        Unix.sleepf (backoff_s *. (2.0 ** float_of_int attempt));
+      let d = backoff_delay ~backoff_s ~cap_s ~attempt rng in
+      if d > 0.0 then Unix.sleepf d;
       go (attempt + 1)
   in
   go 0
 
-let submit t ?(retries = 0) ?(backoff_s = 0.0) ?timeout_s f =
+let submit t ?(retries = 0) ?(backoff_s = 0.0)
+    ?(backoff_cap_s = default_backoff_cap_s) ?timeout_s f =
   if Atomic.get t.stopped then invalid_arg "Pool.submit: pool is shut down";
   let f =
-    if retries > 0 then with_retries ~retries ~backoff_s f else f
+    if retries > 0 then
+      (* jitter seed = submission index: deterministic for a caller
+         submitting in a fixed order, distinct across concurrent jobs *)
+      let seed = Atomic.fetch_and_add t.subs 1 in
+      with_retries ~retries ~backoff_s ~cap_s:backoff_cap_s ~seed f
+    else f
   in
   let cell =
     {
@@ -353,21 +383,24 @@ let await (cell : _ ticket) =
   Mutex.unlock cell.m;
   r
 
-let map_stream ?jobs ?retries ?backoff_s ?timeout_s ~f ~emit items =
+let map_stream ?jobs ?retries ?backoff_s ?backoff_cap_s ?timeout_s ~f ~emit
+    items =
   let t = create ?jobs () in
   Fun.protect
     ~finally:(fun () -> shutdown t)
     (fun () ->
       let tickets =
         List.map
-          (fun x -> submit t ?retries ?backoff_s ?timeout_s (fun () -> f x))
+          (fun x ->
+            submit t ?retries ?backoff_s ?backoff_cap_s ?timeout_s (fun () ->
+                f x))
           items
       in
       List.iteri (fun i tk -> emit i (await tk)) tickets)
 
-let run_list ?jobs ?retries ?backoff_s ?timeout_s fs =
+let run_list ?jobs ?retries ?backoff_s ?backoff_cap_s ?timeout_s fs =
   let out = Array.make (List.length fs) None in
-  map_stream ?jobs ?retries ?backoff_s ?timeout_s
+  map_stream ?jobs ?retries ?backoff_s ?backoff_cap_s ?timeout_s
     ~f:(fun f -> f ())
     ~emit:(fun i r -> out.(i) <- Some r)
     fs;

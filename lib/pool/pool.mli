@@ -93,18 +93,39 @@ val ticker_ticks : t -> int
 type 'a ticket
 (** A handle for one submitted job. *)
 
+val default_backoff_cap_s : float
+(** Default [backoff_cap_s] for {!submit}: 30 s. *)
+
+val backoff_delay : backoff_s:float -> cap_s:float -> attempt:int -> Rng.t -> float
+(** The retry schedule: a {e full-jitter} capped exponential — a uniform
+    draw from [\[0, min cap_s (backoff_s *. 2.{^attempt}))], 0 when
+    [backoff_s <= 0]. Exposed for tests and for other layers (shard
+    reconnect) that need the same stampede-safe schedule: the raw
+    exponential wakes every retrier in lockstep and, uncapped, grows
+    without bound. *)
+
 val submit :
-  t -> ?retries:int -> ?backoff_s:float -> ?timeout_s:float -> (unit -> 'a) -> 'a ticket
+  t ->
+  ?retries:int ->
+  ?backoff_s:float ->
+  ?backoff_cap_s:float ->
+  ?timeout_s:float ->
+  (unit -> 'a) ->
+  'a ticket
 (** Enqueue a job on the least-loaded shard. [timeout_s] is the wall-clock
     budget measured from the moment a worker starts the job.
 
     [retries] (default 0) re-runs the job inside the {e same} worker slot
     when it raises an ordinary exception, up to [retries] extra attempts,
-    sleeping [backoff_s *. 2.{^attempt}] seconds between attempts
-    (exponential backoff; default [backoff_s = 0.0] retries immediately).
-    {!Degradation} is never retried — it is a deterministic structured
-    outcome, not a transient crash. The whole retry sequence shares one
-    [timeout_s] budget. *)
+    sleeping a {!backoff_delay} draw between attempts — a uniform-jitter
+    exponential capped at [backoff_cap_s] (default
+    {!default_backoff_cap_s}), so concurrent retriers of a common
+    transient failure do not wake in lockstep and re-stampede. The jitter
+    stream is seeded by submission index, so a job's schedule is
+    reproducible and independent of pool scheduling. [backoff_s = 0.0]
+    (the default) retries immediately. {!Degradation} is never retried —
+    it is a deterministic structured outcome, not a transient crash. The
+    whole retry sequence shares one [timeout_s] budget. *)
 
 val cancel : 'a ticket -> bool
 (** [cancel tk] is [true] iff the job had not started and is now marked
@@ -120,6 +141,7 @@ val run_list :
   ?jobs:int ->
   ?retries:int ->
   ?backoff_s:float ->
+  ?backoff_cap_s:float ->
   ?timeout_s:float ->
   (unit -> 'a) list ->
   'a outcome list
@@ -132,6 +154,7 @@ val map_stream :
   ?jobs:int ->
   ?retries:int ->
   ?backoff_s:float ->
+  ?backoff_cap_s:float ->
   ?timeout_s:float ->
   f:('a -> 'b) ->
   emit:(int -> 'b outcome -> unit) ->

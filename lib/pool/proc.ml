@@ -1,0 +1,71 @@
+(* Child-process lifecycle: fork+exec via Unix.create_process (a bare
+   fork in a parent running domains and systhreads would duplicate only
+   the calling thread and leave every lock in an arbitrary state), plus
+   memoized reaping so poll/wait/terminate can be called in any order. *)
+
+type t = { cp_pid : int; mutable reaped : Unix.process_status option }
+
+let spawn argv =
+  if Array.length argv = 0 then invalid_arg "Proc.spawn: empty argv";
+  let pid =
+    Unix.create_process argv.(0) argv Unix.stdin Unix.stdout Unix.stderr
+  in
+  { cp_pid = pid; reaped = None }
+
+let pid t = t.cp_pid
+
+let poll t =
+  match t.reaped with
+  | Some _ as s -> s
+  | None -> (
+    match Unix.waitpid [ Unix.WNOHANG ] t.cp_pid with
+    | 0, _ -> None
+    | _, status ->
+      t.reaped <- Some status;
+      t.reaped
+    | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+      (* reaped elsewhere (e.g. a global SIGCHLD handler): the status is
+         unrecoverable; report a clean exit rather than wedging *)
+      t.reaped <- Some (Unix.WEXITED 0);
+      t.reaped)
+
+let alive t = poll t = None
+
+let signal t s =
+  if t.reaped = None then
+    try Unix.kill t.cp_pid s with Unix.Unix_error (Unix.ESRCH, _, _) -> ()
+
+let wait t =
+  match t.reaped with
+  | Some s -> s
+  | None -> (
+    match Unix.waitpid [] t.cp_pid with
+    | _, status ->
+      t.reaped <- Some status;
+      status
+    | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+      let s = Unix.WEXITED 0 in
+      t.reaped <- Some s;
+      s)
+
+let terminate ?(grace_s = 5.0) t =
+  signal t Sys.sigterm;
+  let deadline = Clock.now () +. Float.max 0.0 grace_s in
+  let rec loop () =
+    match poll t with
+    | Some s -> s
+    | None ->
+      if Clock.now () >= deadline then begin
+        signal t Sys.sigkill;
+        wait t
+      end
+      else begin
+        Unix.sleepf 0.02;
+        loop ()
+      end
+  in
+  loop ()
+
+let kill t =
+  signal t Sys.sigkill;
+  wait t

@@ -1,0 +1,45 @@
+(** Child-process lifecycle for shard workers ([infs_pool]).
+
+    A thin, deliberately boring wrapper over [fork]+[exec]
+    ([Unix.create_process] — never a bare [fork], which is unsafe in a
+    parent running OCaml 5 domains and systhreads) with non-blocking
+    reaping. The sharded serving front tier uses it to spawn, watch,
+    signal and respawn its shard server processes.
+
+    A handle is owned by {e one} supervising thread: [poll]/[wait] both
+    reap via [waitpid] and concurrent calls on the same handle would
+    race the kernel for the exit status. *)
+
+type t
+(** One spawned child. *)
+
+val spawn : string array -> t
+(** [spawn argv] starts [argv.(0)] (resolved via [PATH] when not an
+    absolute path) with arguments [argv], inheriting stdin/stdout/stderr.
+    Raises [Invalid_argument] on an empty [argv] and [Unix.Unix_error]
+    when the executable cannot be started. *)
+
+val pid : t -> int
+
+val poll : t -> Unix.process_status option
+(** Non-blocking: [Some status] once the child has exited (memoized —
+    later calls keep returning it), [None] while it is still running. *)
+
+val alive : t -> bool
+(** [poll t = None]. *)
+
+val signal : t -> int -> unit
+(** Send a signal (e.g. [Sys.sigterm]). A child that already exited or
+    was already reaped is a no-op, not an error. *)
+
+val wait : t -> Unix.process_status
+(** Block until the child exits and return (and memoize) its status. *)
+
+val terminate : ?grace_s:float -> t -> Unix.process_status
+(** Graceful stop: [SIGTERM], then poll for up to [grace_s] seconds
+    (default 5.0) for the child to drain and exit, escalating to
+    [SIGKILL] if it does not. Always returns the reaped status. *)
+
+val kill : t -> Unix.process_status
+(** Hard stop: [SIGKILL] and reap. The crash-injection path — in-flight
+    work in the child is lost by design. *)

@@ -46,7 +46,10 @@ let create () =
 let enabled t = t.enabled
 let calls t = t.calls
 
-let now_ns () = Unix.gettimeofday () *. 1e9
+(* clamped monotonic source: a wall-clock step backwards must not produce
+   a negative span (the per-span [Float.max 0.0] guards then never fire
+   in practice, they remain as defense in depth) *)
+let now_ns () = Clock.now_ns ()
 
 let row_of t path =
   match Hashtbl.find_opt t.rows path with

@@ -58,6 +58,7 @@ type stats = {
   deadline_exceeded : int;
   degraded : int;
   cancelled : int;
+  pings : int;
   drained : int;
 }
 
@@ -75,6 +76,7 @@ let zero_stats =
     deadline_exceeded = 0;
     degraded = 0;
     cancelled = 0;
+    pings = 0;
     drained = 0;
   }
 
@@ -85,6 +87,7 @@ type response =
   | R_timeout
   | R_degraded of string
   | R_cancelled
+  | R_pong
 
 let response_json id resp =
   Json.Obj
@@ -96,7 +99,8 @@ let response_json id resp =
     | R_overloaded -> [ ("status", Json.Str "overloaded") ]
     | R_timeout -> [ ("status", Json.Str "timeout") ]
     | R_degraded e -> [ ("status", Json.Str "degraded"); ("error", Json.Str e) ]
-    | R_cancelled -> [ ("status", Json.Str "cancelled") ]))
+    | R_cancelled -> [ ("status", Json.Str "cancelled") ]
+    | R_pong -> [ ("status", Json.Str "pong") ]))
 
 (* one request the writer still owes a response line. Ticket jobs return
    (start, stop, result) wall times so the writer can split the request's
@@ -133,7 +137,9 @@ type t = {
   mutable final : stats option;  (* set once the drain completed *)
 }
 
-let now () = Unix.gettimeofday ()
+(* monotonic: request latencies and queue-wait/run splits must survive a
+   wall-clock step without going negative *)
+let now () = Clock.now ()
 
 (* Counter bump + same-named metrics counter + same-named trace Counter
    event, all under [mm] so the systhreads never interleave inside the
@@ -213,7 +219,7 @@ let account t entry resp timing =
           | R_timeout -> "serve.deadline_exceeded"
           | R_degraded _ -> "serve.degraded"
           | R_cancelled -> "serve.cancelled"
-          | R_overloaded -> "serve.shed" (* unreachable for admitted *)
+          | R_overloaded | R_pong -> "serve.shed" (* unreachable for admitted *)
         in
         t.st <-
           (match resp with
@@ -223,7 +229,7 @@ let account t entry resp timing =
             { t.st with deadline_exceeded = t.st.deadline_exceeded + 1 }
           | R_degraded _ -> { t.st with degraded = t.st.degraded + 1 }
           | R_cancelled -> { t.st with cancelled = t.st.cancelled + 1 }
-          | R_overloaded -> t.st);
+          | R_overloaded | R_pong -> t.st);
         Metrics.incr t.metrics name 1.0;
         Metrics.gauge_add t.metrics "serve.queue_depth" (-1.0);
         Metrics.observe t.metrics "serve.latency_us" lat_us;
@@ -292,6 +298,11 @@ let handle_line t conn seq line =
   | Error e ->
     record t "serve.bad_requests" (fun s -> { s with bad = s.bad + 1 });
     immediate (R_error ("parse error: " ^ e)) false
+  | Ok j when Json.member "ping" j <> None ->
+    (* liveness probe (the sharded front tier's heartbeat): answered
+       in-line, in order with real responses, without touching admission *)
+    record t "serve.pings" (fun s -> { s with pings = s.pings + 1 });
+    immediate R_pong false
   | Ok j -> (
     match request_timeout t j with
     | Error e ->

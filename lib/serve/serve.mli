@@ -42,7 +42,7 @@
     Server-side counters are threaded through {!Metrics}
     ([serve.received], [serve.admitted], [serve.shed], [serve.ok],
     [serve.failed], [serve.deadline_exceeded], [serve.degraded],
-    [serve.bad_requests], [serve.drained], [serve.connections], the
+    [serve.bad_requests], [serve.pings], [serve.drained], [serve.connections], the
     [serve.queue_depth] gauge and the [serve.latency_us] histogram), and
     request-lifecycle events through {!Trace} as [Counter] events of the
     same names, so an enabled JSONL trace of a serving session replays
@@ -99,6 +99,11 @@ type stats = {
   deadline_exceeded : int;  (** admitted; answered [timeout] *)
   degraded : int;  (** admitted; handler raised {!Pool.Degradation} *)
   cancelled : int;  (** admitted but never run — 0 on a graceful drain *)
+  pings : int;
+      (** requests carrying a ["ping"] field, answered
+          [{"id":..,"status":"pong"}] immediately (in order with real
+          responses) without entering admission — the sharded front
+          tier's heartbeat probe *)
   drained : int;  (** responses flushed after the drain began *)
 }
 

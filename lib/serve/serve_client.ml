@@ -18,6 +18,7 @@ type result = {
   wall_s : float;
   ok_latency_us : float list;
   all_latency_us : float list;
+  ok_reports : (string * string) list;
 }
 
 let answered r = r.ok + r.overloaded + r.timeout + r.error + r.degraded + r.cancelled
@@ -35,6 +36,7 @@ let empty =
     wall_s = 0.0;
     ok_latency_us = [];
     all_latency_us = [];
+    ok_reports = [];
   }
 
 let merge a b =
@@ -50,9 +52,17 @@ let merge a b =
     wall_s = Float.max a.wall_s b.wall_s;
     ok_latency_us = a.ok_latency_us @ b.ok_latency_us;
     all_latency_us = a.all_latency_us @ b.all_latency_us;
+    ok_reports =
+      (* distinct request bodies only: connections cycling the same spec
+         list contribute one exemplar report each *)
+      a.ok_reports
+      @ List.filter
+          (fun (body, _) -> not (List.mem_assoc body a.ok_reports))
+          b.ok_reports;
   }
 
-let now () = Unix.gettimeofday ()
+(* monotonic: send-to-response latencies must survive a wall-clock step *)
+let now () = Clock.now ()
 
 (* growable float array: send timestamps, indexed by response order *)
 type dyn = { mutable a : float array; mutable n : int }
@@ -68,18 +78,51 @@ let dyn_add d v =
   d.a.(d.n) <- v;
   d.n <- d.n + 1
 
-let connect socket =
-  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+(* "unix:PATH", "tcp:HOST:PORT", or a bare path (= unix) *)
+type target = T_unix of string | T_tcp of string * int
+
+let parse_target s =
+  let prefixed p = String.length s > String.length p && String.sub s 0 (String.length p) = p in
+  let after p = String.sub s (String.length p) (String.length s - String.length p) in
+  if prefixed "unix:" then Ok (T_unix (after "unix:"))
+  else if prefixed "tcp:" then begin
+    let rest = after "tcp:" in
+    match String.rindex_opt rest ':' with
+    | None -> Error "serve-client: tcp target must be tcp:HOST:PORT"
+    | Some i -> (
+      let host = String.sub rest 0 i in
+      match int_of_string_opt (String.sub rest (i + 1) (String.length rest - i - 1)) with
+      | Some port when port > 0 && port < 65536 -> Ok (T_tcp (host, port))
+      | _ -> Error "serve-client: tcp port must be in 1..65535")
+  end
+  else Ok (T_unix s)
+
+let connect_sock domain addr what =
+  let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  match Unix.connect fd addr with
   | () -> Ok fd
   | exception Unix.Unix_error (e, _, _) ->
     (try Unix.close fd with Unix.Unix_error _ -> ());
     Error
-      (Printf.sprintf "serve-client: cannot connect to %s: %s" socket
+      (Printf.sprintf "serve-client: cannot connect to %s: %s" what
          (Unix.error_message e))
 
+let connect target =
+  match parse_target target with
+  | Error _ as e -> e
+  | Ok (T_unix path) -> connect_sock Unix.PF_UNIX (Unix.ADDR_UNIX path) path
+  | Ok (T_tcp (host, port)) -> (
+    match
+      Unix.getaddrinfo host (string_of_int port)
+        [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM; Unix.AI_FAMILY Unix.PF_INET ]
+    with
+    | [] -> Error (Printf.sprintf "serve-client: cannot resolve %s" host)
+    | ai :: _ ->
+      connect_sock ai.Unix.ai_family ai.Unix.ai_addr
+        (Printf.sprintf "%s:%d" host port))
+
 (* one connection's drive; returns its partial result *)
-let drive ~t0 ~rps ~duration_s ~conns ~c ~body fd =
+let drive ~t0 ~rps ~duration_s ~conns ~c ~body ~collect fd =
   let oc = Unix.out_channel_of_descr fd in
   let ic = Unix.in_channel_of_descr fd in
   let times = dyn_make (int_of_float (rps *. duration_s /. float_of_int conns) + 16) in
@@ -114,8 +157,9 @@ let drive ~t0 ~rps ~duration_s ~conns ~c ~body fd =
     | line ->
       let tn = now () in
       let lat_us = (tn -. times.a.(min k (times.n - 1))) *. 1e6 in
+      let parsed = Json.parse line in
       let status =
-        match Json.parse line with
+        match parsed with
         | Error _ -> "error"
         | Ok j -> (
           match Option.bind (Json.member "status" j) Json.to_str with
@@ -123,6 +167,22 @@ let drive ~t0 ~rps ~duration_s ~conns ~c ~body fd =
           | None -> "error")
       in
       let a = !r in
+      let reports =
+        (* re-serialized via Json.to_string, so an exemplar compares
+           byte-for-byte against a direct run's canonical report line *)
+        if status <> "ok" || collect <= 0 || List.length a.ok_reports >= collect
+        then a.ok_reports
+        else
+          let body_line = body (c + (k * conns)) in
+          if List.mem_assoc body_line a.ok_reports then a.ok_reports
+          else
+            match Result.to_option parsed with
+            | None -> a.ok_reports
+            | Some j -> (
+              match Json.member "report" j with
+              | None -> a.ok_reports
+              | Some rep -> (body_line, Json.to_string rep) :: a.ok_reports)
+      in
       r :=
         {
           a with
@@ -142,6 +202,7 @@ let drive ~t0 ~rps ~duration_s ~conns ~c ~body fd =
           ok_latency_us =
             (if status = "ok" then lat_us :: a.ok_latency_us
              else a.ok_latency_us);
+          ok_reports = reports;
         };
       recv (k + 1)
   in
@@ -151,7 +212,7 @@ let drive ~t0 ~rps ~duration_s ~conns ~c ~body fd =
   let a = !r in
   { a with sent = !sent; unanswered = !sent - answered a }
 
-let run ~socket ~rps ~duration_s ?(connections = 1) ~body () =
+let run ~socket ~rps ~duration_s ?(connections = 1) ?(collect_reports = 0) ~body () =
   if rps <= 0.0 then Error "serve-client: rps must be positive"
   else if duration_s <= 0.0 then Error "serve-client: duration must be positive"
   else begin
@@ -172,7 +233,10 @@ let run ~socket ~rps ~duration_s ?(connections = 1) ~body () =
       List.combine fds cells
       |> List.mapi (fun c (fd, cell) ->
              Thread.create
-               (fun () -> cell := drive ~t0 ~rps ~duration_s ~conns ~c ~body fd)
+               (fun () ->
+                 cell :=
+                   drive ~t0 ~rps ~duration_s ~conns ~c ~body
+                     ~collect:collect_reports fd)
                ())
       |> List.iter Thread.join;
       Ok (List.fold_left (fun acc cell -> merge acc !cell) empty cells)

@@ -1,0 +1,30 @@
+(* Monotonic clamp over the wall clock.
+
+   The raw reading is converted to integer nanoseconds and folded through
+   an atomic max: a reader either publishes a newer time or inherits the
+   newest already published. Integer nanoseconds keep the CAS on an
+   immediate (unboxed) value; the epoch in ns fits a 63-bit int until the
+   year ~2262. *)
+
+let default_source = Unix.gettimeofday
+let source = Atomic.make default_source
+
+(* newest time ever observed, in integer nanoseconds *)
+let last_ns = Atomic.make 0
+
+let rec clamp ns =
+  let prev = Atomic.get last_ns in
+  if ns <= prev then prev
+  else if Atomic.compare_and_set last_ns prev ns then ns
+  else clamp ns
+
+let read_ns () = clamp (int_of_float ((Atomic.get source) () *. 1e9))
+let now () = float_of_int (read_ns ()) *. 1e-9
+let now_ns () = float_of_int (read_ns ())
+
+let set_raw_source f =
+  (* publish the source first, then reset the clamp: a racing reader can
+     transiently inherit the old clamp but never a negative step within
+     the new timeline *)
+  Atomic.set source (match f with Some f -> f | None -> default_source);
+  Atomic.set last_ns 0

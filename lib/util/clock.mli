@@ -1,0 +1,32 @@
+(** Monotonic process clock for durations and deadlines.
+
+    Every duration in the stack (pool busy time, serve latency, profiler
+    spans, client pacing) used to read [Unix.gettimeofday] directly; an
+    NTP step mid-run then yields negative latencies and spans, and
+    deadlines that fire early or never. This module is the single shared
+    time source for durations: reads are clamped to be {e non-decreasing
+    process-wide}, so a backwards wall-clock step can at worst freeze the
+    clock until real time catches up — a span measured across the step is
+    too short, never negative, and a timeout fires late, never early.
+
+    The clamp is an atomic max over all domains and threads, so the
+    monotonicity guarantee holds across the pool's worker domains and the
+    serve tier's systhreads, not just within one thread.
+
+    Values are seconds (or nanoseconds) on the wall-clock epoch — only
+    {e differences} are meaningful under the clamp; do not parse these as
+    calendar timestamps. *)
+
+val now : unit -> float
+(** Non-decreasing time in seconds. Successive calls from any thread or
+    domain never go backwards. *)
+
+val now_ns : unit -> float
+(** [now () *. 1e9], computed from the same clamped reading. *)
+
+val set_raw_source : (unit -> float) option -> unit
+(** Test hook: replace the raw reading (seconds) the clamp is applied to;
+    [None] restores [Unix.gettimeofday]. Switching the source resets the
+    clamp state so a test can inject small synthetic timelines. Not for
+    production use — callers in other threads observe the switch
+    immediately. *)

@@ -43,8 +43,19 @@ let quantile q xs =
 
 let median xs = quantile 0.5 xs
 
-let minimum = function [] -> 0.0 | x :: xs -> List.fold_left Float.min x xs
-let maximum = function [] -> 0.0 | x :: xs -> List.fold_left Float.max x xs
+(* The extremes share [sorted_finite]'s semantics: drop non-finite values
+   before folding. [Float.min]/[Float.max] propagate NaN, so without the
+   filter one NaN latency sample poisons the reported max while the
+   (already-filtering) quantiles look healthy. *)
+let minimum xs =
+  match List.filter Float.is_finite xs with
+  | [] -> 0.0
+  | x :: r -> List.fold_left Float.min x r
+
+let maximum xs =
+  match List.filter Float.is_finite xs with
+  | [] -> 0.0
+  | x :: r -> List.fold_left Float.max x r
 
 let percent ~part ~whole = if whole = 0.0 then 0.0 else 100.0 *. part /. whole
 let ratio a b = if b = 0.0 then 0.0 else a /. b

@@ -16,6 +16,10 @@ val median : float list -> float
 
 val minimum : float list -> float
 val maximum : float list -> float
+(** Extremes over the {e finite} values of the sample — the same
+    non-finite filtering as {!quantile}, so one NaN (or infinity) latency
+    sample cannot poison the reported min/max while the quantiles look
+    healthy. 0 when no finite value remains. *)
 
 val percent : part:float -> whole:float -> float
 (** [percent ~part ~whole] is [100 * part / whole]; 0 when [whole = 0]. *)

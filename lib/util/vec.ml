@@ -22,7 +22,14 @@ let get t i =
 
 let capacity t = Array.length t.data
 
-let clear t = t.len <- 0
+(* Dropping the backing array is the only type-safe way to make the old
+   elements collectable: resetting [len] alone leaves every element
+   reachable in spare capacity, pinning arbitrarily large worksets across
+   runs. Capacity is rebuilt by the next pushes (still O(log n)
+   reallocations). *)
+let clear t =
+  t.data <- [||];
+  t.len <- 0
 
 let to_array t = Array.sub t.data 0 t.len
 

@@ -22,7 +22,9 @@ val capacity : 'a t -> int
 (** Current backing-array size (for allocation regression tests). *)
 
 val clear : 'a t -> unit
-(** Reset length to zero; capacity (and contents) are retained. *)
+(** Reset to empty {e and release the backing array}, so cleared elements
+    become unreachable (a length-only reset would pin them in spare
+    capacity across runs). Subsequent pushes regrow from scratch. *)
 
 val to_array : 'a t -> 'a array
 (** Fresh array of exactly [length] elements. *)

@@ -1,0 +1,133 @@
+#!/usr/bin/env bash
+# Soak harness for the sharded serving front tier (infs_run serve --shards).
+#
+# Brings up a front over N shard processes, sustains the pacing client
+# against it over UDS and (optionally) TCP, hard-kills one shard
+# mid-soak, then SIGTERMs the front — and asserts the whole story:
+#
+#   - every client phase ends with error 0 / unanswered 0 and
+#     byte-identical reports vs direct runs (--check digest),
+#   - the digest is identical across UDS, TCP and the mid-kill phase,
+#   - the drain answers everything admitted (front exits 0; the drained
+#     summary shows 0 lost),
+#   - repeat-key routing is proven by the route counters (hot > 0),
+#   - the killed shard was detected and respawned (crash/respawn >= 1).
+#
+# Tunables (env):
+#   SHARDS    shard count                      (default 2)
+#   RPS       client request rate              (default 60)
+#   DURATION  seconds per client phase         (default 4)
+#   CONNS     client connections per phase     (default 2)
+#   KILL      1 = hard-kill a shard mid-soak   (default 1)
+#   KILL_AFTER  seconds into the phase to kill (default 1)
+#   TCP_PORT  loopback TCP port, 0 = UDS only  (default 19473)
+#   SCALE     workload scale                   (default test)
+#   WORKLOADS comma list for the client        (default vec_add,array_sum)
+#   BIN       infs_run invocation             (default: dune exec)
+
+set -euo pipefail
+
+SHARDS=${SHARDS:-2}
+RPS=${RPS:-60}
+DURATION=${DURATION:-4}
+CONNS=${CONNS:-2}
+KILL=${KILL:-1}
+KILL_AFTER=${KILL_AFTER:-1}
+TCP_PORT=${TCP_PORT:-19473}
+SCALE=${SCALE:-test}
+WORKLOADS=${WORKLOADS:-vec_add,array_sum}
+BIN=${BIN:-dune exec bin/infs_run.exe --}
+
+SOCK=${SOCK:-/tmp/infs-soak.$$.sock}
+LOG=${LOG:-/tmp/infs-soak.$$}
+
+fail() { echo "soak: FAIL: $*" >&2; exit 1; }
+note() { echo "soak: $*" >&2; }
+
+cleanup() {
+  [ -n "${SERVE_PID:-}" ] && kill -KILL "$SERVE_PID" 2>/dev/null || true
+  rm -f "$SOCK" "$SOCK".shard* 2>/dev/null || true
+}
+trap cleanup EXIT
+
+# ---- bring the front up ----
+
+SERVE_ARGS=(serve --socket "$SOCK" --shards "$SHARDS" --scale "$SCALE"
+  --heartbeat-s 0.25 --metrics "$LOG.metrics.prom")
+[ "$TCP_PORT" != 0 ] && SERVE_ARGS+=(--tcp "$TCP_PORT")
+
+$BIN "${SERVE_ARGS[@]}" 2>"$LOG.serve.log" &
+SERVE_PID=$!
+
+for _ in $(seq 1 100); do
+  [ -S "$SOCK" ] && break
+  kill -0 "$SERVE_PID" 2>/dev/null || { cat "$LOG.serve.log" >&2; fail "front died during startup"; }
+  sleep 0.1
+done
+[ -S "$SOCK" ] || fail "front socket $SOCK never appeared"
+note "front up (pid $SERVE_PID, $SHARDS shards)"
+
+# ---- client phases ----
+
+# run one pacing-client phase and assert it was clean end to end
+client() { # $1 = target, $2 = tag
+  local target=$1 tag=$2
+  $BIN serve --client --target "$target" -w "$WORKLOADS" --scale "$SCALE" \
+    --rps "$RPS" --duration "$DURATION" --connections "$CONNS" --check \
+    >"$LOG.client-$tag.log" 2>&1 \
+    || { cat "$LOG.client-$tag.log" >&2; fail "$tag client exited non-zero"; }
+  grep -q " error 0 " "$LOG.client-$tag.log" || fail "$tag phase saw errors"
+  grep -q " unanswered 0" "$LOG.client-$tag.log" || fail "$tag phase left requests unanswered"
+  grep -q "byte-identical to direct runs" "$LOG.client-$tag.log" \
+    || fail "$tag reports are not byte-identical to direct runs"
+  note "$tag phase: $(grep '^sent' "$LOG.client-$tag.log")"
+}
+
+digest() { sed -n 's/^check: \([0-9a-f]*\) .*/\1/p' "$LOG.client-$1.log"; }
+
+client "unix:$SOCK" uds
+
+if [ "$TCP_PORT" != 0 ]; then
+  client "tcp:127.0.0.1:$TCP_PORT" tcp
+  [ "$(digest uds)" = "$(digest tcp)" ] \
+    || fail "TCP report digest differs from UDS ($(digest tcp) vs $(digest uds))"
+fi
+
+if [ "$KILL" = 1 ]; then
+  VICTIM=$(sed -n 's/^serve: shard 0 pid \([0-9]*\)$/\1/p' "$LOG.serve.log" | head -1)
+  [ -n "$VICTIM" ] || fail "could not parse shard 0 pid from $LOG.serve.log"
+  client "unix:$SOCK" kill &
+  CLIENT_PID=$!
+  sleep "$KILL_AFTER"
+  kill -KILL "$VICTIM" 2>/dev/null || fail "shard 0 (pid $VICTIM) already gone"
+  note "killed shard 0 (pid $VICTIM) mid-soak"
+  wait "$CLIENT_PID" || fail "mid-kill client phase failed"
+  [ "$(digest uds)" = "$(digest kill)" ] \
+    || fail "mid-kill report digest differs ($(digest kill) vs $(digest uds))"
+fi
+
+# ---- drain ----
+
+kill -TERM "$SERVE_PID"
+if wait "$SERVE_PID"; then
+  SERVE_PID=
+else
+  cat "$LOG.serve.log" >&2
+  fail "front exited non-zero on drain (lost or unanswered admitted requests)"
+fi
+
+DRAINED=$(grep "front drained:" "$LOG.serve.log") || fail "no drained summary"
+note "$DRAINED"
+
+num() { echo "$DRAINED" | sed -n "s/.*[ (]\([0-9][0-9]*\) $1.*/\1/p" | head -1; }
+
+[ "$(num lost)" = 0 ] || fail "drain lost admitted requests: $DRAINED"
+HOT=$(num hot)
+[ -n "$HOT" ] && [ "$HOT" -gt 0 ] || fail "no hot routes: repeat keys never hit a warm shard"
+if [ "$KILL" = 1 ]; then
+  [ -n "$(num crash)" ] && [ "$(num crash)" -ge 1 ] || fail "kill not detected as a crash"
+  [ -n "$(num respawn)" ] && [ "$(num respawn)" -ge 1 ] || fail "killed shard never respawned"
+fi
+[ -s "$LOG.metrics.prom" ] || fail "metrics snapshot missing"
+
+note "PASS (logs under $LOG.*)"

@@ -34,6 +34,7 @@ let () =
          ("pool", Test_pool.suite);
          ("metrics", Test_metrics.suite);
          ("serve", Test_serve.suite);
+         ("shard", Test_shard.suite);
          ("prof", Test_prof.suite);
          ("tune", Test_tune.suite);
        ])

@@ -149,6 +149,75 @@ let prop_parallel_equals_sequential =
       let jobs = List.map (fun x () -> (x * 31) lxor (x lsr 2)) xs in
       Pool.run_list ~jobs:1 jobs = Pool.run_list ~jobs:k jobs)
 
+(* ---- retry backoff: capped full jitter ---- *)
+
+let test_backoff_bounds () =
+  (* every draw lies in [0, min cap (backoff * 2^attempt)) — the raw
+     exponential is both capped and jittered *)
+  let backoff_s = 0.1 and cap_s = 1.0 in
+  for seed = 0 to 19 do
+    let rng = Rng.create seed in
+    for attempt = 0 to 12 do
+      let d = Pool.backoff_delay ~backoff_s ~cap_s ~attempt rng in
+      let raw = backoff_s *. (2.0 ** float_of_int attempt) in
+      Alcotest.(check bool) "non-negative" true (d >= 0.0);
+      Alcotest.(check bool) "below the raw exponential" true (d < raw || raw > cap_s);
+      Alcotest.(check bool)
+        (Printf.sprintf "attempt %d capped at %.1fs, drew %.3f" attempt cap_s d)
+        true (d < cap_s)
+    done
+  done
+
+let test_backoff_caps_growth () =
+  (* attempt 60: uncapped this would be ~3.6e16 years; capped it stays
+     under cap_s *)
+  let rng = Rng.create 5 in
+  let d = Pool.backoff_delay ~backoff_s:1.0 ~cap_s:30.0 ~attempt:60 rng in
+  Alcotest.(check bool) "huge attempt stays capped" true (d >= 0.0 && d < 30.0)
+
+let test_backoff_jitters () =
+  (* full jitter: distinct draws for the same attempt (no lockstep
+     stampede), yet the same seed reproduces the same schedule *)
+  let draws seed =
+    let rng = Rng.create seed in
+    List.init 8 (fun attempt ->
+        Pool.backoff_delay ~backoff_s:0.5 ~cap_s:30.0 ~attempt rng)
+  in
+  Alcotest.(check bool) "same seed, same schedule" true (draws 11 = draws 11);
+  Alcotest.(check bool) "different seeds decorrelate" true (draws 11 <> draws 12);
+  (* within one stream the draws are not all equal (actual jitter) *)
+  let ds = draws 11 in
+  Alcotest.(check bool) "draws vary" true
+    (List.exists (fun d -> d <> List.hd ds) ds)
+
+let test_backoff_zero_disabled () =
+  let rng = Rng.create 1 in
+  Alcotest.check (Alcotest.float 0.0) "backoff 0 retries immediately" 0.0
+    (Pool.backoff_delay ~backoff_s:0.0 ~cap_s:30.0 ~attempt:5 rng);
+  Alcotest.check (Alcotest.float 0.0) "negative backoff treated as disabled" 0.0
+    (Pool.backoff_delay ~backoff_s:(-1.0) ~cap_s:30.0 ~attempt:5 rng)
+
+let test_retries_with_capped_backoff () =
+  (* end to end: a twice-failing job succeeds on the third attempt with a
+     tight cap, and the whole schedule stays fast *)
+  let t0 = Unix.gettimeofday () in
+  let tries = Atomic.make 0 in
+  let results =
+    Pool.run_list ~jobs:1 ~retries:4 ~backoff_s:0.005 ~backoff_cap_s:0.02
+      [
+        (fun () ->
+          if Atomic.fetch_and_add tries 1 < 2 then failwith "transient";
+          "ok");
+      ]
+  in
+  (match results with
+  | [ Ok "ok" ] -> ()
+  | [ Error e ] -> Alcotest.fail (Pool.error_to_string e)
+  | _ -> Alcotest.fail "expected one outcome");
+  Alcotest.(check int) "third attempt succeeded" 3 (Atomic.get tries);
+  Alcotest.(check bool) "capped schedule completes quickly" true
+    (Unix.gettimeofday () -. t0 < 2.0)
+
 (* ---- content-addressed cache ---- *)
 
 let test_ccache_basics () =
@@ -299,6 +368,15 @@ let suite =
       test_exception_capture;
     Alcotest.test_case "cancellation" `Quick test_cancellation;
     QCheck_alcotest.to_alcotest ~rand:(Qcheck_seed.rand ()) prop_parallel_equals_sequential;
+    Alcotest.test_case "backoff delay stays in bounds" `Quick test_backoff_bounds;
+    Alcotest.test_case "backoff cap stops exponential growth" `Quick
+      test_backoff_caps_growth;
+    Alcotest.test_case "backoff jitter is seeded and decorrelated" `Quick
+      test_backoff_jitters;
+    Alcotest.test_case "backoff 0 disables the sleep" `Quick
+      test_backoff_zero_disabled;
+    Alcotest.test_case "retries honour the capped backoff" `Quick
+      test_retries_with_capped_backoff;
     Alcotest.test_case "ccache basics" `Quick test_ccache_basics;
     Alcotest.test_case "ccache concurrent" `Quick test_ccache_concurrent;
     Alcotest.test_case "concurrent engine runs == sequential" `Quick

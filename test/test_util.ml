@@ -118,6 +118,25 @@ let test_stats_nan_safe () =
   Alcotest.(check int) "histogram counts only finite samples" 5
     (Array.fold_left ( + ) 0 counts)
 
+let test_stats_minmax_nan_safe () =
+  (* min/max share quantile's finite filtering: one NaN latency sample
+     must not poison the reported max while p99 looks healthy *)
+  let dirty = [ 3.0; nan; 1.0; infinity; 2.0; neg_infinity; 4.0 ] in
+  Alcotest.check feq "minimum ignores non-finite" 1.0 (Stats.minimum dirty);
+  Alcotest.check feq "maximum ignores non-finite" 4.0 (Stats.maximum dirty);
+  Alcotest.(check bool) "maximum with NaN tail is finite" true
+    (Float.is_finite (Stats.maximum [ 2.0; nan ]));
+  Alcotest.check feq "NaN-leading fold is unpoisoned" 2.0
+    (Stats.maximum [ nan; 2.0; 1.0 ]);
+  Alcotest.check feq "all-non-finite maximum is 0" 0.0
+    (Stats.maximum [ nan; infinity ]);
+  Alcotest.check feq "empty minimum is 0" 0.0 (Stats.minimum []);
+  (* max never below p99 on the same sample: the regression this guards —
+     NaN max with healthy quantiles — inverts this ordering *)
+  let sample = [ 5.0; 1.0; nan; 9.0; 3.0 ] in
+  Alcotest.(check bool) "max >= p99 on a dirty sample" true
+    (Stats.maximum sample >= Stats.quantile 0.99 sample)
+
 let prop_quantile_monotone =
   QCheck.Test.make ~name:"Stats.quantile is monotone in q" ~count:300
     QCheck.(
@@ -157,6 +176,71 @@ let prop_json_float_roundtrip =
       if Float.is_finite f then float_of_string (Json.fmt_float f) = f
       else Json.fmt_float f = "null")
 
+(* ---- Clock: monotonic clamp ---- *)
+
+let test_clock_monotonic () =
+  (* a simulated backwards wall-clock step (NTP) must never yield a
+     negative span: the clamp freezes the clock until raw time catches
+     up *)
+  let timeline = ref [ 100.0; 100.5; 99.0; 99.5; 100.25; 101.0 ] in
+  let raw () =
+    match !timeline with
+    | [] -> 102.0
+    | x :: r ->
+      timeline := r;
+      x
+  in
+  Fun.protect
+    ~finally:(fun () -> Clock.set_raw_source None)
+    (fun () ->
+      Clock.set_raw_source (Some raw);
+      let samples = List.init 6 (fun _ -> Clock.now ()) in
+      let rec spans = function
+        | a :: (b :: _ as r) -> (b -. a) :: spans r
+        | _ -> []
+      in
+      List.iteri
+        (fun i s ->
+          Alcotest.(check bool)
+            (Printf.sprintf "span %d is non-negative" i)
+            true (s >= 0.0))
+        (spans samples);
+      (* the clamp holds the high-water mark through the backwards step *)
+      Alcotest.check feq "clamped at the pre-step maximum" 100.5
+        (List.nth samples 2);
+      (* and releases once raw time passes it again *)
+      Alcotest.check feq "resumes when raw time catches up" 101.0
+        (List.nth samples 5);
+      Alcotest.(check bool) "ns mirror agrees" true (Clock.now_ns () >= 101.0 *. 1e9))
+
+(* ---- Vec: clear must not retain elements ---- *)
+
+(* allocate behind a function boundary so the local binding cannot keep
+   the element alive past the push *)
+let[@inline never] vec_push_tracked v w =
+  let big = Array.make 4096 7 in
+  Vec.push v big;
+  Weak.set w 0 (Some big)
+
+let test_vec_clear_releases () =
+  let v = Vec.create () in
+  let w = Weak.create 1 in
+  vec_push_tracked v w;
+  Vec.push v [| 1 |];
+  Alcotest.(check int) "two elements" 2 (Vec.length v);
+  Alcotest.(check bool) "tracked element live before clear" true
+    (Weak.get w 0 <> None);
+  Vec.clear v;
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check bool)
+    "cleared element is collectable (no retention in spare capacity)" true
+    (Weak.get w 0 = None);
+  (* the vector is reusable after a clear *)
+  Vec.push v [| 2 |];
+  Alcotest.(check int) "push after clear" 1 (Vec.length v);
+  Alcotest.(check int) "element readable" 2 (Vec.get v 0).(0)
+
 let test_table_render () =
   let t = Table.create ~title:"t" ~columns:[ "a"; "bb" ] in
   Table.add_row t [ "x"; "y" ];
@@ -187,6 +271,9 @@ let suite =
     ("stats quantile", `Quick, test_stats_quantile);
     ("stats histogram", `Quick, test_stats_histogram);
     ("stats nan safety", `Quick, test_stats_nan_safe);
+    ("stats min/max nan safety", `Quick, test_stats_minmax_nan_safe);
+    ("clock monotonic clamp", `Quick, test_clock_monotonic);
+    ("vec clear releases elements", `Quick, test_vec_clear_releases);
     QCheck_alcotest.to_alcotest ~rand:(Qcheck_seed.rand ()) prop_quantile_monotone;
     QCheck_alcotest.to_alcotest ~rand:(Qcheck_seed.rand ()) prop_histogram_total;
     ("json float is total", `Quick, test_json_float_total);
